@@ -1,0 +1,133 @@
+//! A CACTI-lite area model, calibrated against the paper's Table-7
+//! CACTI 7 @ 22 nm numbers.
+//!
+//! The paper reports four (bits → mm²) points:
+//!
+//! | structure | bits     | mm²   | mm²/Mbit |
+//! |-----------|----------|-------|----------|
+//! | TD        | 878 592  | 0.080 | 0.0955   |
+//! | ED (12w)  | 933 888  | 0.087 | 0.0977   |
+//! | ED (8w)   | 622 592  | 0.057 | 0.0960   |
+//! | VD (8 bk) | 544 768  | 0.057 | 0.1097   |
+//!
+//! The three single-bank structures sit at ≈ 9.2×10⁻⁸ mm²/bit; the banked
+//! VD lands ≈ 14% denser-than-linear in overhead (duplicated decoders and
+//! sense amps in many small arrays). We therefore model
+//!
+//! ```text
+//! area(bits, banks) = bits · 9.2e-8 · (banks > 1 ? 1.137 : 1.0)
+//! ```
+//!
+//! which reproduces all four calibration points within 2%. Treating the
+//! banking overhead as a calibrated constant *ratio* (rather than
+//! per-bank) keeps the extrapolation to high core counts sane — more banks
+//! of proportionally smaller arrays cost roughly the same peripherals per
+//! bit. This is an honest substitute, not CACTI: absolute numbers carry
+//! that error bar, but the Table-7 comparisons (SecDir ≈ +16% at 8 cores,
+//! cheaper at high core counts) are preserved.
+
+use serde::{Deserialize, Serialize};
+
+use crate::storage::{baseline_slice, secdir_slice, SliceStorage};
+
+/// mm² per SRAM bit in the calibrated 22 nm model.
+pub const MM2_PER_BIT: f64 = 9.2e-8;
+/// Relative area overhead of a multi-banked structure.
+pub const BANKED_FACTOR: f64 = 1.137;
+
+/// Area in mm² of a structure of `bits` bits organized as `banks` banks.
+///
+/// # Panics
+///
+/// Panics if `banks` is zero.
+pub fn structure_area_mm2(bits: usize, banks: usize) -> f64 {
+    assert!(banks > 0, "a structure has at least one bank");
+    let factor = if banks > 1 { BANKED_FACTOR } else { 1.0 };
+    bits as f64 * MM2_PER_BIT * factor
+}
+
+/// Per-slice area breakdown of a directory organization.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SliceArea {
+    /// TD area (mm²).
+    pub td_mm2: f64,
+    /// ED area (mm²).
+    pub ed_mm2: f64,
+    /// VD area (mm²), zero for the baseline.
+    pub vd_mm2: f64,
+}
+
+impl SliceArea {
+    /// Total per-slice area (mm²).
+    pub fn total_mm2(&self) -> f64 {
+        self.td_mm2 + self.ed_mm2 + self.vd_mm2
+    }
+}
+
+/// Area of a [`SliceStorage`], with the VD organized as `vd_banks` banks.
+pub fn slice_area(storage: &SliceStorage, vd_banks: usize) -> SliceArea {
+    SliceArea {
+        td_mm2: structure_area_mm2(storage.td_bits, 1),
+        ed_mm2: structure_area_mm2(storage.ed_bits, 1),
+        vd_mm2: if storage.vd_bits == 0 {
+            0.0
+        } else {
+            structure_area_mm2(storage.vd_bits, vd_banks)
+        },
+    }
+}
+
+/// Table 7's area rows: `(baseline, secdir)` for an `n`-core machine.
+pub fn table7_area(n: usize) -> (SliceArea, SliceArea) {
+    (
+        slice_area(&baseline_slice(n), 1),
+        slice_area(&secdir_slice(n), n),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * b
+    }
+
+    #[test]
+    fn calibration_points_within_2_percent() {
+        assert!(close(structure_area_mm2(878_592, 1), 0.080, 0.02), "TD");
+        assert!(close(structure_area_mm2(933_888, 1), 0.087, 0.02), "ED12");
+        assert!(close(structure_area_mm2(622_592, 1), 0.057, 0.02), "ED8");
+        assert!(close(structure_area_mm2(544_768, 8), 0.057, 0.02), "VD");
+    }
+
+    #[test]
+    fn table_7_totals_and_overhead() {
+        let (base, sec) = table7_area(8);
+        // Paper: 0.167 vs 0.194 mm² (+16.2%).
+        assert!(close(base.total_mm2(), 0.167, 0.03), "{}", base.total_mm2());
+        assert!(close(sec.total_mm2(), 0.194, 0.03), "{}", sec.total_mm2());
+        let overhead = sec.total_mm2() / base.total_mm2() - 1.0;
+        assert!(
+            (0.10..=0.22).contains(&overhead),
+            "area overhead {overhead}"
+        );
+    }
+
+    #[test]
+    fn secdir_area_cheaper_at_high_core_counts() {
+        let (base, sec) = table7_area(64);
+        assert!(sec.total_mm2() < base.total_mm2());
+    }
+
+    #[test]
+    fn banking_costs_area() {
+        assert!(structure_area_mm2(1_000_000, 8) > structure_area_mm2(1_000_000, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn rejects_zero_banks() {
+        structure_area_mm2(100, 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! §2.3: the associativity a conventional directory would need.
+//!
+//! For a victim to be guaranteed at least one directory entry against an
+//! attacker controlling the other `N − 1` cores, a conventional slice would
+//! need `W_TD + W_ED > W_L2 · (N − 1) + W_LLC` — 123 ways for 8 cores,
+//! growing linearly. SecDir's point of departure is that this is
+//! unreasonable.
+
+use crate::storage::TD_WAYS;
+
+/// L2 associativity (Table 3).
+pub const W_L2: usize = 16;
+/// LLC-slice associativity (Table 3).
+pub const W_LLC: usize = TD_WAYS;
+/// Combined TD + ED associativity of the Skylake-X directory slice.
+pub const W_DIRECTORY: usize = 23;
+
+/// The minimum combined directory associativity that defeats the conflict
+/// attack on an `n`-core machine: `W_L2 · (n − 1) + W_LLC + 1`.
+pub fn required_associativity(n: usize) -> usize {
+    W_L2 * (n.saturating_sub(1)) + W_LLC + 1
+}
+
+/// Whether a conventional directory of `ways` total associativity resists
+/// the attack on `n` cores.
+pub fn is_sufficient(ways: usize, n: usize) -> bool {
+    ways >= required_associativity(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_8_cores_needs_124_ways() {
+        // The paper: "requires a directory slice with an associativity
+        // higher than 123".
+        assert_eq!(required_associativity(8), 124);
+    }
+
+    #[test]
+    fn skylake_is_insufficient_beyond_one_core() {
+        assert!(is_sufficient(W_DIRECTORY, 1));
+        assert!(!is_sufficient(W_DIRECTORY, 2));
+        assert!(!is_sufficient(W_DIRECTORY, 8));
+    }
+
+    #[test]
+    fn requirement_grows_linearly() {
+        assert_eq!(
+            required_associativity(28) - required_associativity(27),
+            W_L2
+        );
+    }
+}

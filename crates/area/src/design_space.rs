@@ -1,0 +1,129 @@
+//! Figure 5: the equal-storage design-space sweep.
+//!
+//! For each retained ED associativity `W_ED ∈ {6..10}` and core count
+//! `N ∈ {4..128}`, the storage of the `12 − W_ED` removed ED ways is
+//! re-assigned to `N` per-slice VD banks. The paper then asks: how many
+//! directory entries does a single core get machine-wide, relative to the
+//! lines in its L2? Values ≥ 1 mean an attacked victim can keep its whole
+//! L2 covered by isolated VD entries.
+
+use serde::{Deserialize, Serialize};
+
+use crate::storage::{ed_entry_bits, vd_bank_bits, DIR_SETS, ED_WAYS_BASELINE, L2_LINES};
+
+/// One design point of Figure 5.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Cores (= slices = VD banks per slice).
+    pub cores: usize,
+    /// ED ways retained.
+    pub w_ed: usize,
+    /// Chosen VD bank ways.
+    pub w_vd: usize,
+    /// Chosen VD bank sets (power of two).
+    pub s_vd: usize,
+    /// Per-core machine-wide VD entries.
+    pub per_core_vd_entries: usize,
+    /// `per_core_vd_entries / L2 lines` — the Figure 5 y-axis.
+    pub ratio_to_l2: f64,
+}
+
+/// Computes the Figure 5 design point for `cores` and `w_ed`, choosing the
+/// VD bank with the highest entry count and a power-of-two set count that
+/// fits in the freed ED storage (paper §7), with bank associativity
+/// 3..=8.
+///
+/// Returns `None` when even the smallest bank does not fit (very small
+/// budgets at low core counts never occur in the paper's sweep).
+pub fn design_point(cores: usize, w_ed: usize) -> Option<DesignPoint> {
+    assert!(w_ed < ED_WAYS_BASELINE, "must free at least one ED way");
+    let freed_bits = DIR_SETS * (ED_WAYS_BASELINE - w_ed) * ed_entry_bits(cores);
+    let per_bank_budget = freed_bits / cores;
+    let mut best: Option<(usize, usize, usize)> = None; // (entries, s, w)
+    for w_vd in 3..=8usize {
+        // Largest power-of-two set count whose bank fits the budget.
+        let mut s = 1usize;
+        while vd_bank_bits(s * 2, w_vd) <= per_bank_budget {
+            s *= 2;
+        }
+        if vd_bank_bits(s, w_vd) > per_bank_budget {
+            continue;
+        }
+        let entries = s * w_vd;
+        if best.is_none_or(|(e, ..)| entries > e) {
+            best = Some((entries, s, w_vd));
+        }
+    }
+    let (entries, s_vd, w_vd) = best?;
+    // One bank per slice; a core has a bank in each of the `cores` slices.
+    let per_core = entries * cores;
+    Some(DesignPoint {
+        cores,
+        w_ed,
+        w_vd,
+        s_vd,
+        per_core_vd_entries: per_core,
+        ratio_to_l2: per_core as f64 / L2_LINES as f64,
+    })
+}
+
+/// The Figure 5 sweep: `W_ED ∈ 6..=10`, `N ∈ {4, 8, 16, 32, 64, 128}`.
+pub fn figure5_sweep() -> Vec<DesignPoint> {
+    let mut out = Vec::new();
+    for w_ed in 6..=10 {
+        for cores in [4usize, 8, 16, 32, 64, 128] {
+            if let Some(p) = design_point(cores, w_ed) {
+                out.push(p);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_the_grid() {
+        let pts = figure5_sweep();
+        assert_eq!(pts.len(), 5 * 6, "every (W_ED, N) point must fit");
+    }
+
+    #[test]
+    fn ratio_grows_with_core_count() {
+        // The paper's scalability claim: more cores → relatively *cheaper*
+        // VDs, because the reused ED sharer bits grow with N.
+        for w_ed in 6..=10 {
+            let r4 = design_point(4, w_ed).unwrap().ratio_to_l2;
+            let r128 = design_point(128, w_ed).unwrap().ratio_to_l2;
+            assert!(r128 > r4, "W_ED={w_ed}: {r4} !< {r128}");
+        }
+    }
+
+    #[test]
+    fn fewer_retained_ways_give_larger_vds() {
+        let more_freed = design_point(8, 6).unwrap().ratio_to_l2;
+        let less_freed = design_point(8, 10).unwrap().ratio_to_l2;
+        assert!(more_freed > less_freed);
+    }
+
+    #[test]
+    fn w_ed_8_crosses_one_by_64_cores() {
+        // Paper: "At 44 cores or more, such per-core VD can also hold as
+        // many entries as L2 lines or more" (for W_ED = 8).
+        assert!(design_point(8, 8).unwrap().ratio_to_l2 < 1.0);
+        assert!(design_point(64, 8).unwrap().ratio_to_l2 >= 1.0);
+    }
+
+    #[test]
+    fn banks_fit_their_budget() {
+        for p in figure5_sweep() {
+            let budget =
+                DIR_SETS * (ED_WAYS_BASELINE - p.w_ed) * ed_entry_bits(p.cores) / p.cores;
+            assert!(vd_bank_bits(p.s_vd, p.w_vd) <= budget);
+            assert!(p.s_vd.is_power_of_two());
+            assert!((3..=8).contains(&p.w_vd));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Sharer-information encodings (paper §2.1).
+//!
+//! The paper's accounting uses a full-mapped presence vector ("reasonable
+//! for modest core counts", §7) but notes that directories can instead
+//! keep a set of sharer *pointers* [Gupta et al.]. The encoding choice
+//! changes the ED/TD entry width — and therefore where SecDir's storage
+//! crossover lands — so the model supports both.
+
+use serde::{Deserialize, Serialize};
+
+use crate::storage::{
+    choose_vd_bank, vd_bank_bits, DIR_SETS, ED_WAYS_BASELINE, ED_WAYS_SECDIR, L2_LINES,
+    SliceStorage, TD_ED_TAG_BITS, TD_WAYS,
+};
+
+/// How a directory entry records which cores hold the line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SharerEncoding {
+    /// One presence bit per core — the paper's default.
+    FullMap,
+    /// `pointers` core indices of `⌈log2 N⌉` bits each, plus an overflow
+    /// bit (overflow falls back to broadcast). Cheaper than the full map
+    /// once `N` exceeds roughly `pointers · log2 N`.
+    LimitedPointers {
+        /// Number of sharer pointers per entry.
+        pointers: usize,
+    },
+}
+
+impl SharerEncoding {
+    /// Bits of sharer information per entry on an `n`-core machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or a pointer count is zero.
+    pub fn sharer_bits(self, n: usize) -> usize {
+        assert!(n > 0, "machine has at least one core");
+        match self {
+            SharerEncoding::FullMap => n,
+            SharerEncoding::LimitedPointers { pointers } => {
+                assert!(pointers > 0, "at least one pointer");
+                let idx_bits = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+                pointers * idx_bits.max(1) + 1 // + overflow/broadcast bit
+            }
+        }
+    }
+}
+
+/// TD entry bits under `encoding` (tag + sharers + Dirty + Valid).
+pub fn td_entry_bits_with(encoding: SharerEncoding, n: usize) -> usize {
+    TD_ED_TAG_BITS + encoding.sharer_bits(n) + 2
+}
+
+/// ED entry bits under `encoding` (tag + sharers + Valid).
+pub fn ed_entry_bits_with(encoding: SharerEncoding, n: usize) -> usize {
+    TD_ED_TAG_BITS + encoding.sharer_bits(n) + 1
+}
+
+/// Baseline per-slice storage under `encoding`.
+pub fn baseline_slice_with(encoding: SharerEncoding, n: usize) -> SliceStorage {
+    SliceStorage {
+        td_bits: DIR_SETS * TD_WAYS * td_entry_bits_with(encoding, n),
+        ed_bits: DIR_SETS * ED_WAYS_BASELINE * ed_entry_bits_with(encoding, n),
+        vd_bits: 0,
+    }
+}
+
+/// SecDir per-slice storage under `encoding` (the VD is encoding-free —
+/// its banks carry no sharer information at all, which is the paper's
+/// §4.1 insight).
+pub fn secdir_slice_with(encoding: SharerEncoding, n: usize) -> SliceStorage {
+    let (bank_sets, bank_ways) = choose_vd_bank(L2_LINES.div_ceil(n));
+    SliceStorage {
+        td_bits: DIR_SETS * TD_WAYS * td_entry_bits_with(encoding, n),
+        ed_bits: DIR_SETS * ED_WAYS_SECDIR * ed_entry_bits_with(encoding, n),
+        vd_bits: n * vd_bank_bits(bank_sets, bank_ways),
+    }
+}
+
+/// The storage crossover (first core count where SecDir is cheaper than
+/// the baseline) under `encoding`, or `None` if it never crosses below
+/// 256 cores.
+pub fn storage_crossover_with(encoding: SharerEncoding) -> Option<usize> {
+    (2..=256).find(|&n| {
+        secdir_slice_with(encoding, n).total_kb() < baseline_slice_with(encoding, n).total_kb()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{baseline_slice, secdir_slice, storage_crossover_cores};
+
+    #[test]
+    fn full_map_matches_the_default_model() {
+        for n in [4usize, 8, 44, 64] {
+            assert_eq!(baseline_slice_with(SharerEncoding::FullMap, n), baseline_slice(n));
+            assert_eq!(secdir_slice_with(SharerEncoding::FullMap, n), secdir_slice(n));
+        }
+        assert_eq!(
+            storage_crossover_with(SharerEncoding::FullMap),
+            Some(storage_crossover_cores())
+        );
+    }
+
+    #[test]
+    fn pointer_bits_grow_logarithmically() {
+        let p4 = SharerEncoding::LimitedPointers { pointers: 4 };
+        assert_eq!(p4.sharer_bits(8), 4 * 3 + 1);
+        assert_eq!(p4.sharer_bits(64), 4 * 6 + 1);
+        assert_eq!(p4.sharer_bits(128), 4 * 7 + 1);
+    }
+
+    #[test]
+    fn pointers_beat_full_map_at_high_core_counts() {
+        let p4 = SharerEncoding::LimitedPointers { pointers: 4 };
+        assert!(p4.sharer_bits(8) > SharerEncoding::FullMap.sharer_bits(8));
+        assert!(p4.sharer_bits(64) < SharerEncoding::FullMap.sharer_bits(64));
+    }
+
+    #[test]
+    fn pointer_encoding_pushes_the_crossover_out() {
+        // SecDir's storage advantage comes from replacing per-core-growing
+        // sharer fields with sharer-free VD entries; a pointer encoding
+        // shrinks that advantage, so the crossover moves to higher N (or
+        // vanishes).
+        let full = storage_crossover_with(SharerEncoding::FullMap).unwrap();
+        let p2 = storage_crossover_with(SharerEncoding::LimitedPointers { pointers: 2 });
+        match p2 {
+            Some(n) => assert!(n > full, "pointer crossover {n} vs full-map {full}"),
+            None => {} // never crossing is the extreme of "pushed out"
+        }
+    }
+
+    #[test]
+    fn vd_storage_is_identical_under_both_encodings() {
+        for n in [8usize, 64] {
+            assert_eq!(
+                secdir_slice_with(SharerEncoding::FullMap, n).vd_bits,
+                secdir_slice_with(SharerEncoding::LimitedPointers { pointers: 4 }, n).vd_bits
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pointer")]
+    fn zero_pointers_rejected() {
+        SharerEncoding::LimitedPointers { pointers: 0 }.sharer_bits(8);
+    }
+}

@@ -1,0 +1,201 @@
+//! Exact storage accounting (paper §7 and Table 7).
+//!
+//! Entry layouts under the paper's accounting (MESI-style states, full-map
+//! presence vector of `N` bits, transient-state bits neglected):
+//!
+//! * **TD** entry: 29-bit tag + `N` presence bits + Dirty + Valid;
+//! * **ED** entry: 29-bit tag + `N` presence bits + Valid;
+//! * **VD** entry: 31-bit tag + Valid + Cuckoo bit — *no sharer vector*
+//!   (the bank's owner encodes it), which is the insight that makes the VD
+//!   cheap; each VD set additionally carries one Empty Bit.
+
+use serde::{Deserialize, Serialize};
+
+/// The evaluated machine's core count.
+pub const SKYLAKE_X_CORES: usize = 8;
+
+/// Sets in a TD/ED slice (Table 3).
+pub const DIR_SETS: usize = 2048;
+/// TD ways (Table 3).
+pub const TD_WAYS: usize = 11;
+/// Baseline ED ways (Table 3).
+pub const ED_WAYS_BASELINE: usize = 12;
+/// SecDir ED ways (Table 4).
+pub const ED_WAYS_SECDIR: usize = 8;
+/// Sets per VD bank (Table 4).
+pub const VD_SETS: usize = 512;
+/// Ways per VD bank (Table 4).
+pub const VD_WAYS: usize = 4;
+/// L2 lines per core (Table 3: 1024 sets × 16 ways).
+pub const L2_LINES: usize = 16_384;
+
+/// Address-tag width of a TD/ED entry (40-bit line address − 11 set bits).
+pub const TD_ED_TAG_BITS: usize = 29;
+/// Address-tag width of a VD entry (40-bit line address − 9 set bits).
+pub const VD_TAG_BITS: usize = 31;
+
+/// Bits in one TD entry for an `n`-core machine.
+pub fn td_entry_bits(n: usize) -> usize {
+    TD_ED_TAG_BITS + n + 2 // + Dirty + Valid
+}
+
+/// Bits in one ED entry for an `n`-core machine.
+pub fn ed_entry_bits(n: usize) -> usize {
+    TD_ED_TAG_BITS + n + 1 // + Valid
+}
+
+/// Bits in one VD entry (core-count independent — the whole point).
+pub fn vd_entry_bits() -> usize {
+    VD_TAG_BITS + 2 // + Valid + Cuckoo
+}
+
+/// Bits in one VD bank of `sets × ways`, including the per-set Empty Bit.
+pub fn vd_bank_bits(sets: usize, ways: usize) -> usize {
+    sets * ways * vd_entry_bits() + sets
+}
+
+/// Per-slice storage of a directory organization, in bits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SliceStorage {
+    /// Traditional Directory bits.
+    pub td_bits: usize,
+    /// Extended Directory bits.
+    pub ed_bits: usize,
+    /// Victim Directory bits (all banks).
+    pub vd_bits: usize,
+}
+
+impl SliceStorage {
+    /// TD storage in KB.
+    pub fn td_kb(&self) -> f64 {
+        self.td_bits as f64 / 8192.0
+    }
+
+    /// ED storage in KB.
+    pub fn ed_kb(&self) -> f64 {
+        self.ed_bits as f64 / 8192.0
+    }
+
+    /// VD storage in KB.
+    pub fn vd_kb(&self) -> f64 {
+        self.vd_bits as f64 / 8192.0
+    }
+
+    /// Total per-slice storage in KB.
+    pub fn total_kb(&self) -> f64 {
+        (self.td_bits + self.ed_bits + self.vd_bits) as f64 / 8192.0
+    }
+}
+
+/// Per-slice storage of the baseline Skylake-X directory on `n` cores.
+pub fn baseline_slice(n: usize) -> SliceStorage {
+    SliceStorage {
+        td_bits: DIR_SETS * TD_WAYS * td_entry_bits(n),
+        ed_bits: DIR_SETS * ED_WAYS_BASELINE * ed_entry_bits(n),
+        vd_bits: 0,
+    }
+}
+
+/// Chooses a VD bank shape `(sets, ways)` holding at least
+/// `entries_needed` entries, with a power-of-two set count and ways in
+/// 3..=8 (the paper's §7 search space). Among candidates it minimizes
+/// over-provisioned entries, breaking ties towards lower associativity
+/// (the paper keeps VD lookups fast, §4.1).
+pub fn choose_vd_bank(entries_needed: usize) -> (usize, usize) {
+    let mut best: Option<(usize, usize, usize)> = None; // (entries, ways, sets)
+    for ways in 3..=8usize {
+        let sets = entries_needed.div_ceil(ways).next_power_of_two().max(1);
+        let entries = sets * ways;
+        let cand = (entries, ways, sets);
+        if best.is_none_or(|b| cand < b) {
+            best = Some(cand);
+        }
+    }
+    let (_, ways, sets) = best.expect("non-empty search space");
+    (sets, ways)
+}
+
+/// Per-slice storage of the paper's SecDir design on `n` cores, following
+/// the §7 guidelines: the ED keeps 8 ways (as many entries per slice as L2
+/// lines) and the per-core distributed VD holds at least as many entries as
+/// L2 lines, i.e. each of the `n` banks in a slice covers `L2_LINES / n`
+/// entries with the bank shape picked by [`choose_vd_bank`].
+pub fn secdir_slice(n: usize) -> SliceStorage {
+    let (bank_sets, bank_ways) = choose_vd_bank(L2_LINES.div_ceil(n));
+    SliceStorage {
+        td_bits: DIR_SETS * TD_WAYS * td_entry_bits(n),
+        ed_bits: DIR_SETS * ED_WAYS_SECDIR * ed_entry_bits(n),
+        vd_bits: n * vd_bank_bits(bank_sets, bank_ways),
+    }
+}
+
+/// The smallest core count at which SecDir (per the §7 guidelines) uses
+/// **less** total directory storage than the baseline — the paper reports
+/// 44.
+pub fn storage_crossover_cores() -> usize {
+    (2..=256)
+        .find(|&n| secdir_slice(n).total_kb() < baseline_slice(n).total_kb())
+        .expect("crossover exists below 256 cores")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_7_baseline_storage() {
+        let s = baseline_slice(SKYLAKE_X_CORES);
+        assert_eq!(s.td_kb(), 107.25);
+        assert_eq!(s.ed_kb(), 114.0);
+        assert_eq!(s.total_kb(), 221.25);
+    }
+
+    #[test]
+    fn table_7_secdir_storage() {
+        let s = secdir_slice(SKYLAKE_X_CORES);
+        assert_eq!(s.td_kb(), 107.25);
+        assert_eq!(s.ed_kb(), 76.0);
+        assert_eq!(s.vd_kb(), 66.5);
+        assert_eq!(s.total_kb(), 249.75);
+    }
+
+    #[test]
+    fn secdir_extra_storage_is_28_5_kb() {
+        let extra = secdir_slice(8).total_kb() - baseline_slice(8).total_kb();
+        assert!((extra - 28.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entry_bit_widths() {
+        assert_eq!(td_entry_bits(8), 39);
+        assert_eq!(ed_entry_bits(8), 38);
+        assert_eq!(vd_entry_bits(), 33);
+    }
+
+    #[test]
+    fn vd_entry_width_is_core_count_independent() {
+        // The ED entry grows with N; the VD entry does not — the paper's
+        // key area insight (§4.1).
+        assert!(ed_entry_bits(64) > ed_entry_bits(8));
+        assert_eq!(vd_entry_bits(), vd_entry_bits());
+    }
+
+    #[test]
+    fn crossover_near_44_cores() {
+        let n = storage_crossover_cores();
+        assert!(
+            (36..=52).contains(&n),
+            "crossover at {n}, paper reports 44"
+        );
+    }
+
+    #[test]
+    fn secdir_cheaper_at_64_cores() {
+        assert!(secdir_slice(64).total_kb() < baseline_slice(64).total_kb());
+    }
+
+    #[test]
+    fn vd_bank_bits_include_empty_bits() {
+        assert_eq!(vd_bank_bits(512, 4), 512 * 4 * 33 + 512);
+    }
+}

@@ -1,0 +1,105 @@
+//! Directory eviction-set construction.
+
+use secdir_machine::Machine;
+use secdir_mem::LineAddr;
+
+/// The number of directory sets per slice for `machine` (TD and ED have the
+/// same set count, paper Table 3).
+pub fn dir_sets_of(machine: &Machine) -> usize {
+    machine.config().baseline_dir().ed.sets()
+}
+
+/// Builds an eviction set for `target`: `count` distinct lines, starting
+/// the search at `search_base`, that map to the **same slice** and the
+/// **same directory set** as the target.
+///
+/// Because the directory set index uses more address bits than the L2 set
+/// index (2048 vs 1024 sets), all returned lines also land in one L2 set of
+/// whichever core caches them — so an attacker core can keep at most
+/// `W_L2 = 16` of them resident, exactly the constraint the paper's attack
+/// analysis (§2.3) is built on. The slice hash is public (the attacker
+/// reverse-engineers it on real hardware), so the search simply filters
+/// candidates through the machine's own mapping.
+///
+/// # Panics
+///
+/// Panics if `count` lines cannot be found within a 2²⁸-line search window
+/// (cannot happen for sane geometries).
+pub fn build_eviction_set(
+    machine: &Machine,
+    target: LineAddr,
+    count: usize,
+    search_base: u64,
+) -> Vec<LineAddr> {
+    let dir_sets = dir_sets_of(machine);
+    let target_slice = machine.slice_of(target);
+    let target_set = target.set_index(dir_sets);
+    let mut out = Vec::with_capacity(count);
+    // Stride by the set-index period so every candidate already matches the
+    // directory set; only the slice filter remains.
+    let mut candidate = search_base - (search_base % dir_sets as u64) + target_set as u64;
+    if candidate < search_base {
+        candidate += dir_sets as u64;
+    }
+    let limit = search_base + (1 << 28);
+    while out.len() < count {
+        assert!(candidate < limit, "eviction-set search window exhausted");
+        let line = LineAddr::new(candidate);
+        if line != target && machine.slice_of(line) == target_slice {
+            out.push(line);
+        }
+        candidate += dir_sets as u64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secdir_machine::{DirectoryKind, MachineConfig};
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::skylake_x(8, DirectoryKind::Baseline))
+    }
+
+    #[test]
+    fn eviction_lines_conflict_with_target() {
+        let m = machine();
+        let target = LineAddr::new(0xdead);
+        let set = build_eviction_set(&m, target, 32, 0x100_0000);
+        let sets = dir_sets_of(&m);
+        for l in &set {
+            assert_eq!(l.set_index(sets), target.set_index(sets));
+            assert_eq!(m.slice_of(*l), m.slice_of(target));
+            assert_ne!(*l, target);
+        }
+    }
+
+    #[test]
+    fn eviction_lines_are_distinct() {
+        let m = machine();
+        let set = build_eviction_set(&m, LineAddr::new(7), 64, 1 << 24);
+        let mut dedup = set.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), set.len());
+    }
+
+    #[test]
+    fn eviction_lines_share_an_l2_set() {
+        let m = machine();
+        let target = LineAddr::new(0x42);
+        let set = build_eviction_set(&m, target, 16, 1 << 25);
+        let l2_sets = m.config().l2.sets();
+        for l in &set {
+            assert_eq!(l.set_index(l2_sets), target.set_index(l2_sets));
+        }
+    }
+
+    #[test]
+    fn respects_search_base() {
+        let m = machine();
+        let set = build_eviction_set(&m, LineAddr::new(3), 8, 1 << 26);
+        assert!(set.iter().all(|l| l.value() >= 1 << 26));
+    }
+}

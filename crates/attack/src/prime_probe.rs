@@ -1,0 +1,141 @@
+//! The prime+probe attack — no shared memory required.
+//!
+//! The attacker fills ("primes") one directory set with exactly
+//! `W_ED + W_TD` of its own lines, lets the victim run, then re-accesses
+//! ("probes") its lines and times them. A victim access to any line mapping
+//! to the primed set must allocate a directory entry, which on the Baseline
+//! discards one attacker entry — the probe then sees a main-memory-latency
+//! access. On SecDir the victim's allocation pushes conflicting entries
+//! into per-core VD banks instead, the attacker's lines stay put, and the
+//! probe is silent.
+
+use secdir_machine::Machine;
+use secdir_mem::{CoreId, LineAddr};
+
+use crate::evict_reload::AttackOutcome;
+use crate::eviction::build_eviction_set;
+use crate::{accuracy, AttackConfig};
+
+/// Primes until a full pass over the attacker's lines sees no directory
+/// traffic (a 0-miss pass leaves the directory unchanged, so the state is
+/// stable), up to a pass budget.
+fn stabilize(
+    machine: &mut Machine,
+    assignment: &[(CoreId, LineAddr)],
+    threshold: u64,
+    max_passes: usize,
+) {
+    for _ in 0..max_passes {
+        let mut misses = 0;
+        for &(core, line) in assignment {
+            if machine.access(core, line, false).latency >= threshold {
+                misses += 1;
+            }
+        }
+        if misses == 0 {
+            return;
+        }
+    }
+}
+
+/// Runs prime+probe against `machine`. The victim secret-dependently
+/// touches its own private `victim_line`; the attacker primes the directory
+/// set that line maps to.
+///
+/// # Panics
+///
+/// Panics if the attacker cores cannot hold `W_ED + W_TD` lines within
+/// `cfg.lines_per_core` each.
+pub fn prime_probe_attack(
+    machine: &mut Machine,
+    cfg: &AttackConfig,
+    victim_line: LineAddr,
+) -> AttackOutcome {
+    let dir_cfg = machine.config().baseline_dir();
+    let prime_lines = dir_cfg.ed.ways() + dir_cfg.td.ways();
+    assert!(
+        prime_lines <= cfg.lines_per_core * cfg.attacker_cores.len(),
+        "attacker cores cannot hold {prime_lines} prime lines"
+    );
+    let truth = cfg.secret();
+    let ev = build_eviction_set(machine, victim_line, prime_lines, 1 << 30);
+    // Round-robin the prime lines over the attacker cores, ≤ lines_per_core
+    // each, so every line stays L2-resident on its core.
+    let assignment: Vec<(CoreId, LineAddr)> = ev
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| {
+            (
+                cfg.attacker_cores[i / cfg.lines_per_core % cfg.attacker_cores.len()],
+                l,
+            )
+        })
+        .collect();
+    let iv_before = machine.stats().cores[cfg.victim_core.0].inclusion_victims;
+
+    let mut guessed = Vec::with_capacity(truth.len());
+    for &bit in &truth {
+        // Prime: reach a stable full set.
+        stabilize(machine, &assignment, cfg.latency_threshold, 16);
+        // Wait: the victim leaks.
+        if bit {
+            machine.access(cfg.victim_core, victim_line, false);
+        }
+        // Probe: any memory-latency re-access betrays the victim.
+        let mut misses = 0;
+        for &(core, line) in &assignment {
+            if machine.access(core, line, false).latency >= cfg.latency_threshold {
+                misses += 1;
+            }
+        }
+        guessed.push(misses >= 1);
+    }
+
+    let iv_after = machine.stats().cores[cfg.victim_core.0].inclusion_victims;
+    AttackOutcome {
+        accuracy: accuracy(&guessed, &truth),
+        guessed,
+        truth,
+        victim_inclusion_victims: iv_after - iv_before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secdir_machine::{DirectoryKind, MachineConfig};
+
+    fn run(kind: DirectoryKind) -> AttackOutcome {
+        let mut machine = Machine::new(MachineConfig::skylake_x(4, kind));
+        let cfg = AttackConfig {
+            victim_core: CoreId(0),
+            attacker_cores: vec![CoreId(1), CoreId(2), CoreId(3)],
+            lines_per_core: 16,
+            latency_threshold: 100,
+            bits: 24,
+            seed: 13,
+        };
+        prime_probe_attack(&mut machine, &cfg, LineAddr::new(0x7e57))
+    }
+
+    #[test]
+    fn baseline_leaks_through_prime_probe() {
+        let o = run(DirectoryKind::Baseline);
+        assert!(o.accuracy > 0.85, "baseline accuracy {}", o.accuracy);
+    }
+
+    #[test]
+    fn secdir_blocks_prime_probe() {
+        let o = run(DirectoryKind::SecDir);
+        assert!(o.accuracy < 0.7, "secdir leaked: accuracy {}", o.accuracy);
+        assert_eq!(o.victim_inclusion_victims, 0);
+    }
+
+    #[test]
+    fn secdir_guesses_are_all_silent() {
+        // On SecDir the probe must never see a miss: the attacker decodes
+        // an all-zero string.
+        let o = run(DirectoryKind::SecDir);
+        assert!(o.guessed.iter().all(|&g| !g), "probe saw directory noise");
+    }
+}

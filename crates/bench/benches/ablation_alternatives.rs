@@ -1,0 +1,58 @@
+//! Ablation: the design alternatives §1 discusses, side by side.
+//!
+//! * **Baseline** — insecure, fast.
+//! * **BaselineFixed** — Appendix-A fix only: closes the Skylake-X
+//!   implementation quirk but not the fundamental associativity attack.
+//! * **WayPartitioned** — secure but each core gets 1/N of the directory
+//!   and LLC; cannot exist beyond W_TD cores.
+//! * **SecDir** — secure, scalable, and performance-neutral.
+
+use secdir_attack::{evict_reload_attack, AttackConfig};
+use secdir_bench::{header, run_spec_mix, DEFAULT_MEASURE, DEFAULT_WARMUP};
+use secdir_machine::{DirectoryKind, Machine, MachineConfig};
+use secdir_mem::LineAddr;
+use secdir_workloads::spec::mixes;
+
+fn main() {
+    let kinds = [
+        ("Baseline", DirectoryKind::Baseline),
+        ("BaselineFixed", DirectoryKind::BaselineFixed),
+        ("WayPartitioned", DirectoryKind::WayPartitioned),
+        ("SecDir", DirectoryKind::SecDir),
+    ];
+
+    header("Design alternatives on mix2 (LLCF+LLCF) and mix0 (CCF+CCF)");
+    println!(
+        "{:>15} | {:>9} {:>9} | {:>9} {:>9} | {:>8} {:>7}",
+        "directory", "mix2 IPC", "misses", "mix0 IPC", "misses", "attack", "IVs"
+    );
+    let all = mixes();
+    let base2 = run_spec_mix(&all[2], DirectoryKind::Baseline, DEFAULT_WARMUP, DEFAULT_MEASURE);
+    let base0 = run_spec_mix(&all[0], DirectoryKind::Baseline, DEFAULT_WARMUP, DEFAULT_MEASURE);
+    for (name, kind) in kinds {
+        let r2 = run_spec_mix(&all[2], kind, DEFAULT_WARMUP, DEFAULT_MEASURE);
+        let r0 = run_spec_mix(&all[0], kind, DEFAULT_WARMUP, DEFAULT_MEASURE);
+        let mut m = Machine::new(MachineConfig::skylake_x(8, kind));
+        let atk = evict_reload_attack(
+            &mut m,
+            &AttackConfig {
+                bits: 32,
+                ..AttackConfig::standard(8)
+            },
+            LineAddr::new(0x5ec),
+        );
+        println!(
+            "{:>15} | {:>9.3} {:>9.3} | {:>9.3} {:>9.3} | {:>8.2} {:>7}",
+            name,
+            r2.ipc() / base2.ipc(),
+            r2.breakdown.total() as f64 / base2.breakdown.total() as f64,
+            r0.ipc() / base0.ipc(),
+            r0.breakdown.total() as f64 / base0.breakdown.total() as f64,
+            atk.accuracy,
+            atk.victim_inclusion_victims,
+        );
+    }
+    println!("\n(IPC and misses normalized to Baseline; attack = evict+reload accuracy,");
+    println!(" 0.5 ≈ chance. Way partitioning is secure but pays in performance and");
+    println!(" cannot exist beyond 11 cores; SecDir is secure at Baseline speed.)");
+}

@@ -1,0 +1,125 @@
+//! Criterion micro-benchmarks of the core structures: VD bank operations
+//! (cuckoo vs plain, with/without the Empty Bit), directory-slice request
+//! throughput (Baseline vs SecDir), and whole-machine access latency.
+//!
+//! These quantify the *simulator's* costs and the relative work of the two
+//! directory organizations, complementing the table/figure benches.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use secdir::{SecDirConfig, SecDirSlice, VdBank, VdHashing};
+use secdir_cache::Geometry;
+use secdir_coherence::{AccessKind, BaselineDirConfig, BaselineSlice, DirSlice};
+use secdir_machine::{DirectoryKind, Machine, MachineConfig};
+use secdir_mem::{CoreId, LineAddr, SplitMix64};
+
+fn bench_vd_bank(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vd_bank");
+    for (name, hashing) in [
+        ("cuckoo_insert", VdHashing::Cuckoo { num_relocations: 8 }),
+        ("plain_insert", VdHashing::Plain),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || VdBank::new(Geometry::new(512, 4), hashing, true, 1),
+                |mut bank| {
+                    let mut rng = SplitMix64::new(7);
+                    for _ in 0..1024 {
+                        bank.insert(LineAddr::new(rng.next_below(1 << 30)));
+                    }
+                    bank
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.bench_function("lookup_hit", |b| {
+        let mut bank = VdBank::new(
+            Geometry::new(512, 4),
+            VdHashing::Cuckoo { num_relocations: 8 },
+            true,
+            1,
+        );
+        let lines: Vec<LineAddr> = (0..1024u64).map(|i| LineAddr::new(i * 97)).collect();
+        for &l in &lines {
+            bank.insert(l);
+        }
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % lines.len();
+            std::hint::black_box(bank.contains(lines[i]))
+        })
+    });
+    g.bench_function("eb_filtered_miss", |b| {
+        let bank = VdBank::new(
+            Geometry::new(512, 4),
+            VdHashing::Cuckoo { num_relocations: 8 },
+            true,
+            1,
+        );
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(bank.eb_filters_out(LineAddr::new(i)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_slices(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dir_slice_request");
+    g.bench_function("baseline", |b| {
+        b.iter_batched(
+            || BaselineSlice::new(BaselineDirConfig::skylake_x(), 1),
+            |mut s| {
+                let mut rng = SplitMix64::new(3);
+                for _ in 0..2048 {
+                    let core = CoreId(rng.next_below(8) as usize);
+                    s.request(LineAddr::new(rng.next_below(1 << 20)), core, AccessKind::Read);
+                }
+                s.stats().requests
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("secdir", |b| {
+        b.iter_batched(
+            || SecDirSlice::new(SecDirConfig::skylake_x(8), 1),
+            |mut s| {
+                let mut rng = SplitMix64::new(3);
+                for _ in 0..2048 {
+                    let core = CoreId(rng.next_below(8) as usize);
+                    s.request(LineAddr::new(rng.next_below(1 << 20)), core, AccessKind::Read);
+                }
+                s.stats().requests
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine_access");
+    for (name, kind) in [
+        ("baseline", DirectoryKind::Baseline),
+        ("secdir", DirectoryKind::SecDir),
+    ] {
+        g.bench_function(name, |b| {
+            let mut m = Machine::new(MachineConfig::skylake_x(8, kind));
+            let mut rng = SplitMix64::new(11);
+            b.iter(|| {
+                let core = CoreId(rng.next_below(8) as usize);
+                let line = LineAddr::new(rng.next_below(1 << 16));
+                m.access(core, line, rng.chance(0.3)).latency
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_vd_bank, bench_slices, bench_machine
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Table 6: evaluating the VD's two features.
+//!
+//! * **EBVD/NoEBVD** — the fraction of VD bank probes the Empty Bit leaves
+//!   (measured on ordinary SecDir runs). Paper averages: 0.43 (SPEC),
+//!   0.17 (PARSEC).
+//! * **CKVD/NoCKVD** — VD self-conflicts with the cuckoo organization
+//!   relative to a plain single-hash bank, under the worst-case attacker
+//!   (ED/TD disabled). Paper averages: 0.82 (SPEC), 0.59 (PARSEC); the
+//!   LLC-thrashing mixes (mix4, mix11) stay ≈ 1.0.
+
+use secdir_bench::{header, run_parsec, run_spec_mix, DEFAULT_MEASURE, DEFAULT_WARMUP};
+use secdir_machine::DirectoryKind;
+use secdir_workloads::parsec::ParsecApp;
+use secdir_workloads::spec::mixes;
+
+/// EB ratio: when the VD was never even looked up in the window (tiny
+/// working sets), the Empty Bit has eliminated every probe — report 0, as
+/// the paper does for blackscholes/swaptions.
+fn eb_ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Cuckoo ratio: no self-conflicts under either organization is parity.
+fn ck_ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        1.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+fn main() {
+    header("Table 6: Empty Bit (EBVD/NoEBVD) and cuckoo (CKVD/NoCKVD)");
+    println!(
+        "{:>14} {:>14} {:>14}",
+        "workload", "EBVD/NoEBVD", "CKVD/NoCKVD"
+    );
+
+    let mut eb_sum = 0.0;
+    let mut ck_sum = 0.0;
+    let all_mixes = mixes();
+    for mix in &all_mixes {
+        let s = run_spec_mix(mix, DirectoryKind::SecDir, DEFAULT_WARMUP, DEFAULT_MEASURE);
+        let eb = eb_ratio(s.dir.vd_bank_probes, s.dir.vd_bank_probes_without_eb);
+        let ck_c = run_spec_mix(mix, DirectoryKind::SecDirVdOnly, DEFAULT_WARMUP, DEFAULT_MEASURE);
+        let ck_p = run_spec_mix(
+            mix,
+            DirectoryKind::SecDirVdOnlyPlain,
+            DEFAULT_WARMUP,
+            DEFAULT_MEASURE,
+        );
+        let ck = ck_ratio(ck_c.dir.vd_self_conflicts, ck_p.dir.vd_self_conflicts);
+        eb_sum += eb;
+        ck_sum += ck;
+        println!("{:>14} {:>14.2} {:>14.2}", mix.name, eb, ck);
+    }
+    println!(
+        "{:>14} {:>14.2} {:>14.2}   (paper SPEC avg: 0.43 / 0.82)",
+        "SPEC avg",
+        eb_sum / all_mixes.len() as f64,
+        ck_sum / all_mixes.len() as f64
+    );
+
+    println!();
+    let mut eb_sum = 0.0;
+    let mut ck_sum = 0.0;
+    for app in ParsecApp::ALL {
+        let s = run_parsec(app, DirectoryKind::SecDir, DEFAULT_WARMUP, DEFAULT_MEASURE);
+        let eb = eb_ratio(s.dir.vd_bank_probes, s.dir.vd_bank_probes_without_eb);
+        let ck_c = run_parsec(app, DirectoryKind::SecDirVdOnly, DEFAULT_WARMUP, DEFAULT_MEASURE);
+        let ck_p = run_parsec(
+            app,
+            DirectoryKind::SecDirVdOnlyPlain,
+            DEFAULT_WARMUP,
+            DEFAULT_MEASURE,
+        );
+        let ck = ck_ratio(ck_c.dir.vd_self_conflicts, ck_p.dir.vd_self_conflicts);
+        eb_sum += eb;
+        ck_sum += ck;
+        println!("{:>14} {:>14.2} {:>14.2}", app.name, eb, ck);
+    }
+    println!(
+        "{:>14} {:>14.2} {:>14.2}   (paper PARSEC avg: 0.17 / 0.59)",
+        "PARSEC avg",
+        eb_sum / ParsecApp::ALL.len() as f64,
+        ck_sum / ParsecApp::ALL.len() as f64
+    );
+}

@@ -1,0 +1,68 @@
+//! Table 7: per-slice directory storage (KB) and area (mm²), Baseline vs
+//! SecDir, plus the §2.3 required-associativity argument and the §7
+//! storage crossover.
+//!
+//! Paper values (8 cores): Baseline TD 107.25 KB / ED 114 KB, total
+//! 221.25 KB and 0.167 mm²; SecDir TD 107.25 / ED 76 / VD 66.5, total
+//! 249.75 KB (+28.5 KB, +12.9%) and 0.194 mm² (+16.2%); SecDir uses less
+//! storage than the baseline at ≥ 44 cores.
+
+use secdir_area::area::table7_area;
+use secdir_area::associativity::{required_associativity, W_DIRECTORY};
+use secdir_area::storage::{baseline_slice, secdir_slice, storage_crossover_cores};
+use secdir_bench::header;
+
+fn main() {
+    let n = 8;
+    let base = baseline_slice(n);
+    let sec = secdir_slice(n);
+    let (base_area, sec_area) = table7_area(n);
+
+    header("Table 7: storage and area per slice (8 cores)");
+    println!(
+        "{:<10} {:>12} {:>10}   {:<10} {:>12} {:>10}",
+        "Baseline", "KB", "mm2", "SecDir", "KB", "mm2"
+    );
+    println!(
+        "{:<10} {:>12.2} {:>10.3}   {:<10} {:>12.2} {:>10.3}",
+        "TD", base.td_kb(), base_area.td_mm2, "TD", sec.td_kb(), sec_area.td_mm2
+    );
+    println!(
+        "{:<10} {:>12.2} {:>10.3}   {:<10} {:>12.2} {:>10.3}",
+        "ED", base.ed_kb(), base_area.ed_mm2, "ED", sec.ed_kb(), sec_area.ed_mm2
+    );
+    println!(
+        "{:<10} {:>12} {:>10}   {:<10} {:>12.2} {:>10.3}",
+        "-", "-", "-", "VD", sec.vd_kb(), sec_area.vd_mm2
+    );
+    println!(
+        "{:<10} {:>12.2} {:>10.3}   {:<10} {:>12.2} {:>10.3}",
+        "Total",
+        base.total_kb(),
+        base_area.total_mm2(),
+        "Total",
+        sec.total_kb(),
+        sec_area.total_mm2()
+    );
+    println!(
+        "\nSecDir storage overhead: +{:.2} KB ({:+.1}%), area {:+.1}%",
+        sec.total_kb() - base.total_kb(),
+        (sec.total_kb() / base.total_kb() - 1.0) * 100.0,
+        (sec_area.total_mm2() / base_area.total_mm2() - 1.0) * 100.0
+    );
+    println!(
+        "Storage crossover (SecDir cheaper than Skylake-X): {} cores (paper: 44)",
+        storage_crossover_cores()
+    );
+
+    header("Section 2.3: required conventional associativity vs core count");
+    println!("{:>7} {:>12} {:>12}", "cores", "required", "skylake-x");
+    for cores in [2usize, 8, 16, 28, 64] {
+        println!(
+            "{:>7} {:>12} {:>12}",
+            cores,
+            required_associativity(cores),
+            W_DIRECTORY
+        );
+    }
+}

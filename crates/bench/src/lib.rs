@@ -1,0 +1,150 @@
+//! Shared experiment-runner helpers for the table/figure benches.
+//!
+//! Every `cargo bench -p secdir-bench --bench <name>` target regenerates
+//! one table or figure of the paper (see DESIGN.md §4 for the index); this
+//! library holds the common skip-then-measure runner and formatting
+//! helpers.
+
+#![warn(missing_docs)]
+
+use secdir_coherence::DirSliceStats;
+use secdir_machine::{run_workload, AccessStream, DirectoryKind, Machine, MachineConfig, RunSummary};
+use secdir_workloads::parsec::ParsecApp;
+use secdir_workloads::spec::SpecMix;
+use serde::{Deserialize, Serialize};
+
+/// Default warm-up references per core (the paper skips 10 B instructions;
+/// we skip proportionally on the scaled window).
+pub const DEFAULT_WARMUP: u64 = 350_000;
+/// Default measured references per core (the paper measures a 500 M-cycle
+/// window).
+pub const DEFAULT_MEASURE: u64 = 200_000;
+
+/// The Figure 7(b)/8(b) L2-miss breakdown.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MissBreakdown {
+    /// Misses satisfied by ED/TD hits.
+    pub ed_td: u64,
+    /// Misses satisfied by VD hits.
+    pub vd: u64,
+    /// Misses that went to memory.
+    pub memory: u64,
+}
+
+impl MissBreakdown {
+    /// Total L2 misses.
+    pub fn total(&self) -> u64 {
+        self.ed_td + self.vd + self.memory
+    }
+}
+
+/// The measured phase of one workload × directory-kind run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentRun {
+    /// Timing summary of the measured phase.
+    pub summary: RunSummary,
+    /// L2-miss breakdown over the measured phase.
+    pub breakdown: MissBreakdown,
+    /// Directory counter deltas over the measured phase.
+    pub dir: DirSliceStats,
+    /// Inclusion victims created during the measured phase.
+    pub inclusion_victims: u64,
+}
+
+impl ExperimentRun {
+    /// Mean per-core IPC.
+    pub fn ipc(&self) -> f64 {
+        self.summary.mean_ipc()
+    }
+
+    /// Execution time in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.summary.cycles
+    }
+}
+
+/// Runs `streams` on a fresh Table-4 machine with the given directory,
+/// skipping `warmup` references per core and measuring `measure` more.
+pub fn run_streams(
+    kind: DirectoryKind,
+    cores: usize,
+    mut streams: Vec<Box<dyn AccessStream + '_>>,
+    warmup: u64,
+    measure: u64,
+) -> ExperimentRun {
+    let mut machine = Machine::new(MachineConfig::skylake_x(cores, kind));
+    run_workload(&mut machine, &mut streams, warmup);
+    let (ed_td0, vd0, mem0) = machine.stats().miss_breakdown();
+    let iv0 = machine.stats().total_inclusion_victims();
+    let dir0 = machine.directory_stats();
+    let summary = run_workload(&mut machine, &mut streams, measure);
+    let (ed_td1, vd1, mem1) = machine.stats().miss_breakdown();
+    ExperimentRun {
+        summary,
+        breakdown: MissBreakdown {
+            ed_td: ed_td1 - ed_td0,
+            vd: vd1 - vd0,
+            memory: mem1 - mem0,
+        },
+        dir: machine.directory_stats().diff(&dir0),
+        inclusion_victims: machine.stats().total_inclusion_victims() - iv0,
+    }
+}
+
+/// Runs a Table-5 SPEC mix on 8 cores.
+pub fn run_spec_mix(mix: &SpecMix, kind: DirectoryKind, warmup: u64, measure: u64) -> ExperimentRun {
+    run_streams(kind, 8, mix.streams(8, 0x5eed), warmup, measure)
+}
+
+/// Runs a PARSEC app with 8 threads on 8 cores.
+pub fn run_parsec(app: &ParsecApp, kind: DirectoryKind, warmup: u64, measure: u64) -> ExperimentRun {
+    run_streams(kind, 8, app.threads(8, 0x9a25ec), warmup, measure)
+}
+
+/// Formats a ratio as a fixed-width cell.
+pub fn cell(x: f64) -> String {
+    format!("{x:>7.3}")
+}
+
+/// Prints a bench section header.
+pub fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secdir_workloads::spec::mixes;
+
+    #[test]
+    fn spec_run_produces_misses_and_timing() {
+        let r = run_spec_mix(&mixes()[0], DirectoryKind::Baseline, 500, 2_000);
+        assert!(r.ipc() > 0.0);
+        assert!(r.cycles() > 0);
+        assert_eq!(
+            r.summary.cores.iter().map(|c| c.accesses).sum::<u64>(),
+            8 * 2_000
+        );
+    }
+
+    #[test]
+    fn breakdown_total_matches_l2_misses() {
+        let r = run_parsec(
+            &ParsecApp::CANNEAL,
+            DirectoryKind::SecDir,
+            500,
+            2_000,
+        );
+        assert!(r.breakdown.total() > 0, "canneal must miss in L2");
+    }
+
+    #[test]
+    fn secdir_and_baseline_runs_are_comparable() {
+        let mix = &mixes()[2]; // LLCF + LLCF: real directory pressure
+        let b = run_spec_mix(mix, DirectoryKind::Baseline, 1_000, 4_000);
+        let s = run_spec_mix(mix, DirectoryKind::SecDir, 1_000, 4_000);
+        let rel = s.ipc() / b.ipc();
+        assert!((0.5..2.0).contains(&rel), "IPC ratio out of range: {rel}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Cache/directory geometry.
+
+use serde::{Deserialize, Serialize};
+
+/// The shape of a set-associative structure: number of sets × ways.
+///
+/// # Examples
+///
+/// ```
+/// use secdir_cache::Geometry;
+///
+/// let l2 = Geometry::new(1024, 16);
+/// assert_eq!(l2.lines(), 16384);
+/// assert_eq!(l2.index_bits(), 10);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Geometry {
+    sets: usize,
+    ways: usize,
+}
+
+impl Geometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0, "ways must be positive");
+        Geometry { sets, ways }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity (ways per set).
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total entry capacity (`sets × ways`).
+    pub fn lines(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Number of index bits (`log2(sets)`).
+    pub fn index_bits(&self) -> u32 {
+        self.sets.trailing_zeros()
+    }
+
+    /// Capacity in bytes for a structure holding 64-byte data lines.
+    pub fn data_bytes(&self) -> usize {
+        self.lines() * secdir_mem::LINE_BYTES as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skylake_l2_geometry() {
+        let g = Geometry::new(1024, 16);
+        assert_eq!(g.lines(), 16384);
+        assert_eq!(g.data_bytes(), 1024 * 1024); // 1 MB
+    }
+
+    #[test]
+    fn skylake_llc_slice_geometry() {
+        let g = Geometry::new(2048, 11);
+        assert_eq!(g.data_bytes(), 1_441_792); // 1.375 MB
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        Geometry::new(3, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "ways must be positive")]
+    fn rejects_zero_ways() {
+        Geometry::new(4, 0);
+    }
+
+    #[test]
+    fn index_bits() {
+        assert_eq!(Geometry::new(2048, 1).index_bits(), 11);
+        assert_eq!(Geometry::new(1, 1).index_bits(), 0);
+    }
+}

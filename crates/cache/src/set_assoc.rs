@@ -1,0 +1,298 @@
+//! The generic set-associative array.
+
+use secdir_mem::LineAddr;
+use serde::{Deserialize, Serialize};
+
+use crate::replacement::ReplacerState;
+use crate::{Geometry, ReplacementPolicy};
+
+/// An entry displaced by [`SetAssoc::insert`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Evicted<T> {
+    /// The line whose entry was displaced.
+    pub line: LineAddr,
+    /// The displaced payload (cache state, directory entry, ...).
+    pub payload: T,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Slot<T> {
+    line: LineAddr,
+    payload: T,
+}
+
+/// A set-associative array mapping [`LineAddr`]s to payloads of type `T`.
+///
+/// This one structure backs the L1/L2 data caches, the LLC slices, and the
+/// TD/ED directory arrays; only the payload type and [`Geometry`] differ.
+/// Indexing uses the conventional low-order line-address bits
+/// (paper Figure 4(a)); the skewed/cuckoo indexing of a VD bank lives in the
+/// `secdir` crate.
+///
+/// # Examples
+///
+/// ```
+/// use secdir_cache::{Geometry, ReplacementPolicy, SetAssoc};
+/// use secdir_mem::LineAddr;
+///
+/// let mut dir: SetAssoc<&str> = SetAssoc::new(
+///     Geometry::new(2, 1),
+///     ReplacementPolicy::Lru,
+///     0,
+/// );
+/// dir.insert(LineAddr::new(0), "a");
+/// // Same set (low bit 0), single way: inserting evicts "a".
+/// let ev = dir.insert(LineAddr::new(2), "b").expect("conflict");
+/// assert_eq!(ev.payload, "a");
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SetAssoc<T> {
+    geometry: Geometry,
+    sets: Vec<Vec<Option<Slot<T>>>>,
+    replacer: ReplacerState,
+    len: usize,
+}
+
+impl<T> SetAssoc<T> {
+    /// Creates an empty array with the given shape and replacement policy.
+    /// `seed` feeds the random replacement policy (ignored by LRU/NRU).
+    pub fn new(geometry: Geometry, policy: ReplacementPolicy, seed: u64) -> Self {
+        let sets = (0..geometry.sets())
+            .map(|_| (0..geometry.ways()).map(|_| None).collect())
+            .collect();
+        SetAssoc {
+            geometry,
+            sets,
+            replacer: ReplacerState::new(policy, geometry.sets(), geometry.ways(), seed),
+            len: 0,
+        }
+    }
+
+    /// The array's geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The set index `line` maps to.
+    pub fn set_of(&self, line: LineAddr) -> usize {
+        line.set_index(self.geometry.sets())
+    }
+
+    fn find(&self, line: LineAddr) -> Option<usize> {
+        let set = self.set_of(line);
+        self.sets[set]
+            .iter()
+            .position(|slot| slot.as_ref().is_some_and(|s| s.line == line))
+    }
+
+    /// Whether an entry for `line` is present.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.find(line).is_some()
+    }
+
+    /// The payload for `line`, if present. Does **not** update replacement
+    /// state; use [`SetAssoc::access`] on the architectural access path.
+    pub fn get(&self, line: LineAddr) -> Option<&T> {
+        let set = self.set_of(line);
+        self.find(line)
+            .map(|way| &self.sets[set][way].as_ref().expect("found way occupied").payload)
+    }
+
+    /// Mutable payload for `line`, if present. Does not update replacement
+    /// state.
+    pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut T> {
+        let set = self.set_of(line);
+        self.find(line)
+            .map(|way| &mut self.sets[set][way].as_mut().expect("found way occupied").payload)
+    }
+
+    /// Looks up `line` as an architectural access: on a hit, updates the
+    /// replacement state and returns the payload.
+    pub fn access(&mut self, line: LineAddr) -> Option<&mut T> {
+        let set = self.set_of(line);
+        let way = self.find(line)?;
+        self.replacer.touch(set, way);
+        Some(&mut self.sets[set][way].as_mut().expect("found way occupied").payload)
+    }
+
+    /// Inserts an entry for `line`, touching replacement state.
+    ///
+    /// * If `line` is already present, its payload is replaced and `None` is
+    ///   returned (no eviction).
+    /// * If the set has a free way, the entry takes it; returns `None`.
+    /// * Otherwise the replacement policy picks a victim, which is returned
+    ///   as an [`Evicted`] for the caller to handle (write back, migrate to
+    ///   another directory structure, invalidate, ...).
+    pub fn insert(&mut self, line: LineAddr, payload: T) -> Option<Evicted<T>> {
+        let set = self.set_of(line);
+        if let Some(way) = self.find(line) {
+            self.replacer.touch(set, way);
+            self.sets[set][way] = Some(Slot { line, payload });
+            return None;
+        }
+        if let Some(way) = self.sets[set].iter().position(Option::is_none) {
+            self.replacer.touch(set, way);
+            self.sets[set][way] = Some(Slot { line, payload });
+            self.len += 1;
+            return None;
+        }
+        let way = self.replacer.victim(set);
+        self.replacer.touch(set, way);
+        let old = self.sets[set][way]
+            .replace(Slot { line, payload })
+            .expect("victim way occupied in full set");
+        Some(Evicted {
+            line: old.line,
+            payload: old.payload,
+        })
+    }
+
+    /// Removes the entry for `line`, returning its payload.
+    pub fn remove(&mut self, line: LineAddr) -> Option<T> {
+        let set = self.set_of(line);
+        let way = self.find(line)?;
+        self.replacer.clear(set, way);
+        self.len -= 1;
+        Some(self.sets[set][way].take().expect("found way occupied").payload)
+    }
+
+    /// Number of occupied ways in `set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn set_occupancy(&self, set: usize) -> usize {
+        self.sets[set].iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Iterates over the occupied `(line, payload)` entries of `set`.
+    pub fn iter_set(&self, set: usize) -> impl Iterator<Item = (LineAddr, &T)> {
+        self.sets[set]
+            .iter()
+            .filter_map(|slot| slot.as_ref().map(|s| (s.line, &s.payload)))
+    }
+
+    /// Iterates over every occupied `(line, payload)` entry.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &T)> {
+        self.sets
+            .iter()
+            .flatten()
+            .filter_map(|slot| slot.as_ref().map(|s| (s.line, &s.payload)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssoc<u32> {
+        SetAssoc::new(Geometry::new(4, 2), ReplacementPolicy::Lru, 0)
+    }
+
+    #[test]
+    fn insert_then_get() {
+        let mut c = small();
+        assert!(c.insert(LineAddr::new(5), 50).is_none());
+        assert_eq!(c.get(LineAddr::new(5)), Some(&50));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_payload_without_eviction() {
+        let mut c = small();
+        c.insert(LineAddr::new(5), 50);
+        assert!(c.insert(LineAddr::new(5), 51).is_none());
+        assert_eq!(c.get(LineAddr::new(5)), Some(&51));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn conflict_evicts_lru_way() {
+        let mut c = small();
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        c.insert(LineAddr::new(0), 0);
+        c.insert(LineAddr::new(4), 4);
+        c.access(LineAddr::new(0)); // make line 4 the LRU
+        let ev = c.insert(LineAddr::new(8), 8).expect("set full");
+        assert_eq!(ev.line, LineAddr::new(4));
+        assert_eq!(ev.payload, 4);
+        assert!(c.contains(LineAddr::new(0)));
+        assert!(c.contains(LineAddr::new(8)));
+    }
+
+    #[test]
+    fn remove_frees_the_way() {
+        let mut c = small();
+        c.insert(LineAddr::new(0), 0);
+        c.insert(LineAddr::new(4), 4);
+        assert_eq!(c.remove(LineAddr::new(0)), Some(0));
+        assert!(!c.contains(LineAddr::new(0)));
+        assert!(c.insert(LineAddr::new(8), 8).is_none(), "freed way reused");
+    }
+
+    #[test]
+    fn remove_missing_returns_none() {
+        let mut c = small();
+        assert_eq!(c.remove(LineAddr::new(1)), None);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_ways() {
+        let mut c = small();
+        for i in 0..100u64 {
+            c.insert(LineAddr::new(i * 4), i as u32); // all in set 0
+            assert!(c.set_occupancy(0) <= 2);
+        }
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn iter_set_sees_only_that_set() {
+        let mut c = small();
+        c.insert(LineAddr::new(0), 0); // set 0
+        c.insert(LineAddr::new(1), 1); // set 1
+        let set0: Vec<_> = c.iter_set(0).collect();
+        assert_eq!(set0, vec![(LineAddr::new(0), &0)]);
+    }
+
+    #[test]
+    fn iter_sees_everything() {
+        let mut c = small();
+        c.insert(LineAddr::new(0), 0);
+        c.insert(LineAddr::new(1), 1);
+        c.insert(LineAddr::new(2), 2);
+        assert_eq!(c.iter().count(), 3);
+    }
+
+    #[test]
+    fn get_does_not_perturb_lru() {
+        let mut c = small();
+        c.insert(LineAddr::new(0), 0);
+        c.insert(LineAddr::new(4), 4);
+        // Plain get must not refresh line 0; line 0 stays LRU.
+        c.get(LineAddr::new(0));
+        let ev = c.insert(LineAddr::new(8), 8).expect("set full");
+        assert_eq!(ev.line, LineAddr::new(0));
+    }
+
+    #[test]
+    fn random_replacement_stays_within_set() {
+        let mut c: SetAssoc<u32> =
+            SetAssoc::new(Geometry::new(2, 2), ReplacementPolicy::Random, 7);
+        c.insert(LineAddr::new(1), 1); // set 1
+        for i in 0..50u64 {
+            c.insert(LineAddr::new(i * 2), i as u32); // set 0 only
+        }
+        assert!(c.contains(LineAddr::new(1)), "set 1 must be untouched");
+    }
+}

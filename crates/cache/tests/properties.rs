@@ -1,0 +1,108 @@
+//! Property-based tests of the set-associative array against a reference
+//! model.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use secdir_cache::{Geometry, ReplacementPolicy, SetAssoc};
+use secdir_mem::LineAddr;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64, u32),
+    Remove(u64),
+    Access(u64),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..256, any::<u32>()).prop_map(|(l, p)| Op::Insert(l, p)),
+            (0u64..256).prop_map(Op::Remove),
+            (0u64..256).prop_map(Op::Access),
+        ],
+        1..300,
+    )
+}
+
+fn policies() -> impl Strategy<Value = ReplacementPolicy> {
+    prop_oneof![
+        Just(ReplacementPolicy::Lru),
+        Just(ReplacementPolicy::Random),
+        Just(ReplacementPolicy::Nru),
+    ]
+}
+
+proptest! {
+    /// The array behaves like a map whose entries may only disappear
+    /// through explicit removal or a reported eviction.
+    #[test]
+    fn matches_reference_model(ops in ops(), policy in policies(), seed in any::<u64>()) {
+        let geometry = Geometry::new(8, 2);
+        let mut sut: SetAssoc<u32> = SetAssoc::new(geometry, policy, seed);
+        let mut model: HashMap<u64, u32> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(l, p) => {
+                    if let Some(ev) = sut.insert(LineAddr::new(l), p) {
+                        let removed = model.remove(&ev.line.value());
+                        prop_assert_eq!(removed, Some(ev.payload), "evicted entry unknown to model");
+                    }
+                    model.insert(l, p);
+                }
+                Op::Remove(l) => {
+                    prop_assert_eq!(sut.remove(LineAddr::new(l)), model.remove(&l));
+                }
+                Op::Access(l) => {
+                    prop_assert_eq!(sut.access(LineAddr::new(l)).map(|p| *p), model.get(&l).copied());
+                }
+            }
+            prop_assert_eq!(sut.len(), model.len());
+        }
+        // Final state: every modeled entry is present and vice versa.
+        for (&l, &p) in &model {
+            prop_assert_eq!(sut.get(LineAddr::new(l)), Some(&p));
+        }
+        for (line, &p) in sut.iter() {
+            prop_assert_eq!(model.get(&line.value()), Some(&p));
+        }
+    }
+
+    /// No set ever holds more entries than its associativity.
+    #[test]
+    fn associativity_is_never_exceeded(lines in prop::collection::vec(0u64..1024, 1..500),
+                                       policy in policies()) {
+        let geometry = Geometry::new(4, 3);
+        let mut sut: SetAssoc<()> = SetAssoc::new(geometry, policy, 1);
+        for l in lines {
+            sut.insert(LineAddr::new(l), ());
+            for set in 0..4 {
+                prop_assert!(sut.set_occupancy(set) <= 3);
+            }
+        }
+        prop_assert!(sut.len() <= geometry.lines());
+    }
+
+    /// LRU evicts the least recently *touched* entry of the set.
+    #[test]
+    fn lru_eviction_order(fill in prop::collection::vec(0u64..64, 3..20)) {
+        // Single-set cache: all lines conflict.
+        let mut sut: SetAssoc<u64> = SetAssoc::new(
+            Geometry::new(1, 2),
+            ReplacementPolicy::Lru,
+            0,
+        );
+        let mut recency: Vec<u64> = Vec::new(); // most recent last
+        for l in fill {
+            recency.retain(|&x| x != l);
+            recency.push(l);
+            if let Some(ev) = sut.insert(LineAddr::new(l), l) {
+                let pos = recency.iter().position(|&x| x == ev.line.value());
+                // The evicted line must be the oldest resident one.
+                prop_assert_eq!(pos, Some(0), "evicted {:?}, recency {:?}", ev.line, recency);
+                recency.remove(0);
+            }
+            prop_assert!(recency.len() <= 2);
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! The conventional (insecure) Skylake-X directory slice: TD + ED.
+
+use secdir_cache::{Evicted, Geometry, ReplacementPolicy, SetAssoc};
+use secdir_mem::{CoreId, LineAddr};
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    AccessKind, DataSource, DirHitKind, DirResponse, DirSlice, DirSliceStats, DirWhere,
+    Invalidation, InvalidationCause, SharerSet,
+};
+
+/// An Extended Directory entry: a line that lives only in private L2s.
+///
+/// Per the paper's §7 accounting an ED entry carries the address tag, the
+/// presence bit vector, and a Valid bit; dirtiness is tracked by the MOESI
+/// state of the L2 copies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdEntry {
+    /// Cores whose L2s hold the line.
+    pub sharers: SharerSet,
+}
+
+/// A Traditional Directory entry, coupled to an LLC data way
+/// (paper Figure 2: the TD has a Data column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TdEntry {
+    /// Cores whose L2s hold the line.
+    pub sharers: SharerSet,
+    /// Whether the LLC way holds the line's data. Always true on a stock
+    /// Skylake-X; the Appendix-A fix allows data-less TD entries.
+    pub has_data: bool,
+    /// Whether the LLC data copy is dirty relative to memory.
+    pub llc_dirty: bool,
+}
+
+/// Whether the directory reproduces the Skylake-X Appendix-A implementation
+/// quirk or the paper's proposed fix.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AppendixA {
+    /// Stock Skylake-X: every TD entry must hold LLC data, so an ED→TD
+    /// migration of an exclusively-held line invalidates the private copy —
+    /// the inclusion victim exploited by the prime+probe attack of [Yan et
+    /// al., S&P'19].
+    #[default]
+    SkylakeQuirk,
+    /// The paper's fix: TD entries may be data-less, so ED conflicts never
+    /// evict private-cache lines. SecDir always uses this behaviour.
+    Fixed,
+}
+
+/// Configuration of a [`BaselineSlice`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaselineDirConfig {
+    /// ED geometry (Skylake-X: 2048 sets × 12 ways).
+    pub ed: Geometry,
+    /// TD geometry, which is also the LLC slice geometry
+    /// (Skylake-X: 2048 sets × 11 ways).
+    pub td: Geometry,
+    /// Appendix-A behaviour.
+    pub appendix_a: AppendixA,
+}
+
+impl BaselineDirConfig {
+    /// The Intel Skylake-X parameters of paper Table 3 (with the stock
+    /// Appendix-A quirk).
+    pub fn skylake_x() -> Self {
+        BaselineDirConfig {
+            ed: Geometry::new(2048, 12),
+            td: Geometry::new(2048, 11),
+            appendix_a: AppendixA::SkylakeQuirk,
+        }
+    }
+
+    /// Skylake-X geometry with the Appendix-A fix applied.
+    pub fn skylake_x_fixed() -> Self {
+        BaselineDirConfig {
+            appendix_a: AppendixA::Fixed,
+            ..Self::skylake_x()
+        }
+    }
+}
+
+impl Default for BaselineDirConfig {
+    fn default() -> Self {
+        Self::skylake_x()
+    }
+}
+
+/// One slice of the conventional Skylake-X directory (paper Figure 2(a))
+/// together with the coupled LLC data presence.
+///
+/// # Examples
+///
+/// ```
+/// use secdir_coherence::{AccessKind, BaselineDirConfig, BaselineSlice, DirSlice, DirHitKind};
+/// use secdir_mem::{CoreId, LineAddr};
+///
+/// let mut s = BaselineSlice::new(BaselineDirConfig::skylake_x(), 0);
+/// let line = LineAddr::new(0x99);
+/// // First access allocates in the ED.
+/// assert_eq!(s.request(line, CoreId(0), AccessKind::Read).hit, DirHitKind::Miss);
+/// // A second core's read now hits the ED entry.
+/// assert_eq!(s.request(line, CoreId(1), AccessKind::Read).hit, DirHitKind::Ed);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BaselineSlice {
+    ed: SetAssoc<EdEntry>,
+    td: SetAssoc<TdEntry>,
+    appendix_a: AppendixA,
+    stats: DirSliceStats,
+}
+
+impl BaselineSlice {
+    /// Creates an empty slice. `seed` feeds the ED's random replacement.
+    pub fn new(config: BaselineDirConfig, seed: u64) -> Self {
+        BaselineSlice {
+            ed: SetAssoc::new(config.ed, ReplacementPolicy::Random, seed),
+            td: SetAssoc::new(config.td, ReplacementPolicy::Random, seed ^ 1),
+            appendix_a: config.appendix_a,
+            stats: DirSliceStats::default(),
+        }
+    }
+
+    /// Inserts `entry` into the TD, discarding (transition ② of Figure 3)
+    /// any conflicting victim: the victim's line is invalidated from every
+    /// private cache and its dirty LLC data written back to memory.
+    fn insert_td(&mut self, line: LineAddr, entry: TdEntry, out: &mut Vec<Invalidation>) {
+        if entry.has_data {
+            self.stats.llc_data_fills += 1;
+        }
+        if let Some(Evicted { line: vline, payload: victim }) = self.td.insert(line, entry) {
+            self.stats.td_conflict_discards += 1;
+            out.push(Invalidation {
+                line: vline,
+                cores: victim.sharers,
+                llc_writeback: victim.has_data && victim.llc_dirty,
+                cause: InvalidationCause::TdConflict,
+            });
+        }
+    }
+
+    /// Migrates an ED victim to the TD (ED set conflict path).
+    fn ed_conflict_to_td(&mut self, line: LineAddr, entry: EdEntry, out: &mut Vec<Invalidation>) {
+        self.stats.ed_to_td_migrations += 1;
+        let td_entry = match self.appendix_a {
+            AppendixA::SkylakeQuirk => {
+                // The TD entry must hold data, so the line is copied into
+                // the LLC. A single private copy (E/M) cannot coexist with
+                // LLC data and is invalidated — the Appendix-A inclusion
+                // victim. Multiple (Shared) copies may remain.
+                let mut sharers = entry.sharers;
+                if sharers.count() == 1 {
+                    self.stats.quirk_invalidations += 1;
+                    out.push(Invalidation {
+                        line,
+                        cores: sharers,
+                        llc_writeback: false,
+                        cause: InvalidationCause::EdToTdQuirk,
+                    });
+                    sharers = SharerSet::empty();
+                }
+                TdEntry {
+                    sharers,
+                    has_data: true,
+                    llc_dirty: false,
+                }
+            }
+            AppendixA::Fixed => TdEntry {
+                sharers: entry.sharers,
+                has_data: false,
+                llc_dirty: false,
+            },
+        };
+        self.insert_td(line, td_entry, out);
+    }
+
+    /// Allocates an ED entry for a newly fetched line, migrating any ED
+    /// victim into the TD.
+    fn allocate_ed(&mut self, line: LineAddr, core: CoreId, out: &mut Vec<Invalidation>) {
+        let evicted = self.ed.insert(
+            line,
+            EdEntry {
+                sharers: SharerSet::single(core),
+            },
+        );
+        if let Some(Evicted { line: vline, payload }) = evicted {
+            self.ed_conflict_to_td(vline, payload, out);
+        }
+    }
+
+    fn serve_read(&mut self, line: LineAddr, core: CoreId) -> DirResponse {
+        if self.ed.contains(line) {
+            self.stats.ed_hits += 1;
+            let entry = self.ed.access(line).expect("ED entry present");
+            debug_assert!(
+                !entry.sharers.contains(core),
+                "read miss by a core the ED already lists as sharer"
+            );
+            let owner = entry.sharers.any().expect("ED entry has at least one sharer");
+            entry.sharers.insert(core);
+            return DirResponse::new(DataSource::L2Cache(owner), DirHitKind::Ed);
+        }
+        if self.td.contains(line) {
+            self.stats.td_hits += 1;
+            let entry = self.td.access(line).expect("TD entry present");
+            let source = if entry.has_data {
+                DataSource::Llc
+            } else {
+                DataSource::L2Cache(
+                    entry
+                        .sharers
+                        .without(core)
+                        .any()
+                        .expect("data-less TD entry must have another sharer"),
+                )
+            };
+            entry.sharers.insert(core);
+            return DirResponse::new(source, DirHitKind::Td);
+        }
+        self.stats.misses += 1;
+        let mut resp = DirResponse::new(DataSource::Memory, DirHitKind::Miss);
+        self.allocate_ed(line, core, &mut resp.invalidations);
+        resp
+    }
+
+    fn serve_write(&mut self, line: LineAddr, core: CoreId) -> DirResponse {
+        if self.ed.contains(line) {
+            self.stats.ed_hits += 1;
+            let entry = self.ed.access(line).expect("ED entry present");
+            let had_copy = entry.sharers.contains(core);
+            let others = entry.sharers.without(core);
+            entry.sharers = SharerSet::single(core);
+            let source = if had_copy {
+                DataSource::None
+            } else {
+                DataSource::L2Cache(others.any().expect("write miss hit an ED entry with no sharer"))
+            };
+            let mut resp = DirResponse::new(source, DirHitKind::Ed);
+            if !others.is_empty() {
+                resp.invalidations.push(Invalidation {
+                    line,
+                    cores: others,
+                    llc_writeback: false,
+                    cause: InvalidationCause::Coherence,
+                });
+            }
+            return resp;
+        }
+        if self.td.contains(line) {
+            self.stats.td_hits += 1;
+            self.stats.td_to_ed_migrations += 1;
+            let entry = self.td.remove(line).expect("TD entry present");
+            let had_copy = entry.sharers.contains(core);
+            let others = entry.sharers.without(core);
+            // The LLC data copy (dirty or not) is dropped: the writer's M
+            // copy becomes the only — and newest — version.
+            let source = if had_copy {
+                DataSource::None
+            } else if entry.has_data {
+                DataSource::Llc
+            } else {
+                DataSource::L2Cache(others.any().expect("data-less TD entry must have sharers"))
+            };
+            let mut resp = DirResponse::new(source, DirHitKind::Td);
+            if !others.is_empty() {
+                resp.invalidations.push(Invalidation {
+                    line,
+                    cores: others,
+                    llc_writeback: false,
+                    cause: InvalidationCause::Coherence,
+                });
+            }
+            self.allocate_ed(line, core, &mut resp.invalidations);
+            return resp;
+        }
+        self.stats.misses += 1;
+        let mut resp = DirResponse::new(DataSource::Memory, DirHitKind::Miss);
+        self.allocate_ed(line, core, &mut resp.invalidations);
+        resp
+    }
+}
+
+impl DirSlice for BaselineSlice {
+    fn request(&mut self, line: LineAddr, core: CoreId, kind: AccessKind) -> DirResponse {
+        self.stats.requests += 1;
+        match kind {
+            AccessKind::Read => self.serve_read(line, core),
+            AccessKind::Write => self.serve_write(line, core),
+        }
+    }
+
+    fn l2_evict(&mut self, line: LineAddr, core: CoreId, dirty: bool) -> Vec<Invalidation> {
+        let mut out = Vec::new();
+        if let Some(entry) = self.ed.remove(line) {
+            // L2 write-back: the line moves into the LLC, its entry ED→TD.
+            self.stats.ed_to_td_migrations += 1;
+            let sharers = entry.sharers.without(core);
+            self.insert_td(
+                line,
+                TdEntry {
+                    sharers,
+                    has_data: true,
+                    llc_dirty: dirty,
+                },
+                &mut out,
+            );
+        } else if let Some(entry) = self.td.get_mut(line) {
+            entry.sharers.remove(core);
+            let fills = !entry.has_data;
+            entry.has_data = true;
+            entry.llc_dirty |= dirty;
+            if fills {
+                self.stats.llc_data_fills += 1;
+            }
+        } else {
+            debug_assert!(false, "L2 evicted a line with no directory entry: {line}");
+        }
+        out
+    }
+
+    fn locate(&self, line: LineAddr) -> Option<DirWhere> {
+        if let Some(e) = self.ed.get(line) {
+            return Some(DirWhere::Ed(e.sharers));
+        }
+        self.td.get(line).map(|e| DirWhere::Td {
+            sharers: e.sharers,
+            has_data: e.has_data,
+        })
+    }
+
+    fn llc_has_data(&self, line: LineAddr) -> bool {
+        self.td.get(line).is_some_and(|e| e.has_data)
+    }
+
+    fn stats(&self) -> &DirSliceStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(appendix_a: AppendixA) -> BaselineSlice {
+        // 1-set structures so conflicts are easy to force.
+        BaselineSlice::new(
+            BaselineDirConfig {
+                ed: Geometry::new(1, 2),
+                td: Geometry::new(1, 2),
+                appendix_a,
+            },
+            7,
+        )
+    }
+
+    fn read(s: &mut BaselineSlice, line: u64, core: usize) -> DirResponse {
+        s.request(LineAddr::new(line), CoreId(core), AccessKind::Read)
+    }
+
+    #[test]
+    fn miss_allocates_in_ed() {
+        let mut s = tiny(AppendixA::Fixed);
+        let r = read(&mut s, 1, 0);
+        assert_eq!(r.hit, DirHitKind::Miss);
+        assert_eq!(r.source, DataSource::Memory);
+        assert!(matches!(s.locate(LineAddr::new(1)), Some(DirWhere::Ed(_))));
+    }
+
+    #[test]
+    fn second_reader_joins_ed_sharers() {
+        let mut s = tiny(AppendixA::Fixed);
+        read(&mut s, 1, 0);
+        let r = read(&mut s, 1, 1);
+        assert_eq!(r.hit, DirHitKind::Ed);
+        assert_eq!(r.source, DataSource::L2Cache(CoreId(0)));
+        let DirWhere::Ed(sharers) = s.locate(LineAddr::new(1)).unwrap() else {
+            panic!("expected ED entry");
+        };
+        assert_eq!(sharers.count(), 2);
+    }
+
+    #[test]
+    fn ed_conflict_migrates_to_td() {
+        let mut s = tiny(AppendixA::Fixed);
+        read(&mut s, 1, 0);
+        read(&mut s, 2, 0);
+        read(&mut s, 3, 0); // ED has 2 ways: one victim migrates to TD
+        let in_td = [1u64, 2, 3]
+            .iter()
+            .filter(|&&l| matches!(s.locate(LineAddr::new(l)), Some(DirWhere::Td { .. })))
+            .count();
+        assert_eq!(in_td, 1);
+        assert_eq!(s.stats().ed_to_td_migrations, 1);
+    }
+
+    #[test]
+    fn fixed_mode_ed_conflict_creates_no_inclusion_victim() {
+        let mut s = tiny(AppendixA::Fixed);
+        read(&mut s, 1, 0);
+        read(&mut s, 2, 0);
+        let r = read(&mut s, 3, 0);
+        assert!(r.invalidations.is_empty());
+        assert_eq!(s.stats().quirk_invalidations, 0);
+    }
+
+    #[test]
+    fn quirk_mode_ed_conflict_invalidates_exclusive_copy() {
+        let mut s = tiny(AppendixA::SkylakeQuirk);
+        read(&mut s, 1, 0);
+        read(&mut s, 2, 0);
+        let r = read(&mut s, 3, 0);
+        let quirk: Vec<_> = r
+            .invalidations
+            .iter()
+            .filter(|i| i.cause == InvalidationCause::EdToTdQuirk)
+            .collect();
+        assert_eq!(quirk.len(), 1);
+        assert_eq!(quirk[0].cores.count(), 1);
+        assert_eq!(s.stats().quirk_invalidations, 1);
+        // The migrated entry sits in TD with data and no sharers.
+        let migrated = quirk[0].line;
+        assert_eq!(
+            s.locate(migrated),
+            Some(DirWhere::Td {
+                sharers: SharerSet::empty(),
+                has_data: true
+            })
+        );
+    }
+
+    #[test]
+    fn quirk_mode_keeps_shared_copies() {
+        let mut s = tiny(AppendixA::SkylakeQuirk);
+        read(&mut s, 1, 0);
+        read(&mut s, 1, 1); // two sharers: quirk does not apply
+        read(&mut s, 2, 0);
+        let r = read(&mut s, 3, 0);
+        assert!(r
+            .invalidations
+            .iter()
+            .all(|i| i.cause != InvalidationCause::EdToTdQuirk || i.line != LineAddr::new(1)));
+    }
+
+    #[test]
+    fn td_conflict_discards_and_invalidates() {
+        let mut s = tiny(AppendixA::Fixed);
+        // Fill ED (2 ways) + TD (2 ways) with lines of core 0.
+        for l in 1..=4 {
+            read(&mut s, l, 0);
+        }
+        assert_eq!(s.stats().td_conflict_discards, 0);
+        let r = read(&mut s, 5, 0); // ED victim → TD conflict → discard
+        let td_conflicts: Vec<_> = r
+            .invalidations
+            .iter()
+            .filter(|i| i.cause == InvalidationCause::TdConflict)
+            .collect();
+        assert_eq!(td_conflicts.len(), 1);
+        assert_eq!(s.stats().td_conflict_discards, 1);
+        // Exactly 4 lines still tracked (5 touched, 1 discarded).
+        let tracked = (1..=5)
+            .filter(|&l| s.locate(LineAddr::new(l)).is_some())
+            .count();
+        assert_eq!(tracked, 4);
+    }
+
+    #[test]
+    fn write_invalidates_other_sharers() {
+        let mut s = tiny(AppendixA::Fixed);
+        read(&mut s, 1, 0);
+        read(&mut s, 1, 1);
+        let r = s.request(LineAddr::new(1), CoreId(2), AccessKind::Write);
+        assert_eq!(r.hit, DirHitKind::Ed);
+        assert_eq!(r.invalidations.len(), 1);
+        assert_eq!(r.invalidations[0].cores.count(), 2);
+        assert_eq!(r.invalidations[0].cause, InvalidationCause::Coherence);
+        let DirWhere::Ed(sharers) = s.locate(LineAddr::new(1)).unwrap() else {
+            panic!("entry stays in ED");
+        };
+        assert_eq!(sharers, SharerSet::single(CoreId(2)));
+    }
+
+    #[test]
+    fn upgrade_by_existing_sharer_needs_no_data() {
+        let mut s = tiny(AppendixA::Fixed);
+        read(&mut s, 1, 0);
+        read(&mut s, 1, 1);
+        let r = s.request(LineAddr::new(1), CoreId(0), AccessKind::Write);
+        assert_eq!(r.source, DataSource::None);
+        assert_eq!(r.invalidations[0].cores, SharerSet::single(CoreId(1)));
+    }
+
+    #[test]
+    fn l2_evict_moves_ed_entry_to_td_with_data() {
+        let mut s = tiny(AppendixA::Fixed);
+        read(&mut s, 1, 0);
+        let out = s.l2_evict(LineAddr::new(1), CoreId(0), true);
+        assert!(out.is_empty());
+        assert_eq!(
+            s.locate(LineAddr::new(1)),
+            Some(DirWhere::Td {
+                sharers: SharerSet::empty(),
+                has_data: true
+            })
+        );
+        assert!(s.llc_has_data(LineAddr::new(1)));
+        assert_eq!(s.stats().llc_data_fills, 1);
+    }
+
+    #[test]
+    fn read_after_llc_fill_hits_td_and_serves_from_llc() {
+        let mut s = tiny(AppendixA::Fixed);
+        read(&mut s, 1, 0);
+        s.l2_evict(LineAddr::new(1), CoreId(0), false);
+        let r = read(&mut s, 1, 1);
+        assert_eq!(r.hit, DirHitKind::Td);
+        assert_eq!(r.source, DataSource::Llc);
+    }
+
+    #[test]
+    fn write_to_td_entry_migrates_back_to_ed() {
+        let mut s = tiny(AppendixA::Fixed);
+        read(&mut s, 1, 0);
+        s.l2_evict(LineAddr::new(1), CoreId(0), false);
+        let r = s.request(LineAddr::new(1), CoreId(1), AccessKind::Write);
+        assert_eq!(r.hit, DirHitKind::Td);
+        assert_eq!(r.source, DataSource::Llc);
+        assert!(matches!(s.locate(LineAddr::new(1)), Some(DirWhere::Ed(_))));
+        assert!(!s.llc_has_data(LineAddr::new(1)));
+        assert_eq!(s.stats().td_to_ed_migrations, 1);
+    }
+
+    #[test]
+    fn td_conflict_dirty_llc_line_writes_back() {
+        let mut s = tiny(AppendixA::Fixed);
+        // Two dirty lines into the LLC via L2 evictions.
+        for l in 1..=2 {
+            read(&mut s, l, 0);
+            s.l2_evict(LineAddr::new(l), CoreId(0), true);
+        }
+        // A third fill conflicts in the single TD set.
+        read(&mut s, 3, 0);
+        let out = s.l2_evict(LineAddr::new(3), CoreId(0), false);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].llc_writeback, "dirty LLC victim must write back");
+    }
+
+    #[test]
+    fn dirty_travels_through_td_sharer_removal() {
+        let mut s = tiny(AppendixA::Fixed);
+        read(&mut s, 1, 0);
+        read(&mut s, 1, 1);
+        // Core 0 evicts its dirty copy; entry is in ED with 2 sharers.
+        let out = s.l2_evict(LineAddr::new(1), CoreId(0), true);
+        assert!(out.is_empty());
+        let DirWhere::Td { sharers, has_data } = s.locate(LineAddr::new(1)).unwrap() else {
+            panic!("entry must be in TD");
+        };
+        assert!(has_data);
+        assert_eq!(sharers, SharerSet::single(CoreId(1)));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut s = tiny(AppendixA::Fixed);
+        read(&mut s, 1, 0);
+        read(&mut s, 1, 1);
+        s.l2_evict(LineAddr::new(1), CoreId(0), false);
+        read(&mut s, 1, 2);
+        let st = s.stats();
+        assert_eq!(st.requests, 3);
+        assert_eq!(st.misses, 1);
+        assert_eq!(st.ed_hits, 1);
+        assert_eq!(st.td_hits, 1);
+    }
+}

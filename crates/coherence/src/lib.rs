@@ -1,0 +1,44 @@
+//! Coherence states, directory-slice abstraction, and the baseline
+//! Skylake-X TD+ED directory.
+//!
+//! The paper (§2.1, Figure 2(a)) models the Skylake-X non-inclusive cache
+//! hierarchy with a two-part directory per LLC slice:
+//!
+//! * the **Traditional Directory (TD)** — one entry per LLC-slice line
+//!   (tags + sharer vector coupled to the LLC data array), and
+//! * the **Extended Directory (ED)** — entries for lines that live only in
+//!   private L2 caches.
+//!
+//! This crate provides the [`DirSlice`] trait through which the machine
+//! drives any directory organization, plus [`BaselineSlice`] — the
+//! conventional (insecure) directory, including the Appendix-A Skylake-X
+//! implementation quirk as a configurable behaviour. The secure directory
+//! lives in the `secdir` crate and implements the same trait.
+//!
+//! # Examples
+//!
+//! ```
+//! use secdir_coherence::{AccessKind, BaselineDirConfig, BaselineSlice, DirSlice};
+//! use secdir_mem::{CoreId, LineAddr};
+//!
+//! let mut slice = BaselineSlice::new(BaselineDirConfig::skylake_x(), 0);
+//! let resp = slice.request(LineAddr::new(0x40), CoreId(0), AccessKind::Read);
+//! assert!(resp.invalidations.is_empty()); // empty directory: clean miss
+//! ```
+
+#![warn(missing_docs)]
+
+mod baseline;
+mod protocol;
+mod sharers;
+mod state;
+mod way_partitioned;
+
+pub use baseline::{AppendixA, BaselineDirConfig, BaselineSlice, EdEntry, TdEntry};
+pub use way_partitioned::WayPartitionedSlice;
+pub use protocol::{
+    AccessKind, DataSource, DirHitKind, DirResponse, DirSlice, DirSliceStats, DirWhere,
+    Invalidation, InvalidationCause,
+};
+pub use sharers::SharerSet;
+pub use state::Moesi;

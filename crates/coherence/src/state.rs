@@ -1,0 +1,116 @@
+//! MOESI cache-line states.
+
+use serde::{Deserialize, Serialize};
+
+/// The MOESI coherence state of a line in a private cache.
+///
+/// The paper's evaluation uses a directory-based MOESI protocol (§8); the
+/// directory entries themselves only need sharer and dirty information,
+/// while the per-line state lives in the private caches.
+///
+/// # Examples
+///
+/// ```
+/// use secdir_coherence::Moesi;
+///
+/// assert!(Moesi::Modified.is_dirty());
+/// assert!(Moesi::Owned.is_dirty());
+/// assert!(!Moesi::Shared.is_dirty());
+/// assert!(Moesi::Exclusive.can_write_silently());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Moesi {
+    /// Dirty, exclusive copy.
+    Modified,
+    /// Dirty, shared copy; this cache is responsible for the data.
+    Owned,
+    /// Clean, exclusive copy.
+    Exclusive,
+    /// Clean (possibly shared) copy.
+    Shared,
+    /// No valid copy.
+    Invalid,
+}
+
+impl Moesi {
+    /// Whether this copy holds data newer than memory.
+    pub fn is_dirty(self) -> bool {
+        matches!(self, Moesi::Modified | Moesi::Owned)
+    }
+
+    /// Whether a store can complete without a directory transaction.
+    pub fn can_write_silently(self) -> bool {
+        matches!(self, Moesi::Modified | Moesi::Exclusive)
+    }
+
+    /// Whether the copy is valid at all.
+    pub fn is_valid(self) -> bool {
+        self != Moesi::Invalid
+    }
+
+    /// The state this copy downgrades to when another core reads the line
+    /// (MOESI: a Modified owner keeps dirty data in Owned state).
+    pub fn after_remote_read(self) -> Moesi {
+        match self {
+            Moesi::Modified | Moesi::Owned => Moesi::Owned,
+            Moesi::Exclusive | Moesi::Shared => Moesi::Shared,
+            Moesi::Invalid => Moesi::Invalid,
+        }
+    }
+}
+
+impl std::fmt::Display for Moesi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = match self {
+            Moesi::Modified => 'M',
+            Moesi::Owned => 'O',
+            Moesi::Exclusive => 'E',
+            Moesi::Shared => 'S',
+            Moesi::Invalid => 'I',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirty_states() {
+        assert!(Moesi::Modified.is_dirty());
+        assert!(Moesi::Owned.is_dirty());
+        assert!(!Moesi::Exclusive.is_dirty());
+        assert!(!Moesi::Shared.is_dirty());
+        assert!(!Moesi::Invalid.is_dirty());
+    }
+
+    #[test]
+    fn silent_write_states() {
+        assert!(Moesi::Modified.can_write_silently());
+        assert!(Moesi::Exclusive.can_write_silently());
+        assert!(!Moesi::Owned.can_write_silently());
+        assert!(!Moesi::Shared.can_write_silently());
+    }
+
+    #[test]
+    fn remote_read_preserves_dirtiness_in_owned() {
+        assert_eq!(Moesi::Modified.after_remote_read(), Moesi::Owned);
+        assert_eq!(Moesi::Owned.after_remote_read(), Moesi::Owned);
+        assert_eq!(Moesi::Exclusive.after_remote_read(), Moesi::Shared);
+        assert_eq!(Moesi::Shared.after_remote_read(), Moesi::Shared);
+    }
+
+    #[test]
+    fn display_is_single_letter() {
+        for s in [
+            Moesi::Modified,
+            Moesi::Owned,
+            Moesi::Exclusive,
+            Moesi::Shared,
+            Moesi::Invalid,
+        ] {
+            assert_eq!(format!("{s}").len(), 1);
+        }
+    }
+}

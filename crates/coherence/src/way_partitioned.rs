@@ -1,0 +1,421 @@
+//! The way-partitioned directory — the paper's rejected alternative (§1).
+//!
+//! "A second approach is to way-partition the directory. Each application
+//! is given some of the directory ways, to which it has uncontested use.
+//! … Unfortunately, this approach is inflexible, low performing, and
+//! limited, since servers can have many more cores than directory ways."
+//!
+//! This module implements that strawman faithfully so the claim can be
+//! measured: each core owns `⌊W/N⌋` private ED ways and TD ways per set.
+//! A directory entry lives in its *allocating* core's partition; conflicts
+//! are therefore always self-conflicts (secure, like SecDir), but each
+//! core's effective directory — and LLC share — shrinks to a sliver, and
+//! the design cannot support more cores than ways at all.
+
+use secdir_cache::{Evicted, Geometry, ReplacementPolicy, SetAssoc};
+use secdir_mem::{CoreId, LineAddr};
+
+use crate::{
+    AccessKind, BaselineDirConfig, DataSource, DirHitKind, DirResponse, DirSlice, DirSliceStats,
+    DirWhere, EdEntry, Invalidation, InvalidationCause, SharerSet, TdEntry,
+};
+
+/// One slice of a statically way-partitioned directory.
+///
+/// # Examples
+///
+/// ```
+/// use secdir_coherence::{BaselineDirConfig, WayPartitionedSlice};
+///
+/// assert!(WayPartitionedSlice::supports(&BaselineDirConfig::skylake_x(), 8));
+/// assert!(!WayPartitionedSlice::supports(&BaselineDirConfig::skylake_x(), 16));
+/// ```
+#[derive(Clone, Debug)]
+pub struct WayPartitionedSlice {
+    /// Per-core private ED partitions.
+    ed: Vec<SetAssoc<EdEntry>>,
+    /// Per-core private TD/LLC partitions.
+    td: Vec<SetAssoc<TdEntry>>,
+    stats: DirSliceStats,
+}
+
+impl WayPartitionedSlice {
+    /// Whether the geometry can give every one of `cores` cores at least
+    /// one private ED way and one private TD way — the fundamental limit
+    /// the paper points out.
+    pub fn supports(config: &BaselineDirConfig, cores: usize) -> bool {
+        cores > 0 && config.ed.ways() >= cores && config.td.ways() >= cores
+    }
+
+    /// Creates a slice partitioned among `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry cannot support that many partitions
+    /// (see [`WayPartitionedSlice::supports`]).
+    pub fn new(config: BaselineDirConfig, cores: usize, seed: u64) -> Self {
+        assert!(
+            Self::supports(&config, cores),
+            "way partitioning cannot serve {cores} cores with {}+{} ways",
+            config.ed.ways(),
+            config.td.ways()
+        );
+        let ed_ways = config.ed.ways() / cores;
+        let td_ways = config.td.ways() / cores;
+        WayPartitionedSlice {
+            ed: (0..cores)
+                .map(|i| {
+                    SetAssoc::new(
+                        Geometry::new(config.ed.sets(), ed_ways),
+                        ReplacementPolicy::Random,
+                        seed ^ (0x40 + i as u64),
+                    )
+                })
+                .collect(),
+            td: (0..cores)
+                .map(|i| {
+                    SetAssoc::new(
+                        Geometry::new(config.td.sets(), td_ways),
+                        ReplacementPolicy::Random,
+                        seed ^ (0x80 + i as u64),
+                    )
+                })
+                .collect(),
+            stats: DirSliceStats::default(),
+        }
+    }
+
+    fn find_ed(&self, line: LineAddr) -> Option<usize> {
+        self.ed.iter().position(|p| p.contains(line))
+    }
+
+    fn find_td(&self, line: LineAddr) -> Option<usize> {
+        self.td.iter().position(|p| p.contains(line))
+    }
+
+    /// Inserts into `owner`'s TD partition; a conflict (necessarily a
+    /// self-conflict) discards the victim, baseline-style.
+    fn insert_td(
+        &mut self,
+        owner: usize,
+        line: LineAddr,
+        entry: TdEntry,
+        out: &mut Vec<Invalidation>,
+    ) {
+        if entry.has_data {
+            self.stats.llc_data_fills += 1;
+        }
+        if let Some(Evicted { line: vline, payload: victim }) = self.td[owner].insert(line, entry)
+        {
+            self.stats.td_conflict_discards += 1;
+            if victim.has_data && victim.llc_dirty {
+                self.stats.llc_writebacks += 1;
+            }
+            out.push(Invalidation {
+                line: vline,
+                cores: victim.sharers,
+                llc_writeback: victim.has_data && victim.llc_dirty,
+                cause: InvalidationCause::TdConflict,
+            });
+        }
+    }
+
+    fn allocate_ed(&mut self, line: LineAddr, core: CoreId, out: &mut Vec<Invalidation>) {
+        let evicted = self.ed[core.0].insert(
+            line,
+            EdEntry {
+                sharers: SharerSet::single(core),
+            },
+        );
+        if let Some(Evicted { line: vline, payload }) = evicted {
+            // ED self-conflict: migrate to the same core's TD partition
+            // (data-less; the partitioned design has no reason to keep the
+            // Appendix-A quirk).
+            self.stats.ed_to_td_migrations += 1;
+            self.insert_td(
+                core.0,
+                vline,
+                TdEntry {
+                    sharers: payload.sharers,
+                    has_data: false,
+                    llc_dirty: false,
+                },
+                out,
+            );
+        }
+    }
+}
+
+impl DirSlice for WayPartitionedSlice {
+    fn request(&mut self, line: LineAddr, core: CoreId, kind: AccessKind) -> DirResponse {
+        self.stats.requests += 1;
+        if let Some(part) = self.find_ed(line) {
+            self.stats.ed_hits += 1;
+            match kind {
+                AccessKind::Read => {
+                    let entry = self.ed[part].access(line).expect("ED entry present");
+                    let owner = entry.sharers.any().expect("ED entry has a sharer");
+                    entry.sharers.insert(core);
+                    return DirResponse::new(DataSource::L2Cache(owner), DirHitKind::Ed);
+                }
+                AccessKind::Write => {
+                    let entry = self.ed[part].access(line).expect("ED entry present");
+                    let had_copy = entry.sharers.contains(core);
+                    let others = entry.sharers.without(core);
+                    entry.sharers = SharerSet::single(core);
+                    let source = if had_copy {
+                        DataSource::None
+                    } else {
+                        DataSource::L2Cache(others.any().expect("write hit has a sharer"))
+                    };
+                    let mut resp = DirResponse::new(source, DirHitKind::Ed);
+                    if !others.is_empty() {
+                        resp.invalidations.push(Invalidation {
+                            line,
+                            cores: others,
+                            llc_writeback: false,
+                            cause: InvalidationCause::Coherence,
+                        });
+                    }
+                    // Ownership moves to the writer's partition.
+                    if part != core.0 {
+                        let e = self.ed[part].remove(line).expect("entry present");
+                        let mut out = Vec::new();
+                        if let Some(Evicted { line: vline, payload }) =
+                            self.ed[core.0].insert(line, e)
+                        {
+                            self.stats.ed_to_td_migrations += 1;
+                            self.insert_td(
+                                core.0,
+                                vline,
+                                TdEntry {
+                                    sharers: payload.sharers,
+                                    has_data: false,
+                                    llc_dirty: false,
+                                },
+                                &mut out,
+                            );
+                        }
+                        resp.invalidations.extend(out);
+                    }
+                    return resp;
+                }
+            }
+        }
+        if let Some(part) = self.find_td(line) {
+            self.stats.td_hits += 1;
+            match kind {
+                AccessKind::Read => {
+                    let entry = self.td[part].access(line).expect("TD entry present");
+                    let source = if entry.has_data {
+                        DataSource::Llc
+                    } else {
+                        DataSource::L2Cache(
+                            entry
+                                .sharers
+                                .without(core)
+                                .any()
+                                .expect("data-less TD entry has another sharer"),
+                        )
+                    };
+                    entry.sharers.insert(core);
+                    return DirResponse::new(source, DirHitKind::Td);
+                }
+                AccessKind::Write => {
+                    self.stats.td_to_ed_migrations += 1;
+                    let entry = self.td[part].remove(line).expect("TD entry present");
+                    let had_copy = entry.sharers.contains(core);
+                    let others = entry.sharers.without(core);
+                    let source = if had_copy {
+                        DataSource::None
+                    } else if entry.has_data {
+                        DataSource::Llc
+                    } else {
+                        DataSource::L2Cache(others.any().expect("data-less entry has sharers"))
+                    };
+                    let mut resp = DirResponse::new(source, DirHitKind::Td);
+                    if !others.is_empty() {
+                        resp.invalidations.push(Invalidation {
+                            line,
+                            cores: others,
+                            llc_writeback: false,
+                            cause: InvalidationCause::Coherence,
+                        });
+                    }
+                    self.allocate_ed(line, core, &mut resp.invalidations);
+                    return resp;
+                }
+            }
+        }
+        self.stats.misses += 1;
+        let mut resp = DirResponse::new(DataSource::Memory, DirHitKind::Miss);
+        self.allocate_ed(line, core, &mut resp.invalidations);
+        resp
+    }
+
+    fn l2_evict(&mut self, line: LineAddr, core: CoreId, dirty: bool) -> Vec<Invalidation> {
+        let mut out = Vec::new();
+        if let Some(part) = self.find_ed(line) {
+            let entry = self.ed[part].remove(line).expect("entry present");
+            self.stats.ed_to_td_migrations += 1;
+            self.insert_td(
+                part,
+                line,
+                TdEntry {
+                    sharers: entry.sharers.without(core),
+                    has_data: true,
+                    llc_dirty: dirty,
+                },
+                &mut out,
+            );
+            return out;
+        }
+        if let Some(part) = self.find_td(line) {
+            let entry = self.td[part].get_mut(line).expect("entry present");
+            entry.sharers.remove(core);
+            let fills = !entry.has_data;
+            entry.has_data = true;
+            entry.llc_dirty |= dirty;
+            if fills {
+                self.stats.llc_data_fills += 1;
+            }
+            return out;
+        }
+        debug_assert!(false, "L2 evicted a line with no directory entry: {line}");
+        out
+    }
+
+    fn locate(&self, line: LineAddr) -> Option<DirWhere> {
+        if let Some(p) = self.find_ed(line) {
+            return Some(DirWhere::Ed(self.ed[p].get(line).expect("present").sharers));
+        }
+        self.find_td(line).map(|p| {
+            let e = self.td[p].get(line).expect("present");
+            DirWhere::Td {
+                sharers: e.sharers,
+                has_data: e.has_data,
+            }
+        })
+    }
+
+    fn llc_has_data(&self, line: LineAddr) -> bool {
+        self.find_td(line)
+            .is_some_and(|p| self.td[p].get(line).expect("present").has_data)
+    }
+
+    fn stats(&self) -> &DirSliceStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slice(cores: usize) -> WayPartitionedSlice {
+        WayPartitionedSlice::new(
+            BaselineDirConfig {
+                ed: Geometry::new(2, 4),
+                td: Geometry::new(2, 4),
+                appendix_a: crate::AppendixA::Fixed,
+            },
+            cores,
+            5,
+        )
+    }
+
+    fn read(s: &mut WayPartitionedSlice, line: u64, core: usize) -> DirResponse {
+        s.request(LineAddr::new(line), CoreId(core), AccessKind::Read)
+    }
+
+    #[test]
+    fn supports_respects_way_budget() {
+        let cfg = BaselineDirConfig::skylake_x();
+        assert!(WayPartitionedSlice::supports(&cfg, 11));
+        assert!(!WayPartitionedSlice::supports(&cfg, 12)); // TD has 11 ways
+        assert!(!WayPartitionedSlice::supports(&cfg, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot serve")]
+    fn too_many_cores_panics() {
+        slice(5); // 4 ways, 5 cores
+    }
+
+    #[test]
+    fn conflicts_are_partition_private() {
+        let mut s = slice(2);
+        // Core 0 fills its 2-way ED partition in set 0 and overflows it.
+        read(&mut s, 0, 0);
+        read(&mut s, 2, 0);
+        read(&mut s, 4, 0); // self-conflict: core 0's own victim migrates
+        // Core 1's single entry is untouched throughout.
+        read(&mut s, 6, 1);
+        for l in (8..40).step_by(2) {
+            read(&mut s, l, 0);
+        }
+        assert!(
+            s.locate(LineAddr::new(6)).is_some(),
+            "core 1's entry was displaced by core 0's traffic"
+        );
+    }
+
+    #[test]
+    fn attacker_cannot_create_victim_invalidations() {
+        let mut s = slice(2);
+        read(&mut s, 0, 0); // victim entry
+        let mut victim_invalidated = false;
+        for l in (2..200).step_by(2) {
+            let r = read(&mut s, l, 1); // attacker storm
+            victim_invalidated |= r
+                .invalidations
+                .iter()
+                .any(|i| i.cores.contains(CoreId(0)));
+        }
+        assert!(!victim_invalidated, "way partitioning must isolate cores");
+    }
+
+    #[test]
+    fn cross_core_reads_still_work() {
+        let mut s = slice(2);
+        read(&mut s, 0, 0);
+        let r = read(&mut s, 0, 1);
+        assert_eq!(r.hit, DirHitKind::Ed);
+        assert_eq!(r.source, DataSource::L2Cache(CoreId(0)));
+    }
+
+    #[test]
+    fn write_moves_entry_to_writer_partition() {
+        let mut s = slice(2);
+        read(&mut s, 0, 0);
+        s.request(LineAddr::new(0), CoreId(1), AccessKind::Write);
+        // Now core 1's traffic can conflict with it, core 0's cannot.
+        let w = s.locate(LineAddr::new(0)).expect("entry present");
+        assert_eq!(w.sharers(), SharerSet::single(CoreId(1)));
+    }
+
+    #[test]
+    fn l2_evict_fills_own_llc_partition() {
+        let mut s = slice(2);
+        read(&mut s, 0, 0);
+        let out = s.l2_evict(LineAddr::new(0), CoreId(0), true);
+        assert!(out.is_empty());
+        assert!(s.llc_has_data(LineAddr::new(0)));
+    }
+
+    #[test]
+    fn partitioned_capacity_is_a_fraction() {
+        // Each core only reaches ways/cores of the structure: with 4 ways
+        // over 2 cores and 2 sets, core 0 can keep at most 2 ED + 2 TD
+        // entries per set.
+        let mut s = slice(2);
+        for l in (0..64).step_by(2) {
+            read(&mut s, l, 0); // all map to set 0
+        }
+        let tracked = (0..64u64)
+            .step_by(2)
+            .filter(|&l| s.locate(LineAddr::new(l)).is_some())
+            .count();
+        assert_eq!(tracked, 4, "2 ED + 2 TD private ways in the set");
+    }
+}

@@ -1,0 +1,117 @@
+//! SecDir configuration.
+
+use secdir_cache::Geometry;
+use serde::{Deserialize, Serialize};
+
+/// How a Victim Directory bank places entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VdHashing {
+    /// Cuckoo directory with two skewing hash functions and up to
+    /// `num_relocations` relocations per insertion (paper §5.2.1). This is
+    /// SecDir's design point (`NumRelocations = 8` in Table 4).
+    Cuckoo {
+        /// Maximum relocations before the displaced entry is dropped.
+        num_relocations: u32,
+    },
+    /// A plain set-associative bank indexed by a single hash function — the
+    /// "NoCKVD" configuration of Table 6, used to quantify how many victim
+    /// self-conflicts the cuckoo organization removes.
+    Plain,
+}
+
+impl Default for VdHashing {
+    fn default() -> Self {
+        VdHashing::Cuckoo { num_relocations: 8 }
+    }
+}
+
+/// Configuration of a [`SecDirSlice`](crate::SecDirSlice).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecDirConfig {
+    /// ED geometry (paper Table 4: 2048 sets × 8 ways).
+    pub ed: Geometry,
+    /// TD/LLC-slice geometry (2048 sets × 11 ways).
+    pub td: Geometry,
+    /// Geometry of one VD bank (512 sets × 4 ways).
+    pub vd_bank: Geometry,
+    /// Number of VD banks per slice — one per core.
+    pub num_banks: usize,
+    /// VD placement scheme.
+    pub hashing: VdHashing,
+    /// Whether the Empty-Bit early-miss filter is present (§5.2.2).
+    pub empty_bit: bool,
+    /// Batched VD search (§5.1): probe the banks `Some(k)` at a time to
+    /// save comparator hardware, at the cost of slower searches. Reads
+    /// call the search off at the first matching batch. `None` searches
+    /// every bank in parallel (the default design).
+    pub search_batch: Option<usize>,
+}
+
+impl SecDirConfig {
+    /// The paper's Table-4 design for a machine with `cores` cores:
+    /// ED 8-way × 2048, TD 11-way × 2048, one 4-way × 512-set cuckoo VD bank
+    /// per core with `NumRelocations = 8` and the Empty Bit enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or exceeds 64.
+    pub fn skylake_x(cores: usize) -> Self {
+        assert!(cores > 0 && cores <= 64, "cores must be in 1..=64");
+        SecDirConfig {
+            ed: Geometry::new(2048, 8),
+            td: Geometry::new(2048, 11),
+            vd_bank: Geometry::new(512, 4),
+            num_banks: cores,
+            hashing: VdHashing::default(),
+            empty_bit: true,
+            search_batch: None,
+        }
+    }
+
+    /// Same geometry but with plain (single-hash) VD banks — Table 6's
+    /// "NoCKVD" ablation.
+    pub fn skylake_x_plain_vd(cores: usize) -> Self {
+        SecDirConfig {
+            hashing: VdHashing::Plain,
+            ..Self::skylake_x(cores)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skylake_defaults_match_table_4() {
+        let c = SecDirConfig::skylake_x(8);
+        assert_eq!(c.ed, Geometry::new(2048, 8));
+        assert_eq!(c.td, Geometry::new(2048, 11));
+        assert_eq!(c.vd_bank, Geometry::new(512, 4));
+        assert_eq!(c.num_banks, 8);
+        assert_eq!(c.hashing, VdHashing::Cuckoo { num_relocations: 8 });
+        assert!(c.empty_bit);
+        assert_eq!(c.search_batch, None);
+    }
+
+    #[test]
+    fn per_core_vd_entries_match_l2_lines() {
+        // Table 4 sizing: a core's distributed VD (one bank in each of the
+        // 8 slices) holds as many entries as the 16K-line L2.
+        let c = SecDirConfig::skylake_x(8);
+        assert_eq!(c.vd_bank.lines() * 8, 16384);
+    }
+
+    #[test]
+    fn plain_variant_only_changes_hashing() {
+        let c = SecDirConfig::skylake_x_plain_vd(8);
+        assert_eq!(c.hashing, VdHashing::Plain);
+        assert_eq!(c.ed, SecDirConfig::skylake_x(8).ed);
+    }
+
+    #[test]
+    #[should_panic(expected = "cores must be in 1..=64")]
+    fn rejects_zero_cores() {
+        SecDirConfig::skylake_x(0);
+    }
+}

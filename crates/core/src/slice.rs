@@ -1,0 +1,622 @@
+//! The full SecDir directory slice: ED + TD + per-core VD banks.
+
+use secdir_cache::{Evicted, ReplacementPolicy, SetAssoc};
+use secdir_coherence::{
+    AccessKind, DataSource, DirHitKind, DirResponse, DirSlice, DirSliceStats, DirWhere, EdEntry,
+    Invalidation, InvalidationCause, SharerSet, TdEntry,
+};
+use secdir_mem::{CoreId, LineAddr};
+
+use crate::{SecDirConfig, VdBank};
+
+/// One slice of the SecDir directory (paper Figure 2(b)).
+///
+/// The shared ED and TD behave like the baseline directory *with the
+/// Appendix-A fix*; what changes is the TD conflict path (Figure 3(b)):
+/// a conflicting TD entry whose line still lives in private L2s is not
+/// discarded but migrated into the Victim Directory bank of every sharer
+/// (transition ③), where no other core can touch it.
+///
+/// # Examples
+///
+/// ```
+/// use secdir::{SecDirConfig, SecDirSlice};
+/// use secdir_coherence::DirSlice;
+/// use secdir_mem::{CoreId, LineAddr};
+/// use secdir_coherence::AccessKind;
+///
+/// let mut s = SecDirSlice::new(SecDirConfig::skylake_x(8), 1);
+/// s.request(LineAddr::new(7), CoreId(2), AccessKind::Read);
+/// assert_eq!(s.stats().requests, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SecDirSlice {
+    ed: SetAssoc<EdEntry>,
+    td: SetAssoc<TdEntry>,
+    vds: Vec<VdBank>,
+    search_batch: Option<usize>,
+    stats: DirSliceStats,
+}
+
+impl SecDirSlice {
+    /// Creates an empty slice with `config.num_banks` VD banks.
+    pub fn new(config: SecDirConfig, seed: u64) -> Self {
+        SecDirSlice {
+            ed: SetAssoc::new(config.ed, ReplacementPolicy::Random, seed),
+            td: SetAssoc::new(config.td, ReplacementPolicy::Random, seed ^ 1),
+            vds: (0..config.num_banks)
+                .map(|i| {
+                    VdBank::new(
+                        config.vd_bank,
+                        config.hashing,
+                        config.empty_bit,
+                        seed ^ (0x1000 + i as u64),
+                    )
+                })
+                .collect(),
+            search_batch: config.search_batch,
+            stats: DirSliceStats::default(),
+        }
+    }
+
+    /// Read-only view of a core's VD bank in this slice.
+    pub fn vd_bank(&self, core: CoreId) -> &VdBank {
+        &self.vds[core.0]
+    }
+
+    /// Which cores' VD banks hold `line` (does not touch probe counters).
+    fn vd_sharers(&self, line: LineAddr) -> SharerSet {
+        self.vds
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.contains(line))
+            .map(|(i, _)| CoreId(i))
+            .collect()
+    }
+
+    /// A full VD query, updating the Empty-Bit accounting: without the EB
+    /// all `N` bank arrays would be probed; with it only the banks whose
+    /// candidate sets are non-empty are. With batched search (§5.1) the
+    /// non-filtered banks are probed `search_batch` at a time, and a read
+    /// (`early_exit`) calls the search off at the first matching batch.
+    /// Returns `(matched sharers, any array probed, batches touched)`.
+    fn vd_query(&mut self, line: LineAddr, early_exit: bool) -> (SharerSet, bool, u32) {
+        self.stats.vd_lookups += 1;
+        self.stats.vd_bank_probes_without_eb += self.vds.len() as u64;
+        let candidates: Vec<usize> = (0..self.vds.len())
+            .filter(|&i| !self.vds[i].eb_filters_out(line))
+            .collect();
+        let batch = self.search_batch.unwrap_or(self.vds.len().max(1));
+        let mut matched = SharerSet::empty();
+        let mut batches = 0u32;
+        for chunk in candidates.chunks(batch) {
+            batches += 1;
+            let mut chunk_matched = false;
+            for &i in chunk {
+                self.stats.vd_bank_probes += 1;
+                if self.vds[i].contains(line) {
+                    matched.insert(CoreId(i));
+                    chunk_matched = true;
+                }
+            }
+            if early_exit && chunk_matched {
+                break;
+            }
+        }
+        (matched, !candidates.is_empty(), batches)
+    }
+
+    /// Inserts `line` into `core`'s VD bank, reporting any self-conflict
+    /// eviction (transition ⑤) as an invalidation of that core's own copy.
+    fn vd_insert(&mut self, line: LineAddr, core: CoreId, out: &mut Vec<Invalidation>) {
+        let r = self.vds[core.0].insert(line);
+        self.stats.vd_inserts += 1;
+        self.stats.cuckoo_relocations += u64::from(r.relocations);
+        if let Some(victim) = r.displaced {
+            self.stats.vd_self_conflicts += 1;
+            out.push(Invalidation {
+                line: victim,
+                cores: SharerSet::single(core),
+                llc_writeback: false,
+                cause: InvalidationCause::VdConflict,
+            });
+        }
+    }
+
+    /// Inserts into the TD, resolving a conflict per Figure 3(b):
+    /// transition ② (no sharers: discard, write back dirty LLC data) or
+    /// transition ③ (sharers exist: migrate into each sharer's VD bank).
+    fn insert_td(&mut self, line: LineAddr, entry: TdEntry, out: &mut Vec<Invalidation>) {
+        if entry.has_data {
+            self.stats.llc_data_fills += 1;
+        }
+        if let Some(Evicted { line: vline, payload: victim }) = self.td.insert(line, entry) {
+            if victim.has_data && victim.llc_dirty {
+                self.stats.llc_writebacks += 1;
+            }
+            if victim.sharers.is_empty() {
+                // ②: the line lived only in the LLC; the victim process
+                // itself had already evicted it from its L2 (self-conflict),
+                // so discarding leaks nothing.
+                self.stats.td_conflict_discards += 1;
+            } else {
+                // ③: every sharer keeps its L2 copy; the directory state
+                // moves into the sharers' private VD banks. No coherence
+                // transaction, no L2 state change.
+                self.stats.td_to_vd_migrations += 1;
+                for core in victim.sharers.iter() {
+                    self.vd_insert(vline, core, out);
+                }
+            }
+        }
+    }
+
+    /// Allocates an ED entry, migrating any ED victim into the TD
+    /// (data-less: SecDir always uses the Appendix-A fix).
+    fn allocate_ed(&mut self, line: LineAddr, core: CoreId, out: &mut Vec<Invalidation>) {
+        let evicted = self.ed.insert(
+            line,
+            EdEntry {
+                sharers: SharerSet::single(core),
+            },
+        );
+        if let Some(Evicted { line: vline, payload }) = evicted {
+            self.stats.ed_to_td_migrations += 1;
+            self.insert_td(
+                vline,
+                TdEntry {
+                    sharers: payload.sharers,
+                    has_data: false,
+                    llc_dirty: false,
+                },
+                out,
+            );
+        }
+    }
+
+    fn serve_read(&mut self, line: LineAddr, core: CoreId) -> DirResponse {
+        if self.ed.contains(line) {
+            self.stats.ed_hits += 1;
+            let entry = self.ed.access(line).expect("ED entry present");
+            let owner = entry.sharers.any().expect("ED entry has at least one sharer");
+            entry.sharers.insert(core);
+            return DirResponse::new(DataSource::L2Cache(owner), DirHitKind::Ed);
+        }
+        if self.td.contains(line) {
+            self.stats.td_hits += 1;
+            let entry = self.td.access(line).expect("TD entry present");
+            let source = if entry.has_data {
+                DataSource::Llc
+            } else {
+                DataSource::L2Cache(
+                    entry
+                        .sharers
+                        .without(core)
+                        .any()
+                        .expect("data-less TD entry must have another sharer"),
+                )
+            };
+            entry.sharers.insert(core);
+            return DirResponse::new(source, DirHitKind::Td);
+        }
+        // ED/TD missed: the VD is consulted (after them, §4.1). A read
+        // only needs one matching bank, so the batched search may stop
+        // early.
+        let (matched, probed, batches) = self.vd_query(line, true);
+        if let Some(owner) = matched.without(core).any() {
+            self.stats.vd_hits += 1;
+            let mut resp = DirResponse::new(DataSource::L2Cache(owner), DirHitKind::Vd);
+            resp.vd_eb_checked = true;
+            resp.vd_array_probed = probed;
+            resp.vd_batches = batches;
+            // The reader's own copy needs a directory entry; it joins the
+            // line's VD residency in the reader's own bank, so the attacker
+            // still cannot touch it. (The paper leaves the reader's entry
+            // placement unspecified; see DESIGN.md.)
+            self.vd_insert(line, core, &mut resp.invalidations);
+            return resp;
+        }
+        self.stats.misses += 1;
+        let mut resp = DirResponse::new(DataSource::Memory, DirHitKind::Miss);
+        resp.vd_eb_checked = true;
+        resp.vd_array_probed = probed;
+        resp.vd_batches = batches;
+        self.allocate_ed(line, core, &mut resp.invalidations);
+        resp
+    }
+
+    fn serve_write(&mut self, line: LineAddr, core: CoreId) -> DirResponse {
+        if self.ed.contains(line) {
+            self.stats.ed_hits += 1;
+            let entry = self.ed.access(line).expect("ED entry present");
+            let had_copy = entry.sharers.contains(core);
+            let others = entry.sharers.without(core);
+            entry.sharers = SharerSet::single(core);
+            let source = if had_copy {
+                DataSource::None
+            } else {
+                DataSource::L2Cache(others.any().expect("write miss hit an ED entry with no sharer"))
+            };
+            let mut resp = DirResponse::new(source, DirHitKind::Ed);
+            if !others.is_empty() {
+                resp.invalidations.push(Invalidation {
+                    line,
+                    cores: others,
+                    llc_writeback: false,
+                    cause: InvalidationCause::Coherence,
+                });
+            }
+            return resp;
+        }
+        if self.td.contains(line) {
+            self.stats.td_hits += 1;
+            self.stats.td_to_ed_migrations += 1;
+            let entry = self.td.remove(line).expect("TD entry present");
+            let had_copy = entry.sharers.contains(core);
+            let others = entry.sharers.without(core);
+            let source = if had_copy {
+                DataSource::None
+            } else if entry.has_data {
+                DataSource::Llc
+            } else {
+                DataSource::L2Cache(others.any().expect("data-less TD entry must have sharers"))
+            };
+            let mut resp = DirResponse::new(source, DirHitKind::Td);
+            if !others.is_empty() {
+                resp.invalidations.push(Invalidation {
+                    line,
+                    cores: others,
+                    llc_writeback: false,
+                    cause: InvalidationCause::Coherence,
+                });
+            }
+            self.allocate_ed(line, core, &mut resp.invalidations);
+            return resp;
+        }
+        // §5.1: on a write, all local VD banks are searched for the complete
+        // sharer vector; a VD entry for the writer is allocated and all
+        // other matching entries invalidated.
+        let (matched, probed, batches) = self.vd_query(line, false);
+        if !matched.is_empty() {
+            self.stats.vd_hits += 1;
+            let had_copy = matched.contains(core);
+            let others = matched.without(core);
+            let source = if had_copy {
+                DataSource::None
+            } else {
+                DataSource::L2Cache(others.any().expect("VD write hit must have a sharer"))
+            };
+            let mut resp = DirResponse::new(source, DirHitKind::Vd);
+            resp.vd_eb_checked = true;
+            resp.vd_array_probed = probed;
+            resp.vd_batches = batches;
+            for other in others.iter() {
+                self.vds[other.0].remove(line);
+            }
+            if !others.is_empty() {
+                resp.invalidations.push(Invalidation {
+                    line,
+                    cores: others,
+                    llc_writeback: false,
+                    cause: InvalidationCause::Coherence,
+                });
+            }
+            if !had_copy {
+                self.vd_insert(line, core, &mut resp.invalidations);
+            }
+            return resp;
+        }
+        self.stats.misses += 1;
+        let mut resp = DirResponse::new(DataSource::Memory, DirHitKind::Miss);
+        resp.vd_eb_checked = true;
+        resp.vd_array_probed = probed;
+        resp.vd_batches = batches;
+        self.allocate_ed(line, core, &mut resp.invalidations);
+        resp
+    }
+}
+
+impl DirSlice for SecDirSlice {
+    fn request(&mut self, line: LineAddr, core: CoreId, kind: AccessKind) -> DirResponse {
+        self.stats.requests += 1;
+        match kind {
+            AccessKind::Read => self.serve_read(line, core),
+            AccessKind::Write => self.serve_write(line, core),
+        }
+    }
+
+    fn l2_evict(&mut self, line: LineAddr, core: CoreId, dirty: bool) -> Vec<Invalidation> {
+        let mut out = Vec::new();
+        if let Some(entry) = self.ed.remove(line) {
+            self.stats.ed_to_td_migrations += 1;
+            self.insert_td(
+                line,
+                TdEntry {
+                    sharers: entry.sharers.without(core),
+                    has_data: true,
+                    llc_dirty: dirty,
+                },
+                &mut out,
+            );
+            return out;
+        }
+        if let Some(entry) = self.td.get_mut(line) {
+            entry.sharers.remove(core);
+            let fills = !entry.has_data;
+            entry.has_data = true;
+            entry.llc_dirty |= dirty;
+            if fills {
+                self.stats.llc_data_fills += 1;
+            }
+            return out;
+        }
+        // Transition ④: the line's state lives in VD banks. Consolidate
+        // every matching entry into a single TD entry and write the data
+        // back into the LLC.
+        let matched = self.vd_sharers(line);
+        if matched.is_empty() {
+            debug_assert!(false, "L2 evicted a line with no directory entry: {line}");
+            return out;
+        }
+        self.stats.vd_to_td_migrations += 1;
+        for c in matched.iter() {
+            self.vds[c.0].remove(line);
+        }
+        self.insert_td(
+            line,
+            TdEntry {
+                sharers: matched.without(core),
+                has_data: true,
+                llc_dirty: dirty,
+            },
+            &mut out,
+        );
+        out
+    }
+
+    fn locate(&self, line: LineAddr) -> Option<DirWhere> {
+        if let Some(e) = self.ed.get(line) {
+            return Some(DirWhere::Ed(e.sharers));
+        }
+        if let Some(e) = self.td.get(line) {
+            return Some(DirWhere::Td {
+                sharers: e.sharers,
+                has_data: e.has_data,
+            });
+        }
+        let matched = self.vd_sharers(line);
+        (!matched.is_empty()).then_some(DirWhere::Vd(matched))
+    }
+
+    fn llc_has_data(&self, line: LineAddr) -> bool {
+        self.td.get(line).is_some_and(|e| e.has_data)
+    }
+
+    fn stats(&self) -> &DirSliceStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secdir_cache::Geometry;
+    use crate::VdHashing;
+
+    /// A slice small enough to force every transition: 1-set ED/TD with 2
+    /// ways each, 4 cores, 4-set × 2-way cuckoo VD banks.
+    fn tiny() -> SecDirSlice {
+        SecDirSlice::new(
+            SecDirConfig {
+                ed: Geometry::new(1, 2),
+                td: Geometry::new(1, 2),
+                vd_bank: Geometry::new(4, 2),
+                num_banks: 4,
+                hashing: VdHashing::Cuckoo { num_relocations: 8 },
+                empty_bit: true,
+                search_batch: None,
+            },
+            11,
+        )
+    }
+
+    fn read(s: &mut SecDirSlice, line: u64, core: usize) -> DirResponse {
+        s.request(LineAddr::new(line), CoreId(core), AccessKind::Read)
+    }
+
+    /// Drive `lines` through ED and TD so their entries land where a TD
+    /// conflict will hit them.
+    fn fill_ed_td(s: &mut SecDirSlice, first: u64, n: u64, core: usize) {
+        for l in first..first + n {
+            read(s, l, core);
+        }
+    }
+
+    #[test]
+    fn td_conflict_with_sharers_migrates_to_vd_not_invalidates() {
+        let mut s = tiny();
+        // 4 lines owned by core 0 fill ED (2) + TD (2).
+        fill_ed_td(&mut s, 1, 4, 0);
+        // Line 5 forces: ED conflict → TD insert → TD conflict. The TD
+        // victim has core 0 as sharer, so it must go to core 0's VD.
+        let r = read(&mut s, 5, 0);
+        assert!(
+            r.invalidations.iter().all(|i| i.cause != InvalidationCause::TdConflict),
+            "no inclusion victims on the secure path"
+        );
+        assert_eq!(s.stats().td_to_vd_migrations, 1);
+        assert_eq!(s.stats().td_conflict_discards, 0);
+        // Exactly one line now lives in core 0's VD bank.
+        let in_vd = (1..=5)
+            .filter(|&l| matches!(s.locate(LineAddr::new(l)), Some(DirWhere::Vd(_))))
+            .count();
+        assert_eq!(in_vd, 1);
+    }
+
+    #[test]
+    fn td_conflict_without_sharers_discards() {
+        let mut s = tiny();
+        read(&mut s, 1, 0);
+        s.l2_evict(LineAddr::new(1), CoreId(0), false); // line 1: LLC only
+        read(&mut s, 2, 0);
+        s.l2_evict(LineAddr::new(2), CoreId(0), false); // line 2: LLC only
+        // TD (2 ways) is now full of sharer-less entries; force a third fill.
+        read(&mut s, 3, 0);
+        s.l2_evict(LineAddr::new(3), CoreId(0), false);
+        assert_eq!(s.stats().td_conflict_discards, 1);
+        assert_eq!(s.stats().td_to_vd_migrations, 0);
+    }
+
+    #[test]
+    fn td_to_vd_covers_every_sharer() {
+        let mut s = tiny();
+        read(&mut s, 1, 0);
+        read(&mut s, 1, 1);
+        read(&mut s, 1, 2); // line 1 shared by cores 0,1,2 (entry in ED)
+        // Evict line 1's entry from ED into TD (data-less), then conflict it
+        // out of TD.
+        fill_ed_td(&mut s, 2, 2, 3); // fills remaining ED way + forces line 1 out
+        // line 1's ED entry may have been victimized already; keep pushing
+        // until it reaches VD.
+        let mut next = 4u64;
+        while !matches!(s.locate(LineAddr::new(1)), Some(DirWhere::Vd(_))) {
+            read(&mut s, next, 3);
+            next += 1;
+            assert!(next < 64, "line 1 never migrated to VD");
+        }
+        let Some(DirWhere::Vd(sharers)) = s.locate(LineAddr::new(1)) else {
+            unreachable!()
+        };
+        assert!(sharers.contains(CoreId(0)));
+        assert!(sharers.contains(CoreId(1)));
+        assert!(sharers.contains(CoreId(2)));
+    }
+
+    #[test]
+    fn vd_read_hit_serves_from_owner_and_isolates_requester() {
+        let mut s = tiny();
+        fill_ed_td(&mut s, 1, 4, 0);
+        read(&mut s, 5, 0); // some line of core 0 now lives in its VD
+        let vd_line = (1..=5)
+            .map(LineAddr::new)
+            .find(|&l| matches!(s.locate(l), Some(DirWhere::Vd(_))))
+            .expect("one line in VD");
+        let r = s.request(vd_line, CoreId(1), AccessKind::Read);
+        assert_eq!(r.hit, DirHitKind::Vd);
+        assert_eq!(r.source, DataSource::L2Cache(CoreId(0)));
+        assert_eq!(s.stats().vd_hits, 1);
+        // Requester's entry joined its own bank.
+        let Some(DirWhere::Vd(sharers)) = s.locate(vd_line) else {
+            panic!("line left VD");
+        };
+        assert!(sharers.contains(CoreId(0)) && sharers.contains(CoreId(1)));
+    }
+
+    #[test]
+    fn vd_write_hit_invalidates_other_banks() {
+        let mut s = tiny();
+        fill_ed_td(&mut s, 1, 4, 0);
+        read(&mut s, 5, 0);
+        let vd_line = (1..=5)
+            .map(LineAddr::new)
+            .find(|&l| matches!(s.locate(l), Some(DirWhere::Vd(_))))
+            .expect("one line in VD");
+        s.request(vd_line, CoreId(1), AccessKind::Read); // two VD sharers
+        let r = s.request(vd_line, CoreId(1), AccessKind::Write);
+        assert_eq!(r.hit, DirHitKind::Vd);
+        assert_eq!(r.source, DataSource::None, "writer already held a copy");
+        assert_eq!(r.invalidations.len(), 1);
+        assert_eq!(r.invalidations[0].cores, SharerSet::single(CoreId(0)));
+        assert_eq!(r.invalidations[0].cause, InvalidationCause::Coherence);
+        assert_eq!(s.locate(vd_line), Some(DirWhere::Vd(SharerSet::single(CoreId(1)))));
+    }
+
+    #[test]
+    fn l2_evict_consolidates_vd_entries_into_td() {
+        let mut s = tiny();
+        fill_ed_td(&mut s, 1, 4, 0);
+        read(&mut s, 5, 0);
+        let vd_line = (1..=5)
+            .map(LineAddr::new)
+            .find(|&l| matches!(s.locate(l), Some(DirWhere::Vd(_))))
+            .expect("one line in VD");
+        s.request(vd_line, CoreId(1), AccessKind::Read); // second VD sharer
+        let before = s.stats().vd_to_td_migrations;
+        s.l2_evict(vd_line, CoreId(0), true);
+        assert_eq!(s.stats().vd_to_td_migrations, before + 1);
+        let Some(DirWhere::Td { sharers, has_data }) = s.locate(vd_line) else {
+            panic!("consolidated entry must be in TD");
+        };
+        assert!(has_data);
+        assert_eq!(sharers, SharerSet::single(CoreId(1)), "evictor removed");
+        assert!(!s.vd_bank(CoreId(0)).contains(vd_line));
+        assert!(!s.vd_bank(CoreId(1)).contains(vd_line));
+    }
+
+    #[test]
+    fn vd_self_conflicts_only_touch_the_owning_core() {
+        let mut s = SecDirSlice::new(
+            SecDirConfig {
+                ed: Geometry::new(1, 1),
+                td: Geometry::new(1, 1),
+                vd_bank: Geometry::new(2, 1), // tiny VD: conflicts guaranteed
+                num_banks: 2,
+                hashing: VdHashing::Cuckoo { num_relocations: 2 },
+                empty_bit: true,
+                search_batch: None,
+            },
+            5,
+        );
+        for l in 1..40 {
+            let r = read(&mut s, l, 0);
+            for inv in &r.invalidations {
+                if inv.cause == InvalidationCause::VdConflict {
+                    assert_eq!(
+                        inv.cores,
+                        SharerSet::single(CoreId(0)),
+                        "VD conflicts must be self-conflicts"
+                    );
+                }
+            }
+        }
+        assert!(s.stats().vd_self_conflicts > 0, "tiny VD must self-conflict");
+    }
+
+    #[test]
+    fn empty_bit_suppresses_probes_on_empty_banks() {
+        let mut s = tiny();
+        read(&mut s, 1, 0); // miss: VD queried, all banks empty
+        assert_eq!(s.stats().vd_lookups, 1);
+        assert_eq!(s.stats().vd_bank_probes, 0);
+        assert_eq!(s.stats().vd_bank_probes_without_eb, 4);
+    }
+
+    #[test]
+    fn isolation_attacker_cannot_touch_victim_vd_bank() {
+        // The security core: fill everything from attacker cores 1..3 and
+        // verify core 0's VD contents are untouched.
+        let mut s = tiny();
+        fill_ed_td(&mut s, 1, 4, 0);
+        read(&mut s, 5, 0);
+        let victim_resident: Vec<LineAddr> = s.vd_bank(CoreId(0)).iter().collect();
+        assert!(!victim_resident.is_empty());
+        // Attacker storm from other cores.
+        for l in 100..300 {
+            read(&mut s, l, 1 + (l as usize % 3));
+        }
+        for &l in &victim_resident {
+            assert!(
+                s.vd_bank(CoreId(0)).contains(l),
+                "attacker displaced victim VD entry {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_requests_counted() {
+        let mut s = tiny();
+        read(&mut s, 1, 0);
+        s.request(LineAddr::new(1), CoreId(0), AccessKind::Write);
+        assert_eq!(s.stats().requests, 2);
+    }
+}

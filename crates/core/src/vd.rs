@@ -1,0 +1,423 @@
+//! A Victim Directory bank: a per-core cuckoo directory with an Empty Bit.
+
+use secdir_cache::Geometry;
+use secdir_mem::{LineAddr, SkewHash, SplitMix64};
+use serde::{Deserialize, Serialize};
+
+use crate::VdHashing;
+
+/// The result of a [`VdBank::insert`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VdInsert {
+    /// Cuckoo relocation steps performed (0 when a set had a free slot).
+    pub relocations: u32,
+    /// An entry dropped because the relocation budget ran out (cuckoo) or
+    /// the set was full (plain) — a VD *self-conflict*, paper transition ⑤.
+    /// The owning core's copy of this line must be invalidated.
+    pub displaced: Option<LineAddr>,
+}
+
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+struct VdSlot {
+    line: LineAddr,
+    /// Which hash function placed the entry (the "Cuckoo bit", §5.2.1).
+    hash_fn: u8,
+}
+
+/// One bank of a core's distributed Victim Directory.
+///
+/// A bank is indexed by two Seznec–Bodin skewing hash functions `h1`/`h2`
+/// and inserts entries cuckoo-style: if both candidate sets are full, a
+/// resident entry is displaced and re-inserted under its alternative hash
+/// function, up to `NumRelocations` times (paper §5.2.1, Appendix B).
+/// An Empty Bit per set answers "is this set empty?" without touching the
+/// data array (§5.2.2).
+///
+/// # Examples
+///
+/// ```
+/// use secdir::{VdBank, VdHashing};
+/// use secdir_cache::Geometry;
+/// use secdir_mem::LineAddr;
+///
+/// let mut bank = VdBank::new(
+///     Geometry::new(512, 4),
+///     VdHashing::Cuckoo { num_relocations: 8 },
+///     true, // Empty Bit
+///     0,
+/// );
+/// let r = bank.insert(LineAddr::new(0xabc));
+/// assert!(r.displaced.is_none());
+/// assert!(bank.contains(LineAddr::new(0xabc)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct VdBank {
+    geometry: Geometry,
+    hashing: VdHashing,
+    empty_bit: bool,
+    hashes: [SkewHash; 2],
+    sets: Vec<Vec<Option<VdSlot>>>,
+    len: usize,
+    rng: SplitMix64,
+}
+
+impl VdBank {
+    /// Creates an empty bank. `seed` feeds the random victim selection.
+    pub fn new(geometry: Geometry, hashing: VdHashing, empty_bit: bool, seed: u64) -> Self {
+        VdBank {
+            geometry,
+            hashing,
+            empty_bit,
+            hashes: [SkewHash::new(0, geometry.sets()), SkewHash::new(1, geometry.sets())],
+            sets: (0..geometry.sets())
+                .map(|_| vec![None; geometry.ways()])
+                .collect(),
+            len: 0,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// The bank's geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bank holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn index(&self, hash_fn: u8, line: LineAddr) -> usize {
+        self.hashes[usize::from(hash_fn)].index(line)
+    }
+
+    /// The hash functions this lookup consults (cuckoo probes both).
+    fn active_hashes(&self) -> &[u8] {
+        match self.hashing {
+            VdHashing::Cuckoo { .. } => &[0, 1],
+            VdHashing::Plain => &[0],
+        }
+    }
+
+    fn find(&self, line: LineAddr) -> Option<(usize, usize)> {
+        for &k in self.active_hashes() {
+            let set = self.index(k, line);
+            if let Some(way) = self.sets[set]
+                .iter()
+                .position(|s| s.is_some_and(|s| s.line == line))
+            {
+                return Some((set, way));
+            }
+        }
+        None
+    }
+
+    /// Whether the bank holds an entry for `line`.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.find(line).is_some()
+    }
+
+    /// Empty-Bit filter: `true` when the bit arrays prove the lookup must
+    /// miss, so the bank's data array need not be probed at all.
+    ///
+    /// Returns `false` when the bank has no Empty Bit hardware — every
+    /// lookup then probes the array.
+    pub fn eb_filters_out(&self, line: LineAddr) -> bool {
+        self.empty_bit
+            && self
+                .active_hashes()
+                .iter()
+                .all(|&k| self.sets[self.index(k, line)].iter().all(Option::is_none))
+    }
+
+    fn place(&mut self, set: usize, way: usize, slot: VdSlot) {
+        debug_assert!(self.sets[set][way].is_none());
+        self.sets[set][way] = Some(slot);
+        self.len += 1;
+    }
+
+    fn free_way(&self, set: usize) -> Option<usize> {
+        self.sets[set].iter().position(Option::is_none)
+    }
+
+    /// Inserts an entry for `line` (idempotent if already present).
+    ///
+    /// With cuckoo hashing, a full pair of candidate sets triggers the
+    /// relocation chain of Appendix B; when the relocation budget is
+    /// exhausted the last displaced entry is dropped and reported in
+    /// [`VdInsert::displaced`]. With plain hashing a full set immediately
+    /// displaces a random resident.
+    pub fn insert(&mut self, line: LineAddr) -> VdInsert {
+        if self.contains(line) {
+            return VdInsert::default();
+        }
+        match self.hashing {
+            VdHashing::Plain => {
+                let set = self.index(0, line);
+                if let Some(way) = self.free_way(set) {
+                    self.place(set, way, VdSlot { line, hash_fn: 0 });
+                    return VdInsert::default();
+                }
+                let way = self.rng.next_below(self.geometry.ways() as u64) as usize;
+                let old = self.sets[set][way]
+                    .replace(VdSlot { line, hash_fn: 0 })
+                    .expect("full set has occupied ways");
+                VdInsert {
+                    relocations: 0,
+                    displaced: Some(old.line),
+                }
+            }
+            VdHashing::Cuckoo { num_relocations } => {
+                // Fast path: either candidate set has a free slot.
+                for k in 0..2u8 {
+                    let set = self.index(k, line);
+                    if let Some(way) = self.free_way(set) {
+                        self.place(set, way, VdSlot { line, hash_fn: k });
+                        return VdInsert::default();
+                    }
+                }
+                // Both sets full: start the relocation chain. The incoming
+                // entry kicks out a random resident of a randomly chosen
+                // candidate set; the resident is re-inserted under its
+                // alternative hash function, and so on.
+                let mut incoming = VdSlot {
+                    line,
+                    hash_fn: self.rng.next_below(2) as u8,
+                };
+                // The new entry enters the bank now; every later step only
+                // moves residents around, and the drop path removes one.
+                self.len += 1;
+                let mut relocations = 0u32;
+                loop {
+                    let set = self.index(incoming.hash_fn, incoming.line);
+                    let way = self.rng.next_below(self.geometry.ways() as u64) as usize;
+                    let displaced = self.sets[set][way]
+                        .replace(incoming)
+                        .expect("relocation target set is full");
+                    relocations += 1;
+                    let alt = 1 - displaced.hash_fn;
+                    let alt_set = self.index(alt, displaced.line);
+                    if let Some(free) = self.free_way(alt_set) {
+                        self.sets[alt_set][free] = Some(VdSlot {
+                            line: displaced.line,
+                            hash_fn: alt,
+                        });
+                        return VdInsert {
+                            relocations,
+                            displaced: None,
+                        };
+                    }
+                    if relocations >= num_relocations {
+                        // Budget exhausted: the displaced entry leaves the
+                        // directory for good (self-conflict, transition ⑤).
+                        self.len -= 1;
+                        return VdInsert {
+                            relocations,
+                            displaced: Some(displaced.line),
+                        };
+                    }
+                    incoming = VdSlot {
+                        line: displaced.line,
+                        hash_fn: alt,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Removes the entry for `line`; returns whether it was present.
+    pub fn remove(&mut self, line: LineAddr) -> bool {
+        if let Some((set, way)) = self.find(line) {
+            self.sets[set][way] = None;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterates over all resident lines (test/diagnostic use).
+    pub fn iter(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.sets
+            .iter()
+            .flatten()
+            .filter_map(|s| s.as_ref().map(|s| s.line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cuckoo(sets: usize, ways: usize) -> VdBank {
+        VdBank::new(
+            Geometry::new(sets, ways),
+            VdHashing::Cuckoo { num_relocations: 8 },
+            true,
+            42,
+        )
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut b = cuckoo(16, 2);
+        assert_eq!(b.insert(LineAddr::new(1)), VdInsert::default());
+        assert!(b.contains(LineAddr::new(1)));
+        assert!(!b.contains(LineAddr::new(2)));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut b = cuckoo(16, 2);
+        b.insert(LineAddr::new(1));
+        b.insert(LineAddr::new(1));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut b = cuckoo(16, 2);
+        b.insert(LineAddr::new(1));
+        assert!(b.remove(LineAddr::new(1)));
+        assert!(!b.remove(LineAddr::new(1)));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn eb_filters_empty_sets_only() {
+        let mut b = cuckoo(16, 2);
+        let line = LineAddr::new(77);
+        assert!(b.eb_filters_out(line), "empty bank filters everything");
+        b.insert(line);
+        assert!(!b.eb_filters_out(line), "occupied candidate set must probe");
+    }
+
+    #[test]
+    fn eb_disabled_never_filters() {
+        let b = VdBank::new(
+            Geometry::new(16, 2),
+            VdHashing::Cuckoo { num_relocations: 8 },
+            false,
+            0,
+        );
+        assert!(!b.eb_filters_out(LineAddr::new(1)));
+    }
+
+    #[test]
+    fn cuckoo_achieves_high_occupancy_without_drops() {
+        // A cuckoo structure should absorb well past per-set associativity.
+        let mut b = cuckoo(64, 4); // capacity 256
+        let mut dropped = 0;
+        for i in 0..224u64 {
+            // ~87% load
+            if b.insert(LineAddr::new(i.wrapping_mul(0x9e37_79b9))).displaced.is_some() {
+                dropped += 1;
+            }
+        }
+        assert!(dropped <= 4, "cuckoo dropped {dropped} of 224 at 87% load");
+    }
+
+    #[test]
+    fn plain_bank_drops_on_set_conflict() {
+        let mut b = VdBank::new(Geometry::new(4, 2), VdHashing::Plain, true, 0);
+        // Find 3 lines in the same h0 set.
+        let h = SkewHash::new(0, 4);
+        let mut lines = Vec::new();
+        let mut i = 0u64;
+        while lines.len() < 3 {
+            let l = LineAddr::new(i);
+            if h.index(l) == 0 {
+                lines.push(l);
+            }
+            i += 1;
+        }
+        assert!(b.insert(lines[0]).displaced.is_none());
+        assert!(b.insert(lines[1]).displaced.is_none());
+        let r = b.insert(lines[2]);
+        assert!(r.displaced.is_some(), "plain bank must displace on conflict");
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn cuckoo_beats_plain_on_conflicting_streams() {
+        // The Table-6 CKVD/NoCKVD comparison in miniature: same stream,
+        // cuckoo vs plain, count drops.
+        let stream: Vec<LineAddr> = (0..96u64)
+            .map(|i| LineAddr::new(i.wrapping_mul(0x100) + 3))
+            .collect();
+        let mut drops = [0usize; 2];
+        for (j, hashing) in [VdHashing::Cuckoo { num_relocations: 8 }, VdHashing::Plain]
+            .into_iter()
+            .enumerate()
+        {
+            let mut b = VdBank::new(Geometry::new(32, 4), hashing, true, 1);
+            for &l in &stream {
+                if b.insert(l).displaced.is_some() {
+                    drops[j] += 1;
+                }
+            }
+        }
+        assert!(
+            drops[0] < drops[1],
+            "cuckoo ({}) should drop fewer than plain ({})",
+            drops[0],
+            drops[1]
+        );
+    }
+
+    #[test]
+    fn displaced_entry_is_no_longer_resident() {
+        let mut b = VdBank::new(
+            Geometry::new(2, 1),
+            VdHashing::Cuckoo { num_relocations: 2 },
+            true,
+            3,
+        );
+        let mut resident = Vec::new();
+        for i in 0..32u64 {
+            let line = LineAddr::new(i.wrapping_mul(0xabcd));
+            let r = b.insert(line);
+            resident.push(line);
+            if let Some(d) = r.displaced {
+                resident.retain(|&l| l != d);
+                assert!(!b.contains(d), "displaced line still resident");
+            }
+        }
+        for &l in &resident {
+            assert!(b.contains(l), "resident line {l} lost without a report");
+        }
+        assert_eq!(b.len(), resident.len());
+    }
+
+    #[test]
+    fn relocations_counted() {
+        let mut b = VdBank::new(
+            Geometry::new(2, 1),
+            VdHashing::Cuckoo { num_relocations: 4 },
+            true,
+            9,
+        );
+        let mut max_reloc = 0;
+        for i in 0..64u64 {
+            let r = b.insert(LineAddr::new(i.wrapping_mul(0x55) + 1));
+            max_reloc = max_reloc.max(r.relocations);
+            assert!(r.relocations <= 4);
+        }
+        assert!(max_reloc > 0, "tiny bank must relocate at some point");
+    }
+
+    #[test]
+    fn len_matches_iter_count() {
+        let mut b = cuckoo(16, 2);
+        for i in 0..20u64 {
+            b.insert(LineAddr::new(i * 31));
+        }
+        assert_eq!(b.iter().count(), b.len());
+    }
+}

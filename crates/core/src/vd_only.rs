@@ -1,0 +1,267 @@
+//! The VD-only slice: SecDir under the paper's worst-case attacker.
+//!
+//! §9 emulates the most powerful adversary — one that fully controls the
+//! shared ED and TD — by simulating SecDir *without* ED or TD: the victim
+//! can only use its private Victim Directory. Figure 6 (the AES trace) and
+//! the CKVD/NoCKVD columns of Table 6 run in this mode.
+
+use secdir_coherence::{
+    AccessKind, DataSource, DirHitKind, DirResponse, DirSlice, DirSliceStats, DirWhere,
+    Invalidation, InvalidationCause, SharerSet,
+};
+use secdir_mem::{CoreId, LineAddr};
+
+use crate::{SecDirConfig, VdBank};
+
+/// A directory slice consisting only of per-core VD banks.
+///
+/// Semantics (paper §9): a fetched line's directory entry is inserted
+/// directly into the requester's VD bank; when a line is evicted from an
+/// L2, its VD entry is evicted too ("because there is no TD"), so a later
+/// access goes to main memory.
+///
+/// # Examples
+///
+/// ```
+/// use secdir::{SecDirConfig, VdOnlySlice};
+/// use secdir_coherence::{AccessKind, DirHitKind, DirSlice};
+/// use secdir_mem::{CoreId, LineAddr};
+///
+/// let mut s = VdOnlySlice::new(SecDirConfig::skylake_x(8), 0);
+/// let r = s.request(LineAddr::new(5), CoreId(0), AccessKind::Read);
+/// assert_eq!(r.hit, DirHitKind::Miss); // cold: straight to memory
+/// assert!(s.vd_bank(CoreId(0)).contains(LineAddr::new(5)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct VdOnlySlice {
+    vds: Vec<VdBank>,
+    stats: DirSliceStats,
+}
+
+impl VdOnlySlice {
+    /// Creates the slice; only the VD fields of `config` are used.
+    pub fn new(config: SecDirConfig, seed: u64) -> Self {
+        VdOnlySlice {
+            vds: (0..config.num_banks)
+                .map(|i| {
+                    VdBank::new(
+                        config.vd_bank,
+                        config.hashing,
+                        config.empty_bit,
+                        seed ^ (0x2000 + i as u64),
+                    )
+                })
+                .collect(),
+            stats: DirSliceStats::default(),
+        }
+    }
+
+    /// Read-only view of a core's VD bank in this slice.
+    pub fn vd_bank(&self, core: CoreId) -> &VdBank {
+        &self.vds[core.0]
+    }
+
+    fn vd_query(&mut self, line: LineAddr) -> SharerSet {
+        self.stats.vd_lookups += 1;
+        self.stats.vd_bank_probes_without_eb += self.vds.len() as u64;
+        let mut matched = SharerSet::empty();
+        for (i, bank) in self.vds.iter().enumerate() {
+            if bank.eb_filters_out(line) {
+                continue;
+            }
+            self.stats.vd_bank_probes += 1;
+            if bank.contains(line) {
+                matched.insert(CoreId(i));
+            }
+        }
+        matched
+    }
+
+    fn vd_insert(&mut self, line: LineAddr, core: CoreId, out: &mut Vec<Invalidation>) {
+        let r = self.vds[core.0].insert(line);
+        self.stats.vd_inserts += 1;
+        self.stats.cuckoo_relocations += u64::from(r.relocations);
+        if let Some(victim) = r.displaced {
+            self.stats.vd_self_conflicts += 1;
+            out.push(Invalidation {
+                line: victim,
+                cores: SharerSet::single(core),
+                llc_writeback: false,
+                cause: InvalidationCause::VdConflict,
+            });
+        }
+    }
+}
+
+impl DirSlice for VdOnlySlice {
+    fn request(&mut self, line: LineAddr, core: CoreId, kind: AccessKind) -> DirResponse {
+        self.stats.requests += 1;
+        let matched = self.vd_query(line);
+        let others = matched.without(core);
+        match kind {
+            AccessKind::Read => {
+                if let Some(owner) = others.any() {
+                    self.stats.vd_hits += 1;
+                    let mut resp = DirResponse::new(DataSource::L2Cache(owner), DirHitKind::Vd);
+                    resp.vd_eb_checked = true;
+                    resp.vd_array_probed = true;
+                    self.vd_insert(line, core, &mut resp.invalidations);
+                    return resp;
+                }
+                self.stats.misses += 1;
+                let mut resp = DirResponse::new(DataSource::Memory, DirHitKind::Miss);
+                resp.vd_eb_checked = true;
+                self.vd_insert(line, core, &mut resp.invalidations);
+                resp
+            }
+            AccessKind::Write => {
+                let had_copy = matched.contains(core);
+                let (source, hit) = if had_copy {
+                    (DataSource::None, DirHitKind::Vd)
+                } else if let Some(owner) = others.any() {
+                    (DataSource::L2Cache(owner), DirHitKind::Vd)
+                } else {
+                    (DataSource::Memory, DirHitKind::Miss)
+                };
+                if hit == DirHitKind::Vd {
+                    self.stats.vd_hits += 1;
+                } else {
+                    self.stats.misses += 1;
+                }
+                let mut resp = DirResponse::new(source, hit);
+                resp.vd_eb_checked = true;
+                resp.vd_array_probed = !matched.is_empty();
+                for other in others.iter() {
+                    self.vds[other.0].remove(line);
+                }
+                if !others.is_empty() {
+                    resp.invalidations.push(Invalidation {
+                        line,
+                        cores: others,
+                        llc_writeback: false,
+                        cause: InvalidationCause::Coherence,
+                    });
+                }
+                if !had_copy {
+                    self.vd_insert(line, core, &mut resp.invalidations);
+                }
+                resp
+            }
+        }
+    }
+
+    fn l2_evict(&mut self, line: LineAddr, core: CoreId, _dirty: bool) -> Vec<Invalidation> {
+        // No TD to consolidate into: the evicting core's entry is dropped.
+        self.vds[core.0].remove(line);
+        Vec::new()
+    }
+
+    fn locate(&self, line: LineAddr) -> Option<DirWhere> {
+        let matched: SharerSet = self
+            .vds
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.contains(line))
+            .map(|(i, _)| CoreId(i))
+            .collect();
+        (!matched.is_empty()).then_some(DirWhere::Vd(matched))
+    }
+
+    fn llc_has_data(&self, _line: LineAddr) -> bool {
+        false
+    }
+
+    fn stats(&self) -> &DirSliceStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VdHashing;
+    use secdir_cache::Geometry;
+
+    fn tiny() -> VdOnlySlice {
+        VdOnlySlice::new(
+            SecDirConfig {
+                ed: Geometry::new(1, 1),
+                td: Geometry::new(1, 1),
+                vd_bank: Geometry::new(4, 2),
+                num_banks: 2,
+                hashing: VdHashing::Cuckoo { num_relocations: 4 },
+                empty_bit: true,
+                search_batch: None,
+            },
+            3,
+        )
+    }
+
+    #[test]
+    fn fetch_goes_straight_to_vd() {
+        let mut s = tiny();
+        let r = s.request(LineAddr::new(9), CoreId(0), AccessKind::Read);
+        assert_eq!(r.hit, DirHitKind::Miss);
+        assert_eq!(r.source, DataSource::Memory);
+        assert_eq!(s.locate(LineAddr::new(9)), Some(DirWhere::Vd(SharerSet::single(CoreId(0)))));
+    }
+
+    #[test]
+    fn l2_evict_drops_the_entry() {
+        let mut s = tiny();
+        s.request(LineAddr::new(9), CoreId(0), AccessKind::Read);
+        s.l2_evict(LineAddr::new(9), CoreId(0), false);
+        assert_eq!(s.locate(LineAddr::new(9)), None);
+        // Re-access misses to memory again (Figure 6's behaviour).
+        let r = s.request(LineAddr::new(9), CoreId(0), AccessKind::Read);
+        assert_eq!(r.source, DataSource::Memory);
+    }
+
+    #[test]
+    fn cross_core_read_hits_vd() {
+        let mut s = tiny();
+        s.request(LineAddr::new(9), CoreId(0), AccessKind::Read);
+        let r = s.request(LineAddr::new(9), CoreId(1), AccessKind::Read);
+        assert_eq!(r.hit, DirHitKind::Vd);
+        assert_eq!(r.source, DataSource::L2Cache(CoreId(0)));
+        assert!(s.vd_bank(CoreId(1)).contains(LineAddr::new(9)));
+    }
+
+    #[test]
+    fn write_invalidates_other_banks() {
+        let mut s = tiny();
+        s.request(LineAddr::new(9), CoreId(0), AccessKind::Read);
+        s.request(LineAddr::new(9), CoreId(1), AccessKind::Read);
+        let r = s.request(LineAddr::new(9), CoreId(1), AccessKind::Write);
+        assert_eq!(r.source, DataSource::None);
+        assert_eq!(r.invalidations[0].cores, SharerSet::single(CoreId(0)));
+        assert!(!s.vd_bank(CoreId(0)).contains(LineAddr::new(9)));
+    }
+
+    #[test]
+    fn self_conflicts_are_reported() {
+        let mut s = VdOnlySlice::new(
+            SecDirConfig {
+                ed: Geometry::new(1, 1),
+                td: Geometry::new(1, 1),
+                vd_bank: Geometry::new(2, 1),
+                num_banks: 1,
+                hashing: VdHashing::Cuckoo { num_relocations: 2 },
+                empty_bit: true,
+                search_batch: None,
+            },
+            8,
+        );
+        let mut conflicts = 0;
+        for l in 0..64u64 {
+            let r = s.request(LineAddr::new(l * 7 + 1), CoreId(0), AccessKind::Read);
+            conflicts += r
+                .invalidations
+                .iter()
+                .filter(|i| i.cause == InvalidationCause::VdConflict)
+                .count();
+        }
+        assert!(conflicts > 0);
+        assert_eq!(s.stats().vd_self_conflicts as usize, conflicts);
+    }
+}

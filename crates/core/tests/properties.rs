@@ -1,0 +1,112 @@
+//! Property-based tests of the Victim Directory bank.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use secdir::{VdBank, VdHashing};
+use secdir_cache::Geometry;
+use secdir_mem::LineAddr;
+
+fn hashings() -> impl Strategy<Value = VdHashing> {
+    prop_oneof![
+        Just(VdHashing::Cuckoo { num_relocations: 8 }),
+        Just(VdHashing::Cuckoo { num_relocations: 1 }),
+        Just(VdHashing::Plain),
+    ]
+}
+
+proptest! {
+    /// The bank tracks exactly the inserted-minus-displaced-minus-removed
+    /// set, and its reported length matches.
+    #[test]
+    fn bank_matches_reference_model(
+        lines in prop::collection::vec(0u64..10_000, 1..400),
+        removes in prop::collection::vec(0u64..10_000, 0..100),
+        hashing in hashings(),
+        seed in any::<u64>(),
+    ) {
+        let mut bank = VdBank::new(Geometry::new(16, 2), hashing, true, seed);
+        let mut model: HashSet<u64> = HashSet::new();
+        for l in lines {
+            let r = bank.insert(LineAddr::new(l));
+            model.insert(l);
+            if let Some(d) = r.displaced {
+                prop_assert!(model.remove(&d.value()), "displaced unknown line {d}");
+            }
+            prop_assert_eq!(bank.len(), model.len());
+        }
+        for l in removes {
+            prop_assert_eq!(bank.remove(LineAddr::new(l)), model.remove(&l));
+        }
+        for &l in &model {
+            prop_assert!(bank.contains(LineAddr::new(l)), "model line {l} missing");
+        }
+        prop_assert_eq!(bank.iter().count(), model.len());
+    }
+
+    /// Capacity is a hard bound, whatever the insertion pattern.
+    #[test]
+    fn capacity_never_exceeded(
+        lines in prop::collection::vec(0u64..1_000_000, 1..600),
+        hashing in hashings(),
+    ) {
+        let geometry = Geometry::new(8, 4);
+        let mut bank = VdBank::new(geometry, hashing, true, 3);
+        for l in lines {
+            bank.insert(LineAddr::new(l));
+            prop_assert!(bank.len() <= geometry.lines());
+        }
+    }
+
+    /// The Empty Bit never contradicts the contents: if it filters a
+    /// lookup out, the line is definitely absent.
+    #[test]
+    fn empty_bit_is_sound(
+        lines in prop::collection::vec(0u64..4096, 1..200),
+        probes in prop::collection::vec(0u64..4096, 1..200),
+    ) {
+        let mut bank = VdBank::new(
+            Geometry::new(32, 4),
+            VdHashing::Cuckoo { num_relocations: 8 },
+            true,
+            9,
+        );
+        for l in lines {
+            bank.insert(LineAddr::new(l));
+        }
+        for p in probes {
+            let line = LineAddr::new(p);
+            if bank.eb_filters_out(line) {
+                prop_assert!(!bank.contains(line), "EB filtered a resident line {line}");
+            }
+        }
+    }
+
+    /// Relocations never exceed the configured budget, and insertion is
+    /// idempotent.
+    #[test]
+    fn relocation_budget_respected(
+        lines in prop::collection::vec(0u64..100_000, 1..400),
+        budget in 1u32..12,
+    ) {
+        let mut bank = VdBank::new(
+            Geometry::new(4, 2),
+            VdHashing::Cuckoo { num_relocations: budget },
+            true,
+            1,
+        );
+        for l in lines {
+            let line = LineAddr::new(l);
+            let r = bank.insert(line);
+            prop_assert!(r.relocations <= budget);
+            // The new entry is either resident, or it is itself the entry
+            // the exhausted relocation chain dropped — never silently lost.
+            prop_assert!(bank.contains(line) || r.displaced == Some(line));
+            if bank.contains(line) {
+                let again = bank.insert(line);
+                prop_assert_eq!(again.relocations, 0, "re-insert must be a no-op");
+                prop_assert!(again.displaced.is_none());
+            }
+        }
+    }
+}

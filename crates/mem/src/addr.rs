@@ -1,0 +1,215 @@
+//! Physical and line address newtypes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of bytes in a cache line (64 B, as in Skylake-X).
+pub const LINE_BYTES: u64 = 64;
+
+/// Number of address bits covered by the line offset (`log2(LINE_BYTES)`).
+pub const LINE_OFFSET_BITS: u32 = 6;
+
+/// A full physical byte address.
+///
+/// The paper models a 46-bit physical address space (40-bit line address +
+/// 6 offset bits); we store it in a `u64` and mask on construction.
+///
+/// # Examples
+///
+/// ```
+/// use secdir_mem::{PhysAddr, LineAddr};
+///
+/// let pa = PhysAddr::new(0x1040);
+/// assert_eq!(pa.line(), LineAddr::new(0x41));
+/// assert_eq!(pa.offset(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Width of a physical address in bits (line address bits + offset bits).
+    pub const BITS: u32 = 46;
+
+    /// Creates a physical address, masking to [`PhysAddr::BITS`] bits.
+    pub fn new(addr: u64) -> Self {
+        PhysAddr(addr & ((1 << Self::BITS) - 1))
+    }
+
+    /// The raw address value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The cache-line address this byte address falls in.
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_OFFSET_BITS)
+    }
+
+    /// The byte offset within the cache line.
+    pub fn offset(self) -> u64 {
+        self.0 & (LINE_BYTES - 1)
+    }
+}
+
+impl fmt::Debug for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PhysAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<LineAddr> for PhysAddr {
+    fn from(line: LineAddr) -> Self {
+        PhysAddr(line.0 << LINE_OFFSET_BITS)
+    }
+}
+
+/// A 40-bit cache-line address (physical address without the 6 offset bits).
+///
+/// All cache and directory structures operate at line granularity, so this is
+/// the primary address type of the simulator.
+///
+/// # Examples
+///
+/// ```
+/// use secdir_mem::LineAddr;
+///
+/// let l = LineAddr::new(0x1000);
+/// assert_eq!(l.set_index(2048), 0x1000 % 2048);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Width of a line address in bits (paper Table 3: 40 bits).
+    pub const BITS: u32 = 40;
+
+    /// Creates a line address, masking to [`LineAddr::BITS`] bits.
+    pub fn new(line: u64) -> Self {
+        LineAddr(line & ((1 << Self::BITS) - 1))
+    }
+
+    /// The raw 40-bit line number.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Conventional (low-order bits) set index for a structure with
+    /// `num_sets` sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` is not a power of two.
+    pub fn set_index(self, num_sets: usize) -> usize {
+        assert!(num_sets.is_power_of_two(), "num_sets must be a power of two");
+        (self.0 as usize) & (num_sets - 1)
+    }
+
+    /// Conventional tag for a structure with `num_sets` sets: the line
+    /// address bits above the set index.
+    pub fn tag(self, num_sets: usize) -> u64 {
+        assert!(num_sets.is_power_of_two(), "num_sets must be a power of two");
+        self.0 >> num_sets.trailing_zeros()
+    }
+
+    /// The line address `n` lines after this one (wrapping within 40 bits).
+    pub fn offset_lines(self, n: u64) -> LineAddr {
+        LineAddr::new(self.0.wrapping_add(n))
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// Identifier of a core (0-based).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct CoreId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Identifier of an LLC/directory slice (0-based; one slice per core).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct SliceId(pub usize);
+
+impl fmt::Display for SliceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slice{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phys_addr_splits_into_line_and_offset() {
+        let pa = PhysAddr::new(0xdead_beef);
+        assert_eq!(pa.line().value(), 0xdead_beef >> 6);
+        assert_eq!(pa.offset(), 0xdead_beef & 63);
+    }
+
+    #[test]
+    fn phys_addr_masks_to_46_bits() {
+        let pa = PhysAddr::new(u64::MAX);
+        assert_eq!(pa.value(), (1 << 46) - 1);
+    }
+
+    #[test]
+    fn line_addr_masks_to_40_bits() {
+        let l = LineAddr::new(u64::MAX);
+        assert_eq!(l.value(), (1 << 40) - 1);
+    }
+
+    #[test]
+    fn line_round_trips_through_phys() {
+        let l = LineAddr::new(0x12345);
+        assert_eq!(PhysAddr::from(l).line(), l);
+    }
+
+    #[test]
+    fn set_index_and_tag_partition_the_address() {
+        let l = LineAddr::new(0xabcdef);
+        let sets = 2048;
+        let rebuilt = (l.tag(sets) << 11) | l.set_index(sets) as u64;
+        assert_eq!(rebuilt, l.value());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn set_index_rejects_non_power_of_two() {
+        LineAddr::new(1).set_index(3);
+    }
+
+    #[test]
+    fn offset_lines_advances() {
+        let l = LineAddr::new(10);
+        assert_eq!(l.offset_lines(5).value(), 15);
+    }
+
+    #[test]
+    fn display_impls_are_nonempty() {
+        assert!(!format!("{}", CoreId(3)).is_empty());
+        assert!(!format!("{}", SliceId(2)).is_empty());
+        assert!(!format!("{}", LineAddr::new(0)).is_empty());
+        assert!(!format!("{}", PhysAddr::new(0)).is_empty());
+    }
+}

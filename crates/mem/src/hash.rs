@@ -1,0 +1,273 @@
+//! Slice-selection and skewing hash functions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::LineAddr;
+use crate::SliceId;
+
+/// Mixes a 64-bit value (finalizer of SplitMix64/MurmurHash3).
+///
+/// Used as the basis of the slice hash; a stand-in for Intel's proprietary
+/// slice-selection function, which is also a (linear) hash over the physical
+/// address bits designed to spread lines uniformly over slices.
+#[inline]
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The LLC slice-selection hash: maps a line address to one of `num_slices`
+/// slices.
+///
+/// Intel's hash is proprietary; what matters for the paper's experiments is
+/// that it (a) spreads benign traffic uniformly over slices and (b) is a
+/// fixed public function the *attacker* can use to build eviction sets.
+/// Both properties hold here, and [`secdir-attack`](https://docs.rs) builds
+/// its eviction sets through this same function.
+///
+/// # Examples
+///
+/// ```
+/// use secdir_mem::{LineAddr, SliceHash};
+///
+/// let h = SliceHash::new(8);
+/// // Deterministic: same line, same slice.
+/// assert_eq!(h.slice_of(LineAddr::new(42)), h.slice_of(LineAddr::new(42)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SliceHash {
+    num_slices: usize,
+}
+
+impl SliceHash {
+    /// Creates a slice hash for a machine with `num_slices` slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_slices` is zero.
+    pub fn new(num_slices: usize) -> Self {
+        assert!(num_slices > 0, "machine must have at least one slice");
+        SliceHash { num_slices }
+    }
+
+    /// Number of slices this hash distributes over.
+    pub fn num_slices(&self) -> usize {
+        self.num_slices
+    }
+
+    /// The slice that `line` maps to.
+    pub fn slice_of(&self, line: LineAddr) -> SliceId {
+        SliceId((mix64(line.value()) % self.num_slices as u64) as usize)
+    }
+}
+
+/// A conventional set-index function: low-order line-address bits.
+///
+/// Used by the TD and ED (paper Figure 4(a)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SetIndexHash {
+    num_sets: usize,
+}
+
+impl SetIndexHash {
+    /// Creates the index function for a structure with `num_sets` sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` is not a power of two.
+    pub fn new(num_sets: usize) -> Self {
+        assert!(num_sets.is_power_of_two(), "num_sets must be a power of two");
+        SetIndexHash { num_sets }
+    }
+
+    /// The set that `line` maps to.
+    pub fn index(&self, line: LineAddr) -> usize {
+        line.set_index(self.num_sets)
+    }
+}
+
+/// One function of the Seznec–Bodin skewing family, used as the cuckoo hash
+/// functions `h1(x)`/`h2(x)` of a Victim Directory bank (paper §8).
+///
+/// Following "Skewed-Associative Caches" (Seznec & Bodin, PARLE '93), the
+/// function splits the line address into an `n`-bit field `A1` (lowest bits)
+/// and an `n`-bit field `A2` (next bits), applies `k` rounds of a one-bit
+/// circular shift σ to `A1`, and XORs the two fields together with the
+/// mixed upper bits so every tag bit influences the index. The family
+/// distributes lines equally among sets and has the local and inter-bank
+/// dispersion properties the paper relies on: two lines that conflict under
+/// `h1` almost never conflict under `h2`.
+///
+/// # Examples
+///
+/// ```
+/// use secdir_mem::{LineAddr, SkewHash};
+///
+/// let h1 = SkewHash::new(0, 512);
+/// let h2 = SkewHash::new(1, 512);
+/// let line = LineAddr::new(0xabcdef);
+/// assert!(h1.index(line) < 512);
+/// // The two functions are genuinely different.
+/// assert!((0..512u64).any(|i| {
+///     let l = LineAddr::new(i << 9);
+///     h1.index(l) != h2.index(l)
+/// }));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SkewHash {
+    /// Which member of the family (0 = `h1`, 1 = `h2`, ...).
+    k: u32,
+    num_sets: usize,
+    index_bits: u32,
+}
+
+impl SkewHash {
+    /// Creates the `k`-th skewing function for a bank with `num_sets` sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` is not a power of two or is less than 2.
+    pub fn new(k: u32, num_sets: usize) -> Self {
+        assert!(
+            num_sets.is_power_of_two() && num_sets >= 2,
+            "num_sets must be a power of two >= 2"
+        );
+        SkewHash {
+            k,
+            num_sets,
+            index_bits: num_sets.trailing_zeros(),
+        }
+    }
+
+    /// Which member of the skewing family this is.
+    pub fn family_index(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of sets the function indexes into.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// One-bit circular shift on an `index_bits`-wide field (Seznec's σ).
+    #[inline]
+    fn sigma(&self, x: u64) -> u64 {
+        let n = self.index_bits;
+        let mask = (1u64 << n) - 1;
+        ((x << 1) | (x >> (n - 1))) & mask
+    }
+
+    /// The set that `line` maps to under this skewing function.
+    pub fn index(&self, line: LineAddr) -> usize {
+        let n = self.index_bits;
+        let mask = (1u64 << n) - 1;
+        let a1 = line.value() & mask;
+        let a2 = (line.value() >> n) & mask;
+        let upper = line.value() >> (2 * n);
+        // Fold the remaining tag bits so lines differing only in high bits
+        // still disperse; mix differently per family member.
+        let folded = mix64(upper.wrapping_add(u64::from(self.k).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+            & mask;
+        let mut a = a1;
+        for _ in 0..=self.k {
+            a = self.sigma(a);
+        }
+        ((a ^ a2 ^ folded) & mask) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_hash_is_uniform_enough() {
+        let h = SliceHash::new(8);
+        let mut counts = [0usize; 8];
+        for i in 0..80_000u64 {
+            counts[h.slice_of(LineAddr::new(i)).0] += 1;
+        }
+        for &c in &counts {
+            // Each slice should get ~10000 +- 10%.
+            assert!((9_000..11_000).contains(&c), "skewed slice count {c}");
+        }
+    }
+
+    #[test]
+    fn slice_hash_covers_all_slices() {
+        let h = SliceHash::new(7); // non-power-of-two also works
+        let mut seen = [false; 7];
+        for i in 0..10_000u64 {
+            seen[h.slice_of(LineAddr::new(i)).0] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slice")]
+    fn slice_hash_rejects_zero() {
+        SliceHash::new(0);
+    }
+
+    #[test]
+    fn set_index_hash_matches_low_bits() {
+        let h = SetIndexHash::new(2048);
+        let l = LineAddr::new(0x12345);
+        assert_eq!(h.index(l), 0x12345 & 2047);
+    }
+
+    #[test]
+    fn skew_hash_in_range_and_deterministic() {
+        for k in 0..2 {
+            let h = SkewHash::new(k, 512);
+            for i in 0..5_000u64 {
+                let l = LineAddr::new(i.wrapping_mul(0x1234_5677));
+                let idx = h.index(l);
+                assert!(idx < 512);
+                assert_eq!(idx, h.index(l));
+            }
+        }
+    }
+
+    #[test]
+    fn skew_hash_distributes_uniformly() {
+        let h = SkewHash::new(0, 512);
+        let mut counts = vec![0usize; 512];
+        for i in 0..512_00u64 {
+            counts[h.index(LineAddr::new(i))] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max < 100 * 2 && min > 100 / 2, "min {min} max {max}");
+    }
+
+    #[test]
+    fn skew_functions_disperse_conflicts() {
+        // Lines that all map to the same set under h1 should spread widely
+        // under h2 — the inter-bank dispersion property SecDir relies on to
+        // reduce victim self-conflicts.
+        let h1 = SkewHash::new(0, 512);
+        let h2 = SkewHash::new(1, 512);
+        let mut conflicting = Vec::new();
+        let mut i = 0u64;
+        while conflicting.len() < 64 {
+            let l = LineAddr::new(i.wrapping_mul(0x9e37_79b9));
+            if h1.index(l) == 17 {
+                conflicting.push(l);
+            }
+            i += 1;
+        }
+        let mut h2_sets: Vec<usize> = conflicting.iter().map(|&l| h2.index(l)).collect();
+        h2_sets.sort_unstable();
+        h2_sets.dedup();
+        assert!(h2_sets.len() > 32, "h2 only spread into {} sets", h2_sets.len());
+    }
+
+    #[test]
+    fn sigma_is_a_rotation() {
+        let h = SkewHash::new(0, 8); // 3 index bits
+        assert_eq!(h.sigma(0b100), 0b001);
+        assert_eq!(h.sigma(0b011), 0b110);
+    }
+}

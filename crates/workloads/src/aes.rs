@@ -1,0 +1,369 @@
+//! A self-contained AES-128 T-table implementation with access tracing.
+//!
+//! The paper's security evaluation (§9, Figure 6) runs the OpenSSL 0.9.8
+//! T-table AES as the victim: its four 1 KB lookup tables are indexed by
+//! key- and data-dependent bytes, so *which cache lines of a table are
+//! touched* leaks the intermediate state — the classic conflict-attack
+//! target. This module implements the same construction from first
+//! principles (S-box derived from GF(2⁸) inversion, Te0–Te3 round tables,
+//! a Te4-style final-round table) and records every table lookup so the
+//! simulator can replay the exact victim reference stream.
+
+use secdir_machine::{Access, AccessStream};
+use secdir_mem::{LineAddr, SplitMix64};
+use serde::{Deserialize, Serialize};
+
+/// Multiplication by `x` in GF(2⁸) modulo the AES polynomial `x⁸+x⁴+x³+x+1`.
+fn xtime(a: u8) -> u8 {
+    (a << 1) ^ (if a & 0x80 != 0 { 0x1b } else { 0 })
+}
+
+/// Full GF(2⁸) multiplication.
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    acc
+}
+
+/// Builds the AES S-box from the multiplicative inverse + affine transform.
+fn build_sbox() -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    for a in 1..=255u8 {
+        for b in 1..=255u8 {
+            if gf_mul(a, b) == 1 {
+                inv[a as usize] = b;
+                break;
+            }
+        }
+    }
+    let mut sbox = [0u8; 256];
+    for (i, s) in sbox.iter_mut().enumerate() {
+        let b = inv[i];
+        let rot = |n: u32| b.rotate_left(n);
+        *s = b ^ rot(1) ^ rot(2) ^ rot(3) ^ rot(4) ^ 0x63;
+    }
+    sbox
+}
+
+/// The five 1 KB lookup tables of the OpenSSL-style implementation:
+/// Te0–Te3 for the main rounds and a Te4-style table for the final round.
+#[derive(Clone)]
+pub struct TTables {
+    sbox: [u8; 256],
+    te: [[u32; 256]; 5],
+}
+
+impl TTables {
+    /// Derives the tables (done once; the victim then only reads them).
+    pub fn new() -> Self {
+        let sbox = build_sbox();
+        let mut te = [[0u32; 256]; 5];
+        for i in 0..256 {
+            let s = sbox[i];
+            let s2 = xtime(s);
+            let s3 = s2 ^ s;
+            te[0][i] = u32::from_be_bytes([s2, s, s, s3]);
+            te[1][i] = u32::from_be_bytes([s3, s2, s, s]);
+            te[2][i] = u32::from_be_bytes([s, s3, s2, s]);
+            te[3][i] = u32::from_be_bytes([s, s, s3, s2]);
+            te[4][i] = u32::from_be_bytes([s, s, s, s]); // Te4 (final round)
+        }
+        TTables { sbox, te }
+    }
+}
+
+impl Default for TTables {
+    fn default() -> Self {
+        TTables::new()
+    }
+}
+
+/// One recorded T-table lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableAccess {
+    /// Which table (0–3 round tables, 4 final-round table).
+    pub table: u8,
+    /// The byte index into the table.
+    pub index: u8,
+}
+
+impl TableAccess {
+    /// The cache line this lookup touches, with the tables laid out
+    /// contiguously from `base`: table `t` occupies lines
+    /// `[base + 16·t, base + 16·(t+1))` (256 × 4 B = 16 lines each).
+    pub fn line(&self, base: LineAddr) -> LineAddr {
+        base.offset_lines(u64::from(self.table) * 16 + u64::from(self.index) / 16)
+    }
+}
+
+/// An AES-128 encryptor that records its T-table accesses.
+///
+/// # Examples
+///
+/// ```
+/// use secdir_workloads::aes::Aes128;
+///
+/// // FIPS-197 Appendix C.1 vector.
+/// let key = [0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+///            0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f];
+/// let pt = [0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+///           0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff];
+/// let aes = Aes128::new(key);
+/// let (ct, trace) = aes.encrypt_traced(pt);
+/// assert_eq!(ct[0], 0x69);
+/// assert_eq!(trace.len(), 9 * 16 + 16); // 9 rounds × 16 + final 16
+/// ```
+#[derive(Clone)]
+pub struct Aes128 {
+    tables: TTables,
+    round_keys: [u32; 44],
+}
+
+impl Aes128 {
+    /// Expands `key` and derives the tables.
+    pub fn new(key: [u8; 16]) -> Self {
+        let tables = TTables::new();
+        let mut rk = [0u32; 44];
+        for i in 0..4 {
+            rk[i] = u32::from_be_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        let mut rcon: u8 = 1;
+        for i in 4..44 {
+            let mut t = rk[i - 1];
+            if i % 4 == 0 {
+                t = t.rotate_left(8);
+                let b = t.to_be_bytes();
+                t = u32::from_be_bytes([
+                    tables.sbox[b[0] as usize],
+                    tables.sbox[b[1] as usize],
+                    tables.sbox[b[2] as usize],
+                    tables.sbox[b[3] as usize],
+                ]);
+                t ^= u32::from(rcon) << 24;
+                rcon = xtime(rcon);
+            }
+            rk[i] = rk[i - 4] ^ t;
+        }
+        Aes128 {
+            tables,
+            round_keys: rk,
+        }
+    }
+
+    /// Encrypts one block, returning the ciphertext and the ordered list of
+    /// T-table lookups performed.
+    pub fn encrypt_traced(&self, plaintext: [u8; 16]) -> ([u8; 16], Vec<TableAccess>) {
+        let mut trace = Vec::with_capacity(160);
+        let rk = &self.round_keys;
+        let te = &self.tables.te;
+        let word =
+            |b: &[u8], i: usize| u32::from_be_bytes([b[4 * i], b[4 * i + 1], b[4 * i + 2], b[4 * i + 3]]);
+        let mut s = [
+            word(&plaintext, 0) ^ rk[0],
+            word(&plaintext, 1) ^ rk[1],
+            word(&plaintext, 2) ^ rk[2],
+            word(&plaintext, 3) ^ rk[3],
+        ];
+        let look = |trace: &mut Vec<TableAccess>, t: u8, idx: u8| -> u32 {
+            trace.push(TableAccess { table: t, index: idx });
+            te[t as usize][idx as usize]
+        };
+        for round in 1..10 {
+            let mut n = [0u32; 4];
+            for i in 0..4 {
+                let b0 = (s[i] >> 24) as u8;
+                let b1 = (s[(i + 1) % 4] >> 16) as u8;
+                let b2 = (s[(i + 2) % 4] >> 8) as u8;
+                let b3 = s[(i + 3) % 4] as u8;
+                n[i] = look(&mut trace, 0, b0)
+                    ^ look(&mut trace, 1, b1)
+                    ^ look(&mut trace, 2, b2)
+                    ^ look(&mut trace, 3, b3)
+                    ^ rk[4 * round + i];
+            }
+            s = n;
+        }
+        // Final round: Te4-style lookups, byte-masked.
+        let mut out = [0u8; 16];
+        for i in 0..4 {
+            let b0 = (s[i] >> 24) as u8;
+            let b1 = (s[(i + 1) % 4] >> 16) as u8;
+            let b2 = (s[(i + 2) % 4] >> 8) as u8;
+            let b3 = s[(i + 3) % 4] as u8;
+            let w = (look(&mut trace, 4, b0) & 0xff00_0000)
+                | (look(&mut trace, 4, b1) & 0x00ff_0000)
+                | (look(&mut trace, 4, b2) & 0x0000_ff00)
+                | (look(&mut trace, 4, b3) & 0x0000_00ff);
+            let w = w ^ rk[40 + i];
+            out[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        (out, trace)
+    }
+
+    /// Encrypts one block without tracing.
+    pub fn encrypt(&self, plaintext: [u8; 16]) -> [u8; 16] {
+        self.encrypt_traced(plaintext).0
+    }
+}
+
+/// The victim reference stream: a process encrypting random blocks,
+/// touching the T-tables exactly as the cipher dictates.
+///
+/// Each table lookup becomes one read [`Access`] with a small instruction
+/// gap (the XOR/shift work between lookups).
+pub struct AesVictim {
+    aes: Aes128,
+    base: LineAddr,
+    rng: SplitMix64,
+    pending: std::collections::VecDeque<TableAccess>,
+    /// Encryptions performed so far.
+    pub encryptions: u64,
+}
+
+impl AesVictim {
+    /// A victim encrypting with `key`, tables based at line `base`.
+    pub fn new(key: [u8; 16], base: LineAddr, seed: u64) -> Self {
+        AesVictim {
+            aes: Aes128::new(key),
+            base,
+            rng: SplitMix64::new(seed),
+            pending: std::collections::VecDeque::new(),
+            encryptions: 0,
+        }
+    }
+
+    /// The 16 cache lines of table `t`.
+    pub fn table_lines(&self, t: u8) -> Vec<LineAddr> {
+        (0..16u64)
+            .map(|i| self.base.offset_lines(u64::from(t) * 16 + i))
+            .collect()
+    }
+
+    fn refill(&mut self) {
+        let mut pt = [0u8; 16];
+        for b in &mut pt {
+            *b = self.rng.next_below(256) as u8;
+        }
+        let (_, trace) = self.aes.encrypt_traced(pt);
+        self.pending.extend(trace);
+        self.encryptions += 1;
+    }
+}
+
+impl AccessStream for AesVictim {
+    fn next_access(&mut self) -> Option<Access> {
+        if self.pending.is_empty() {
+            self.refill();
+        }
+        let t = self.pending.pop_front()?;
+        Some(Access {
+            line: t.line(self.base),
+            write: false,
+            gap: 3,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIPS_KEY: [u8; 16] = [
+        0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+        0x0e, 0x0f,
+    ];
+    const FIPS_PT: [u8; 16] = [
+        0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+        0xee, 0xff,
+    ];
+    const FIPS_CT: [u8; 16] = [
+        0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+        0xc5, 0x5a,
+    ];
+
+    #[test]
+    fn sbox_known_values() {
+        let sbox = build_sbox();
+        assert_eq!(sbox[0x00], 0x63);
+        assert_eq!(sbox[0x01], 0x7c);
+        assert_eq!(sbox[0x53], 0xed);
+        assert_eq!(sbox[0xff], 0x16);
+    }
+
+    #[test]
+    fn fips_197_vector() {
+        let aes = Aes128::new(FIPS_KEY);
+        assert_eq!(aes.encrypt(FIPS_PT), FIPS_CT);
+    }
+
+    #[test]
+    fn gf_mul_is_commutative_with_known_product() {
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1); // FIPS-197 §4.2 example
+        assert_eq!(gf_mul(0x83, 0x57), 0xc1);
+    }
+
+    #[test]
+    fn trace_has_160_lookups() {
+        let aes = Aes128::new(FIPS_KEY);
+        let (_, trace) = aes.encrypt_traced(FIPS_PT);
+        assert_eq!(trace.len(), 160);
+        // 36 lookups per round table, 16 final-round lookups.
+        for t in 0..4u8 {
+            assert_eq!(trace.iter().filter(|a| a.table == t).count(), 36);
+        }
+        assert_eq!(trace.iter().filter(|a| a.table == 4).count(), 16);
+    }
+
+    #[test]
+    fn trace_is_plaintext_dependent() {
+        let aes = Aes128::new(FIPS_KEY);
+        let (_, t1) = aes.encrypt_traced(FIPS_PT);
+        let mut other = FIPS_PT;
+        other[0] ^= 1;
+        let (_, t2) = aes.encrypt_traced(other);
+        assert_ne!(t1, t2, "access pattern must leak the input");
+    }
+
+    #[test]
+    fn table_access_maps_to_correct_line() {
+        let base = LineAddr::new(0x1000);
+        let a = TableAccess { table: 1, index: 0x25 };
+        // Table 1 starts at line base+16; index 0x25 (byte 0x94) is line 2.
+        assert_eq!(a.line(base), LineAddr::new(0x1000 + 16 + 2));
+    }
+
+    #[test]
+    fn victim_stream_touches_only_table_lines() {
+        use secdir_machine::AccessStream as _;
+        let base = LineAddr::new(0x2000);
+        let mut v = AesVictim::new(FIPS_KEY, base, 5);
+        for _ in 0..500 {
+            let a = v.next_access().unwrap();
+            let off = a.line.value() - 0x2000;
+            assert!(off < 5 * 16, "outside the 5 tables: {off}");
+            assert!(!a.write);
+        }
+        assert!(v.encryptions >= 3);
+    }
+
+    #[test]
+    fn t0_covers_all_16_lines_over_many_encryptions() {
+        use secdir_machine::AccessStream as _;
+        let base = LineAddr::new(0);
+        let mut v = AesVictim::new(FIPS_KEY, base, 1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..160 * 50 {
+            let a = v.next_access().unwrap();
+            if a.line.value() < 16 {
+                seen.insert(a.line.value());
+            }
+        }
+        assert_eq!(seen.len(), 16, "50 encryptions must touch all T0 lines");
+    }
+}

@@ -1,0 +1,215 @@
+//! PARSEC-class multithreaded application models.
+//!
+//! What the directory sees from a multithreaded workload is its *sharing
+//! pattern*: how often threads touch shared data, how often they write it
+//! (invalidations, dirty sharing, multiple sharers — the inputs to SecDir's
+//! TD→VD transition ③), and how large the shared footprint is. Each model
+//! below is parameterized accordingly; the values are chosen to reproduce
+//! the qualitative Figure-8/Table-6 behaviour (e.g. `freqmine`'s visible VD
+//! hits from heavy read-write sharing, `blackscholes`/`swaptions`' near-zero
+//! VD activity).
+
+use secdir_machine::{Access, AccessStream};
+use secdir_mem::{LineAddr, SplitMix64};
+use serde::{Deserialize, Serialize};
+
+use crate::{StreamParams, SyntheticStream};
+
+/// A modeled PARSEC application.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ParsecApp {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Per-thread private hot working set (lines).
+    pub private_lines: u64,
+    /// Per-thread private streamed region (lines).
+    pub private_cold_lines: u64,
+    /// Shared-region size (lines), common to all threads.
+    pub shared_lines: u64,
+    /// Probability an access targets the shared region.
+    pub shared_fraction: f64,
+    /// Store fraction within the shared region.
+    pub shared_write_fraction: f64,
+    /// Store fraction within the private region.
+    pub private_write_fraction: f64,
+    /// Mean non-memory instructions between accesses.
+    pub gap: u32,
+}
+
+macro_rules! parsec_apps {
+    ($($const_name:ident => $name:literal, $priv:expr, $pcold:expr, $shared:expr, $sf:expr, $swf:expr, $pwf:expr, $gap:expr;)*) => {
+        impl ParsecApp {
+            $(
+                #[doc = concat!("The `", $name, "` model.")]
+                pub const $const_name: ParsecApp = ParsecApp {
+                    name: $name,
+                    private_lines: $priv,
+                    private_cold_lines: $pcold,
+                    shared_lines: $shared,
+                    shared_fraction: $sf,
+                    shared_write_fraction: $swf,
+                    private_write_fraction: $pwf,
+                    gap: $gap,
+                };
+            )*
+
+            /// The nine applications of Figure 8.
+            pub const ALL: &'static [ParsecApp] = &[$(ParsecApp::$const_name),*];
+        }
+    };
+}
+
+parsec_apps! {
+    //                         priv    pcold   shared    sf    swf   pwf  gap
+    BLACKSCHOLES => "blackscholes", 3_000,      0,   512, 0.02, 0.05, 0.20, 6;
+    BODYTRACK    => "bodytrack",    8_000,      0,  6_000, 0.15, 0.15, 0.25, 5;
+    CANNEAL      => "canneal",     12_000, 150_000, 60_000, 0.45, 0.10, 0.20, 4;
+    FERRET       => "ferret",      10_000,  20_000, 12_000, 0.25, 0.10, 0.25, 5;
+    FLUIDANIMATE => "fluidanimate", 14_000, 30_000, 20_000, 0.30, 0.25, 0.30, 4;
+    FREQMINE     => "freqmine",     8_000,  20_000, 100_000, 0.55, 0.08, 0.25, 4;
+    VIPS         => "vips",         8_000,  40_000,  8_000, 0.20, 0.20, 0.30, 4;
+    SWAPTIONS    => "swaptions",    4_000,       0,    256, 0.01, 0.05, 0.25, 6;
+    X264         => "x264",        12_000,  30_000, 16_000, 0.25, 0.15, 0.30, 4;
+}
+
+/// Base line address of the shared region (common to all threads).
+const SHARED_BASE: u64 = 1 << 34;
+
+/// One thread of a PARSEC-model application: a private synthetic stream
+/// with shared-region accesses interleaved.
+#[derive(Clone, Debug)]
+pub struct ParsecThread {
+    app: ParsecApp,
+    private: SyntheticStream,
+    rng: SplitMix64,
+}
+
+impl ParsecThread {
+    /// Creates thread `tid` of `app`.
+    pub fn new(app: ParsecApp, tid: usize, seed: u64) -> Self {
+        let private = SyntheticStream::new(
+            StreamParams {
+                base_line: (tid as u64 + 1) << 26,
+                hot_lines: app.private_lines,
+                hot_stride: 1,
+                cold_lines: app.private_cold_lines,
+                hot_fraction: 0.95,
+                very_hot_bias: 0.6,
+                write_fraction: app.private_write_fraction,
+                gap: app.gap,
+            },
+            seed ^ (tid as u64).wrapping_mul(0x1234_5677),
+        );
+        ParsecThread {
+            app,
+            private,
+            rng: SplitMix64::new(seed ^ 0xbeef ^ ((tid as u64) << 32)),
+        }
+    }
+}
+
+impl AccessStream for ParsecThread {
+    fn next_access(&mut self) -> Option<Access> {
+        if self.rng.chance(self.app.shared_fraction) {
+            // Shared access: biased towards a hot shared eighth, like the
+            // private generator, so threads actually collide on lines.
+            let hot = (self.app.shared_lines / 8).max(1);
+            let idx = if self.rng.chance(0.8) {
+                self.rng.next_below(hot)
+            } else {
+                self.rng.next_below(self.app.shared_lines)
+            };
+            Some(Access {
+                line: LineAddr::new(SHARED_BASE + idx),
+                write: self.rng.chance(self.app.shared_write_fraction),
+                gap: self.app.gap,
+            })
+        } else {
+            self.private.next_access()
+        }
+    }
+}
+
+impl ParsecApp {
+    /// One thread per core.
+    pub fn threads(&self, cores: usize, seed: u64) -> Vec<Box<dyn AccessStream>> {
+        (0..cores)
+            .map(|t| Box::new(ParsecThread::new(*self, t, seed)) as Box<dyn AccessStream>)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_figure_8_apps() {
+        assert_eq!(ParsecApp::ALL.len(), 9);
+        let names: Vec<_> = ParsecApp::ALL.iter().map(|a| a.name).collect();
+        assert!(names.contains(&"freqmine"));
+        assert!(names.contains(&"blackscholes"));
+    }
+
+    #[test]
+    fn threads_share_the_shared_region() {
+        let app = ParsecApp::FREQMINE;
+        let mut t0 = ParsecThread::new(app, 0, 1);
+        let mut t1 = ParsecThread::new(app, 1, 1);
+        let collect = |t: &mut ParsecThread| {
+            let mut shared = std::collections::HashSet::new();
+            for _ in 0..5_000 {
+                let a = t.next_access().unwrap();
+                if a.line.value() >= SHARED_BASE {
+                    shared.insert(a.line);
+                }
+            }
+            shared
+        };
+        let s0 = collect(&mut t0);
+        let s1 = collect(&mut t1);
+        assert!(s0.intersection(&s1).count() > 50, "threads never collide");
+    }
+
+    #[test]
+    fn private_regions_disjoint_across_threads() {
+        let app = ParsecApp::VIPS;
+        for tid in 0..4usize {
+            let mut t = ParsecThread::new(app, tid, 2);
+            for _ in 0..2_000 {
+                let a = t.next_access().unwrap();
+                if a.line.value() < SHARED_BASE {
+                    let base = (tid as u64 + 1) << 26;
+                    assert!(
+                        (base..base + (1 << 26)).contains(&a.line.value()),
+                        "thread {tid} strayed to {}",
+                        a.line
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn low_sharing_apps_rarely_touch_shared() {
+        let mut t = ParsecThread::new(ParsecApp::SWAPTIONS, 0, 3);
+        let shared = (0..10_000)
+            .filter(|_| t.next_access().unwrap().line.value() >= SHARED_BASE)
+            .count();
+        assert!(shared < 300, "swaptions touched shared {shared} times");
+    }
+
+    #[test]
+    fn threads_constructor_gives_one_per_core() {
+        assert_eq!(ParsecApp::CANNEAL.threads(8, 0).len(), 8);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = ParsecThread::new(ParsecApp::X264, 2, 9);
+        let mut b = ParsecThread::new(ParsecApp::X264, 2, 9);
+        for _ in 0..200 {
+            assert_eq!(a.next_access(), b.next_access());
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! A square-and-multiply RSA victim.
+//!
+//! §9 notes that SecDir also protects the square-and-multiply exponentiation
+//! of RSA: the leaky region — the multiply routine's working buffer, touched
+//! only for 1-bits of the secret exponent — is small, fits in L2, and its
+//! directory entries fit in the VD, so a cross-core attacker can no longer
+//! evict its lines to observe the bit pattern.
+//!
+//! The model executes a real left-to-right square-and-multiply over a toy
+//! modulus and emits the buffer accesses each step performs: the classic
+//! per-bit `square` / `square+multiply` trace.
+
+use secdir_machine::{Access, AccessStream};
+use secdir_mem::LineAddr;
+use serde::{Deserialize, Serialize};
+
+/// Which routine an access belongs to (the secret-revealing label).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RsaStep {
+    /// The squaring routine (every bit).
+    Square,
+    /// The multiply routine (only 1-bits).
+    Multiply,
+}
+
+/// A square-and-multiply exponentiation victim.
+///
+/// # Examples
+///
+/// ```
+/// use secdir_workloads::rsa::RsaVictim;
+/// use secdir_mem::LineAddr;
+///
+/// let v = RsaVictim::new(0b1011, LineAddr::new(0x100));
+/// // 4 exponent bits: 3 squares after the leading bit + 2 multiplies
+/// // (for the two trailing 1-bits) — plus the leading-bit load.
+/// assert_eq!(v.modexp(7, 1_000_003), 7u64.pow(0b1011) % 1_000_003);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RsaVictim {
+    exponent: u64,
+    base: LineAddr,
+}
+
+/// Lines used by the square buffer (per victim layout).
+const SQUARE_LINES: u64 = 8;
+/// Lines used by the multiply buffer.
+const MULTIPLY_LINES: u64 = 8;
+
+impl RsaVictim {
+    /// A victim with the given secret `exponent`; its buffers start at
+    /// line `base`.
+    pub fn new(exponent: u64, base: LineAddr) -> Self {
+        assert!(exponent > 0, "exponent must be positive");
+        RsaVictim { exponent, base }
+    }
+
+    /// The secret exponent (test/oracle use).
+    pub fn exponent(&self) -> u64 {
+        self.exponent
+    }
+
+    /// The lines of the multiply buffer — the leaky region an attacker
+    /// would target.
+    pub fn multiply_lines(&self) -> Vec<LineAddr> {
+        (0..MULTIPLY_LINES)
+            .map(|i| self.base.offset_lines(SQUARE_LINES + i))
+            .collect()
+    }
+
+    /// Computes `b^exponent mod m` by left-to-right square-and-multiply.
+    pub fn modexp(&self, b: u64, m: u64) -> u64 {
+        let mut acc = 1u128;
+        let b = u128::from(b % m);
+        let m = u128::from(m);
+        for i in (0..64).rev() {
+            acc = acc * acc % m;
+            if self.exponent >> i & 1 == 1 {
+                acc = acc * b % m;
+            }
+        }
+        acc as u64
+    }
+
+    /// The per-step routine sequence the exponentiation executes,
+    /// most-significant bit first (skipping leading zeros).
+    pub fn steps(&self) -> Vec<RsaStep> {
+        let top = 63 - self.exponent.leading_zeros() as u64;
+        let mut steps = Vec::new();
+        for i in (0..top).rev() {
+            steps.push(RsaStep::Square);
+            if self.exponent >> i & 1 == 1 {
+                steps.push(RsaStep::Multiply);
+            }
+        }
+        steps
+    }
+
+    /// The victim's reference stream: each step touches every line of its
+    /// routine's buffer.
+    pub fn stream(&self) -> RsaStream {
+        RsaStream {
+            victim: self.clone(),
+            steps: self.steps(),
+            step: 0,
+            line_in_step: 0,
+        }
+    }
+}
+
+/// Iterator over an [`RsaVictim`]'s buffer accesses.
+#[derive(Clone, Debug)]
+pub struct RsaStream {
+    victim: RsaVictim,
+    steps: Vec<RsaStep>,
+    step: usize,
+    line_in_step: u64,
+}
+
+impl AccessStream for RsaStream {
+    fn next_access(&mut self) -> Option<Access> {
+        let &kind = self.steps.get(self.step)?;
+        let (start, len) = match kind {
+            RsaStep::Square => (0, SQUARE_LINES),
+            RsaStep::Multiply => (SQUARE_LINES, MULTIPLY_LINES),
+        };
+        let line = self.victim.base.offset_lines(start + self.line_in_step);
+        self.line_in_step += 1;
+        if self.line_in_step == len {
+            self.line_in_step = 0;
+            self.step += 1;
+        }
+        Some(Access {
+            line,
+            write: true, // buffer updates
+            gap: 8,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modexp_matches_reference() {
+        fn slow_modexp(b: u64, e: u64, m: u64) -> u64 {
+            let mut acc = 1u128;
+            for _ in 0..e {
+                acc = acc * u128::from(b) % u128::from(m);
+            }
+            acc as u64
+        }
+        let v = RsaVictim::new(0b1101_0110, LineAddr::new(0));
+        for b in [2u64, 3, 12345] {
+            assert_eq!(v.modexp(b, 1_000_003), slow_modexp(b, 0b1101_0110, 1_000_003));
+        }
+    }
+
+    #[test]
+    fn steps_encode_the_exponent() {
+        let v = RsaVictim::new(0b101, LineAddr::new(0));
+        assert_eq!(
+            v.steps(),
+            vec![
+                RsaStep::Square,            // bit 1 = 0
+                RsaStep::Square,            // bit 0 = 1
+                RsaStep::Multiply,
+            ]
+        );
+    }
+
+    #[test]
+    fn stream_touches_multiply_buffer_only_for_one_bits() {
+        use secdir_machine::AccessStream as _;
+        let all_zero_after_top = RsaVictim::new(0b1000, LineAddr::new(0));
+        let mut s = all_zero_after_top.stream();
+        let mut multiply_touches = 0;
+        while let Some(a) = s.next_access() {
+            if a.line.value() >= SQUARE_LINES {
+                multiply_touches += 1;
+            }
+        }
+        assert_eq!(multiply_touches, 0, "exponent 0b1000 has no 1-bits below top");
+
+        let with_ones = RsaVictim::new(0b1011, LineAddr::new(0));
+        let mut s = with_ones.stream();
+        let mut multiply_touches = 0;
+        while let Some(a) = s.next_access() {
+            if a.line.value() >= SQUARE_LINES {
+                multiply_touches += 1;
+            }
+        }
+        assert_eq!(multiply_touches, 2 * MULTIPLY_LINES as usize);
+    }
+
+    #[test]
+    fn leaky_region_fits_l2() {
+        let v = RsaVictim::new(0xdead_beef, LineAddr::new(0));
+        assert!(v.multiply_lines().len() <= 16_384);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_exponent() {
+        RsaVictim::new(0, LineAddr::new(0));
+    }
+}

@@ -1,0 +1,268 @@
+//! SPEC CPU2006-class application models and the Table-5 mixes.
+//!
+//! The paper classifies the SPEC applications by where their working sets
+//! fit — core caches (CCF), last-level cache (LLCF), or nowhere (LLCT) —
+//! and builds twelve 4+4 mixes from the class combinations (Table 5). The
+//! per-application parameters below are calibrated so each generator lands
+//! in its paper class on the Table-4 geometry: CCF hot sets fit the 16K-line
+//! L2, LLCF hot sets overflow L2 but (4 copies together) largely fit the
+//! 11 MB LLC, and LLCT streams thrash everything.
+
+use secdir_machine::AccessStream;
+use serde::{Deserialize, Serialize};
+
+use crate::{StreamParams, SyntheticStream};
+
+/// The paper's cache-fitting classes (§8, after Jaleel et al.).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CacheClass {
+    /// Core-cache fitting: the working set fits in the private L2.
+    Ccf,
+    /// LLC fitting: overflows L2, fits the shared LLC.
+    Llcf,
+    /// LLC thrashing: streams through memory.
+    Llct,
+}
+
+/// A modeled SPEC CPU2006 application.
+///
+/// # Examples
+///
+/// ```
+/// use secdir_workloads::spec::{CacheClass, SpecApp};
+///
+/// assert_eq!(SpecApp::GOBMK.class, CacheClass::Ccf);
+/// assert_eq!(SpecApp::LBM.class, CacheClass::Llct);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpecApp {
+    /// The SPEC benchmark name.
+    pub name: &'static str,
+    /// Its cache class.
+    pub class: CacheClass,
+    /// Hot working-set size in lines.
+    pub hot_lines: u64,
+    /// Stride between hot lines (models real set-pressure skew).
+    pub hot_stride: u64,
+    /// Streamed region size in lines (0 = none).
+    pub cold_lines: u64,
+    /// Fraction of accesses to the hot region.
+    pub hot_fraction: f64,
+    /// Probability a hot access targets the hottest eighth.
+    pub very_hot_bias: f64,
+    /// Store fraction.
+    pub write_fraction: f64,
+    /// Mean non-memory instructions between accesses.
+    pub gap: u32,
+}
+
+macro_rules! spec_apps {
+    ($($const_name:ident => $name:literal, $class:ident, $hot:expr, $stride:expr, $cold:expr, $hf:expr, $vhb:expr, $wf:expr, $gap:expr;)*) => {
+        impl SpecApp {
+            $(
+                #[doc = concat!("The `", $name, "` model (", stringify!($class), ").")]
+                pub const $const_name: SpecApp = SpecApp {
+                    name: $name,
+                    class: CacheClass::$class,
+                    hot_lines: $hot,
+                    hot_stride: $stride,
+                    cold_lines: $cold,
+                    hot_fraction: $hf,
+                    very_hot_bias: $vhb,
+                    write_fraction: $wf,
+                    gap: $gap,
+                };
+            )*
+
+            /// Every modeled application.
+            pub const ALL: &'static [SpecApp] = &[$(SpecApp::$const_name),*];
+        }
+    };
+}
+
+// Working-set calibration (lines of 64 B): L2 holds 16 384 lines; an LLC
+// slice holds 22 528 (8 slices: 180 224 machine-wide).
+// Columns: hot lines, hot stride, cold lines, hot fraction, write
+// fraction, gap. Strides model the set-pressure skew of the real codes
+// (record/array layouts), which is what exposes directory conflicts.
+spec_apps! {
+    // --- CCF: hot set well inside L2; streaming fills L2 with cold lines
+    //     (real footprints exceed the reuse set), low miss rates ---
+    GOBMK      => "gobmk",      Ccf, 12_000, 1, 150_000, 0.97, 0.6, 0.25, 5;
+    SJENG      => "sjeng",      Ccf, 14_000, 1, 150_000, 0.97, 0.6, 0.20, 5;
+    HMMER      => "hmmer",      Ccf, 10_000, 1, 100_000, 0.98, 0.6, 0.35, 4;
+    GAMESS     => "gamess",     Ccf,  9_000, 1, 100_000, 0.98, 0.6, 0.30, 5;
+    H264REF    => "h264ref",    Ccf, 13_000, 1, 200_000, 0.97, 0.6, 0.30, 4;
+    NAMD       => "namd",       Ccf, 14_000, 1, 150_000, 0.97, 0.6, 0.20, 5;
+    // --- LLCF: hot set about the L2 size with flat reuse, overflowing
+    //     into the LLC; lines live in both L2 and LLC, so directory
+    //     conflicts on their entries cost real refetches ---
+    BZIP2      => "bzip2",      Llcf, 20_000, 1,  20_000, 0.92, 0.8, 0.30, 4;
+    OMNETPP    => "omnetpp",    Llcf, 24_000, 1,  10_000, 0.92, 0.8, 0.30, 4;
+    GROMACS    => "gromacs",    Llcf, 18_000, 1,  15_000, 0.93, 0.8, 0.25, 5;
+    ZEUSMP     => "zeusmp",     Llcf, 22_000, 1,  25_000, 0.91, 0.8, 0.30, 5;
+    // --- LLCT: streaming dominates; nothing fits ---
+    LIBQUANTUM => "libquantum", Llct,    256, 1, 400_000, 0.05, 0.8, 0.25, 3;
+    LBM        => "lbm",        Llct,  1_000, 1, 500_000, 0.10, 0.8, 0.40, 3;
+    BWAVES     => "bwaves",     Llct,  2_000, 1, 450_000, 0.10, 0.8, 0.20, 3;
+    SPHINX3    => "sphinx3",    Llct,  4_000, 1, 300_000, 0.20, 0.8, 0.10, 3;
+}
+
+impl SpecApp {
+    /// Builds this application's reference stream, private to the region
+    /// starting at `base_line`.
+    pub fn stream(&self, base_line: u64, seed: u64) -> impl AccessStream + 'static {
+        SyntheticStream::new(
+            StreamParams {
+                base_line,
+                hot_lines: self.hot_lines,
+                hot_stride: self.hot_stride,
+                cold_lines: self.cold_lines,
+                hot_fraction: self.hot_fraction,
+                very_hot_bias: self.very_hot_bias,
+                write_fraction: self.write_fraction,
+                gap: self.gap,
+            },
+            seed,
+        )
+    }
+}
+
+/// One of the paper's Table-5 mixes: 4 copies of `a` plus 4 copies of `b`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpecMix {
+    /// Mix name ("mix0" … "mix11").
+    pub name: &'static str,
+    /// First application (cores 0–3).
+    pub a: SpecApp,
+    /// Second application (cores 4–7).
+    pub b: SpecApp,
+}
+
+impl SpecMix {
+    /// One private stream per core: 4 copies of `a`, then 4 of `b`
+    /// (or proportionally for other core counts), each in a disjoint 4 GB
+    /// address region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn streams(&self, cores: usize, seed: u64) -> Vec<Box<dyn AccessStream>> {
+        assert!(cores > 0, "need at least one core");
+        (0..cores)
+            .map(|c| {
+                let app = if c < cores / 2 { self.a } else { self.b };
+                let base = (c as u64 + 1) << 26; // disjoint 4 GB regions
+                Box::new(app.stream(base, seed ^ (c as u64 * 0x9e37))) as Box<dyn AccessStream>
+            })
+            .collect()
+    }
+}
+
+/// The twelve Table-5 mixes.
+pub fn mixes() -> Vec<SpecMix> {
+    vec![
+        SpecMix { name: "mix0", a: SpecApp::GOBMK, b: SpecApp::SJENG },
+        SpecMix { name: "mix1", a: SpecApp::HMMER, b: SpecApp::GAMESS },
+        SpecMix { name: "mix2", a: SpecApp::BZIP2, b: SpecApp::OMNETPP },
+        SpecMix { name: "mix3", a: SpecApp::GROMACS, b: SpecApp::ZEUSMP },
+        SpecMix { name: "mix4", a: SpecApp::LIBQUANTUM, b: SpecApp::LBM },
+        SpecMix { name: "mix5", a: SpecApp::BWAVES, b: SpecApp::SPHINX3 },
+        SpecMix { name: "mix6", a: SpecApp::SJENG, b: SpecApp::OMNETPP },
+        SpecMix { name: "mix7", a: SpecApp::H264REF, b: SpecApp::ZEUSMP },
+        SpecMix { name: "mix8", a: SpecApp::GOBMK, b: SpecApp::LIBQUANTUM },
+        SpecMix { name: "mix9", a: SpecApp::NAMD, b: SpecApp::BWAVES },
+        SpecMix { name: "mix10", a: SpecApp::OMNETPP, b: SpecApp::BWAVES },
+        SpecMix { name: "mix11", a: SpecApp::ZEUSMP, b: SpecApp::LBM },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+
+    #[test]
+    fn twelve_mixes_matching_table_5_classes() {
+        let m = mixes();
+        assert_eq!(m.len(), 12);
+        use CacheClass::*;
+        let expect = [
+            (Ccf, Ccf),
+            (Ccf, Ccf),
+            (Llcf, Llcf),
+            (Llcf, Llcf),
+            (Llct, Llct),
+            (Llct, Llct),
+            (Ccf, Llcf),
+            (Ccf, Llcf),
+            (Ccf, Llct),
+            (Ccf, Llct),
+            (Llcf, Llct),
+            (Llcf, Llct),
+        ];
+        for (mix, (ca, cb)) in m.iter().zip(expect) {
+            assert_eq!((mix.a.class, mix.b.class), (ca, cb), "{}", mix.name);
+        }
+    }
+
+    #[test]
+    fn ccf_apps_fit_l2() {
+        for app in SpecApp::ALL.iter().filter(|a| a.class == CacheClass::Ccf) {
+            assert!(app.hot_lines <= 16_384, "{} overflows L2", app.name);
+            assert!(app.hot_fraction >= 0.95, "{} misses too much", app.name);
+        }
+    }
+
+    #[test]
+    fn llcf_apps_overflow_l2_but_not_llc() {
+        for app in SpecApp::ALL.iter().filter(|a| a.class == CacheClass::Llcf) {
+            assert!(app.hot_lines > 16_384, "{} fits L2", app.name);
+            // 8 copies of the hot set must fit the 180K-line LLC roughly.
+            assert!(app.hot_lines < 45_000, "{} thrashes the LLC", app.name);
+            assert!(app.hot_lines > 16_384 || app.hot_lines * 8 > 131_072 / 2,
+                "{} does not pressure the LLC", app.name);
+        }
+    }
+
+    #[test]
+    fn llct_apps_stream() {
+        for app in SpecApp::ALL.iter().filter(|a| a.class == CacheClass::Llct) {
+            assert!(app.cold_lines >= 100_000, "{} does not stream", app.name);
+            assert!(app.hot_fraction <= 0.3);
+        }
+    }
+
+    #[test]
+    fn mix_streams_are_disjoint() {
+        let m = mixes();
+        let mut streams = m[0].streams(8, 3);
+        let mut regions: Vec<(u64, u64)> = Vec::new();
+        for s in &mut streams {
+            let mut lo = u64::MAX;
+            let mut hi = 0;
+            for _ in 0..1000 {
+                let a = s.next_access().unwrap();
+                lo = lo.min(a.line.value());
+                hi = hi.max(a.line.value());
+            }
+            regions.push((lo, hi));
+        }
+        regions.sort_unstable();
+        for w in regions.windows(2) {
+            assert!(w[0].1 < w[1].0, "streams overlap: {w:?}");
+        }
+    }
+
+    #[test]
+    fn streams_deterministic() {
+        let m = &mixes()[3];
+        let mut a = m.streams(8, 1);
+        let mut b = m.streams(8, 1);
+        for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+            for _ in 0..50 {
+                assert_eq!(x.next_access(), y.next_access());
+            }
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Recording and replaying reference traces.
+//!
+//! Every workload in this crate is a generator, but real methodology often
+//! wants the *same* reference stream replayed against several machine
+//! configurations, archived next to results, or produced by an external
+//! tool (e.g. a Pin/DynamoRIO client). [`Trace`] is that interchange
+//! point: capture any set of [`AccessStream`]s, save to a simple
+//! line-oriented text format, load it back, and replay.
+//!
+//! # Format
+//!
+//! ```text
+//! secdir-trace v1 cores=<N>
+//! <core> <hex line> <R|W> <gap>
+//! ...
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use secdir_workloads::trace::Trace;
+//! use secdir_workloads::spec::SpecApp;
+//!
+//! let streams = vec![Box::new(SpecApp::HMMER.stream(0x1000, 1)) as _];
+//! let trace = Trace::capture(streams, 100);
+//! let mut text = Vec::new();
+//! trace.save(&mut text).unwrap();
+//! let reloaded = Trace::load(&text[..]).unwrap();
+//! assert_eq!(trace, reloaded);
+//! ```
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use secdir_machine::{Access, AccessStream};
+use secdir_mem::LineAddr;
+
+/// A captured multi-core reference trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    per_core: Vec<Vec<Access>>,
+}
+
+/// Error loading a trace.
+#[derive(Debug)]
+pub enum ParseTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The text did not match the format; carries the 1-based line number.
+    Malformed(usize, String),
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+            ParseTraceError::Malformed(line, what) => {
+                write!(f, "malformed trace at line {line}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseTraceError::Io(e) => Some(e),
+            ParseTraceError::Malformed(..) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseTraceError {
+    fn from(e: io::Error) -> Self {
+        ParseTraceError::Io(e)
+    }
+}
+
+impl Trace {
+    /// Captures up to `per_core` references from each stream.
+    pub fn capture(mut streams: Vec<Box<dyn AccessStream + '_>>, per_core: usize) -> Self {
+        let per_core_traces = streams
+            .iter_mut()
+            .map(|s| {
+                let mut v = Vec::with_capacity(per_core);
+                while v.len() < per_core {
+                    match s.next_access() {
+                        Some(a) => v.push(a),
+                        None => break,
+                    }
+                }
+                v
+            })
+            .collect();
+        Trace {
+            per_core: per_core_traces,
+        }
+    }
+
+    /// Builds a trace directly from per-core access vectors.
+    pub fn from_accesses(per_core: Vec<Vec<Access>>) -> Self {
+        Trace { per_core }
+    }
+
+    /// Number of cores in the trace.
+    pub fn cores(&self) -> usize {
+        self.per_core.len()
+    }
+
+    /// Total references across all cores.
+    pub fn len(&self) -> usize {
+        self.per_core.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the trace holds no references.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The accesses of one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core(&self, core: usize) -> &[Access] {
+        &self.per_core[core]
+    }
+
+    /// Replay streams, one per core, suitable for
+    /// [`run_workload`](secdir_machine::run_workload).
+    pub fn streams(&self) -> Vec<Box<dyn AccessStream + '_>> {
+        self.per_core
+            .iter()
+            .map(|v| Box::new(v.iter().copied()) as Box<dyn AccessStream + '_>)
+            .collect()
+    }
+
+    /// Writes the trace in the v1 text format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn save<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(w, "secdir-trace v1 cores={}", self.per_core.len())?;
+        for (core, accesses) in self.per_core.iter().enumerate() {
+            for a in accesses {
+                writeln!(
+                    w,
+                    "{core} {:x} {} {}",
+                    a.line.value(),
+                    if a.write { 'W' } else { 'R' },
+                    a.gap
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a trace in the v1 text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] on I/O failure or malformed input.
+    pub fn load<R: Read>(r: R) -> Result<Self, ParseTraceError> {
+        let mut lines = BufReader::new(r).lines().enumerate();
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| ParseTraceError::Malformed(1, "empty input".into()))?;
+        let header = header?;
+        let cores: usize = header
+            .strip_prefix("secdir-trace v1 cores=")
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| ParseTraceError::Malformed(1, format!("bad header `{header}`")))?;
+        let mut per_core = vec![Vec::new(); cores];
+        for (i, line) in lines {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let parse = |n: usize, what: &str, v: Option<&str>| {
+                v.map(str::to_owned)
+                    .ok_or_else(|| ParseTraceError::Malformed(n + 1, format!("missing {what}")))
+            };
+            let core: usize = parse(i, "core", parts.next())?
+                .parse()
+                .map_err(|_| ParseTraceError::Malformed(i + 1, "bad core".into()))?;
+            if core >= cores {
+                return Err(ParseTraceError::Malformed(i + 1, format!("core {core} out of range")));
+            }
+            let addr = u64::from_str_radix(&parse(i, "line", parts.next())?, 16)
+                .map_err(|_| ParseTraceError::Malformed(i + 1, "bad line address".into()))?;
+            let write = match parse(i, "kind", parts.next())?.as_str() {
+                "R" => false,
+                "W" => true,
+                other => {
+                    return Err(ParseTraceError::Malformed(i + 1, format!("bad kind `{other}`")))
+                }
+            };
+            let gap: u32 = parse(i, "gap", parts.next())?
+                .parse()
+                .map_err(|_| ParseTraceError::Malformed(i + 1, "bad gap".into()))?;
+            per_core[core].push(Access {
+                line: LineAddr::new(addr),
+                write,
+                gap,
+            });
+        }
+        Ok(Trace { per_core })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecApp;
+
+    fn sample() -> Trace {
+        let streams: Vec<Box<dyn AccessStream>> = vec![
+            Box::new(SpecApp::GAMESS.stream(0x1000, 1)),
+            Box::new(SpecApp::LBM.stream(0x9000_0000, 2)),
+        ];
+        Trace::capture(streams, 50)
+    }
+
+    #[test]
+    fn capture_takes_per_core_counts() {
+        let t = sample();
+        assert_eq!(t.cores(), 2);
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.core(0).len(), 50);
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let t = sample();
+        let mut buf = Vec::new();
+        t.save(&mut buf).unwrap();
+        assert_eq!(Trace::load(&buf[..]).unwrap(), t);
+    }
+
+    #[test]
+    fn replay_matches_the_capture() {
+        use secdir_machine::{DirectoryKind, Machine, MachineConfig, run_workload};
+        let t = sample();
+        let mut m1 = Machine::new(MachineConfig::small(2, DirectoryKind::SecDir));
+        let s1 = run_workload(&mut m1, &mut t.streams(), u64::MAX);
+        let mut m2 = Machine::new(MachineConfig::small(2, DirectoryKind::SecDir));
+        let s2 = run_workload(&mut m2, &mut t.streams(), u64::MAX);
+        assert_eq!(s1, s2, "replays must be identical");
+        assert_eq!(s1.cores[0].accesses, 50);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            Trace::load(&b"not a trace\n"[..]),
+            Err(ParseTraceError::Malformed(1, _))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_core() {
+        let text = b"secdir-trace v1 cores=1\n3 ff R 0\n";
+        assert!(matches!(
+            Trace::load(&text[..]),
+            Err(ParseTraceError::Malformed(2, _))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_kind() {
+        let text = b"secdir-trace v1 cores=1\n0 ff X 0\n";
+        assert!(matches!(
+            Trace::load(&text[..]),
+            Err(ParseTraceError::Malformed(2, _))
+        ));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let text = b"secdir-trace v1 cores=1\n\n0 ff W 3\n\n";
+        let t = Trace::load(&text[..]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(t.core(0)[0].write);
+        assert_eq!(t.core(0)[0].gap, 3);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = Trace::load(&b"zzz\n"[..]).unwrap_err();
+        assert!(format!("{e}").contains("line 1"));
+    }
+}

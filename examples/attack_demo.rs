@@ -1,0 +1,49 @@
+//! End-to-end directory side-channel attacks: evict+reload and prime+probe
+//! against the Baseline Skylake-X directory and against SecDir.
+//!
+//! Run with `cargo run --release --example attack_demo`.
+
+use secdir_attack::{evict_reload_attack, prime_probe_attack, AttackConfig};
+use secdir_machine::{DirectoryKind, Machine, MachineConfig};
+use secdir_mem::LineAddr;
+
+fn bits(v: &[bool]) -> String {
+    v.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+fn main() {
+    let target = LineAddr::new(0xbad_c0de);
+    for (name, kind) in [
+        ("Baseline (Skylake-X)", DirectoryKind::Baseline),
+        ("SecDir", DirectoryKind::SecDir),
+    ] {
+        println!("=== {name} ===");
+        let cfg = AttackConfig {
+            bits: 32,
+            ..AttackConfig::standard(8)
+        };
+
+        let mut machine = Machine::new(MachineConfig::skylake_x(8, kind));
+        let er = evict_reload_attack(&mut machine, &cfg, target);
+        println!("evict+reload:");
+        println!("  secret : {}", bits(&er.truth));
+        println!("  decoded: {}", bits(&er.guessed));
+        println!(
+            "  accuracy {:.2}, inclusion victims in the victim's caches: {}",
+            er.accuracy, er.victim_inclusion_victims
+        );
+
+        let mut machine = Machine::new(MachineConfig::skylake_x(8, kind));
+        let pp = prime_probe_attack(&mut machine, &cfg, target);
+        println!("prime+probe:");
+        println!("  secret : {}", bits(&pp.truth));
+        println!("  decoded: {}", bits(&pp.guessed));
+        println!(
+            "  accuracy {:.2}, inclusion victims in the victim's caches: {}",
+            pp.accuracy, pp.victim_inclusion_victims
+        );
+        println!();
+    }
+    println!("Baseline decodes the secret essentially perfectly;");
+    println!("SecDir leaves the attacker guessing and the victim untouched.");
+}

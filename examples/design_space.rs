@@ -1,0 +1,41 @@
+//! Exploring SecDir's design space: storage, area, and VD sizing as the
+//! machine scales from 4 to 128 cores (paper §7 and Figure 5).
+//!
+//! Run with `cargo run --release --example design_space`.
+
+use secdir_area::area::table7_area;
+use secdir_area::associativity::required_associativity;
+use secdir_area::design_space::design_point;
+use secdir_area::storage::{baseline_slice, secdir_slice, storage_crossover_cores};
+
+fn main() {
+    println!(
+        "{:>6} | {:>12} {:>12} | {:>10} {:>10} | {:>10} | {:>9}",
+        "cores", "base KB", "secdir KB", "base mm2", "sec mm2", "VD/L2", "req ways"
+    );
+    for cores in [4usize, 8, 16, 32, 44, 64, 128] {
+        let b = baseline_slice(cores);
+        let s = secdir_slice(cores);
+        let (ba, sa) = table7_area(cores);
+        let ratio = design_point(cores, 8)
+            .map(|p| p.ratio_to_l2)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{:>6} | {:>12.2} {:>12.2} | {:>10.3} {:>10.3} | {:>10.3} | {:>9}",
+            cores,
+            b.total_kb(),
+            s.total_kb(),
+            ba.total_mm2(),
+            sa.total_mm2(),
+            ratio,
+            required_associativity(cores),
+        );
+    }
+    println!();
+    println!(
+        "SecDir's directory becomes strictly smaller than the Skylake-X's at \
+         {} cores (paper: 44);",
+        storage_crossover_cores()
+    );
+    println!("a conventional directory would need the `req ways` column to resist the attack.");
+}

@@ -1,0 +1,89 @@
+//! Recovering an RSA exponent through the directory, bit by bit.
+//!
+//! The victim runs square-and-multiply; the multiply routine's buffer is
+//! touched only for 1-bits of the secret exponent. Between steps, the
+//! attacker evict+reloads one multiply-buffer line: on the Baseline
+//! directory the reload latency reveals every bit, on SecDir it reveals
+//! nothing.
+//!
+//! Run with `cargo run --release --example rsa_leak`.
+
+use secdir_attack::eviction::build_eviction_set;
+use secdir_machine::{DirectoryKind, Machine, MachineConfig};
+use secdir_mem::{CoreId, LineAddr};
+use secdir_workloads::rsa::{RsaStep, RsaVictim};
+
+const VICTIM: CoreId = CoreId(0);
+const LINES_PER_CORE: usize = 16;
+const THRESHOLD: u64 = 100;
+
+fn recover_exponent(kind: DirectoryKind, exponent: u64) -> (u64, u64) {
+    let mut machine = Machine::new(MachineConfig::skylake_x(8, kind));
+    let attackers: Vec<CoreId> = (1..8).map(CoreId).collect();
+    let victim = RsaVictim::new(exponent, LineAddr::new(0x9_0000));
+    let probe = victim.multiply_lines()[0];
+    let ev = build_eviction_set(&machine, probe, LINES_PER_CORE * attackers.len(), 1 << 33);
+
+    // Replay the victim's steps; the attacker evicts before and reloads
+    // after each square step (a square is always followed by the optional
+    // multiply, so the reload observes whether the multiply happened).
+    let mut recovered: u64 = 1; // leading 1-bit is implicit
+    let steps = victim.steps();
+    let mut i = 0;
+    while i < steps.len() {
+        debug_assert_eq!(steps[i], RsaStep::Square);
+        // Evict the multiply buffer's directory entries.
+        for _pass in 0..2 {
+            for (k, &core) in attackers.iter().enumerate() {
+                for &l in &ev[k * LINES_PER_CORE..(k + 1) * LINES_PER_CORE] {
+                    machine.access(core, l, false);
+                }
+            }
+        }
+        // Victim: one square step, plus the multiply if the bit is set.
+        for &l in &victim.multiply_lines() {
+            // The square buffer occupies the lines before the multiply
+            // buffer; replay the square touch first.
+            let _ = l; // (buffer layout is handled by the stream below)
+        }
+        // Square touches.
+        for j in 0..8u64 {
+            machine.access(VICTIM, LineAddr::new(0x9_0000 + j), true);
+        }
+        i += 1;
+        let multiplied = i < steps.len() && steps[i] == RsaStep::Multiply;
+        if multiplied {
+            for &l in &victim.multiply_lines() {
+                machine.access(VICTIM, l, true);
+            }
+            i += 1;
+        }
+        // Reload the probe line and decide the bit.
+        let latency = machine.access(attackers[0], probe, false).latency;
+        recovered = (recovered << 1) | u64::from(latency < THRESHOLD);
+    }
+    (
+        recovered,
+        machine.stats().cores[VICTIM.0].inclusion_victims,
+    )
+}
+
+fn main() {
+    let secret: u64 = 0b1011_0010_1101_0111;
+    println!("victim's secret exponent: {secret:#018b}\n");
+    for (name, kind) in [
+        ("Baseline (Skylake-X)", DirectoryKind::Baseline),
+        ("SecDir", DirectoryKind::SecDir),
+    ] {
+        let (recovered, iv) = recover_exponent(kind, secret);
+        let correct_bits = 64 - (recovered ^ secret).count_ones();
+        println!("{name:<22}: recovered {recovered:#018b}");
+        println!(
+            "{:<22}  {}/64 bits correct, victim inclusion victims: {iv}",
+            "", correct_bits
+        );
+        if kind == DirectoryKind::Baseline {
+            assert_eq!(recovered, secret, "baseline attack should be exact");
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! `secdir-sim` — command-line driver for the SecDir reproduction.
+//!
+//! ```text
+//! secdir-sim attack  [--directory KIND] [--attack NAME] [--bits N] [--cores N]
+//! secdir-sim spec    --mix NAME   [--directory KIND] [--refs N]
+//! secdir-sim parsec  --app NAME   [--directory KIND] [--refs N]
+//! secdir-sim aes     [--directory KIND] [--encryptions N]
+//! secdir-sim design  [--cores N]
+//! secdir-sim trace   --mix NAME --out FILE [--refs N]   (capture)
+//! secdir-sim trace   --replay FILE [--directory KIND]   (replay)
+//! ```
+//!
+//! Directory kinds: `baseline`, `baseline-fixed`, `secdir` (default),
+//! `secdir-plain-vd`, `way-partitioned`, `vd-only`.
+//! Attacks: `evict-reload` (default), `prime-probe`, `evict-time`.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use secdir_attack::{evict_reload_attack, evict_time_attack, prime_probe_attack, AttackConfig};
+use secdir_machine::{
+    run_workload, AccessStream, DirectoryKind, Machine, MachineConfig, ServedBy,
+};
+use secdir_mem::{CoreId, LineAddr};
+use secdir_workloads::aes::AesVictim;
+use secdir_workloads::parsec::ParsecApp;
+use secdir_workloads::spec::mixes;
+
+fn parse_directory(s: &str) -> Result<DirectoryKind, String> {
+    Ok(match s {
+        "baseline" => DirectoryKind::Baseline,
+        "baseline-fixed" => DirectoryKind::BaselineFixed,
+        "secdir" => DirectoryKind::SecDir,
+        "secdir-plain-vd" => DirectoryKind::SecDirPlainVd,
+        "way-partitioned" => DirectoryKind::WayPartitioned,
+        "vd-only" => DirectoryKind::SecDirVdOnly,
+        other => return Err(format!("unknown directory kind `{other}`")),
+    })
+}
+
+/// Minimal `--key value` parser; rejects unknown keys.
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected a --flag, found `{key}`"));
+        };
+        if !allowed.contains(&name) {
+            return Err(format!(
+                "unknown flag `--{name}` (allowed: {})",
+                allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+            ));
+        }
+        let Some(value) = it.next() else {
+            return Err(format!("flag --{name} needs a value"));
+        };
+        out.insert(name.to_string(), value.clone());
+    }
+    Ok(out)
+}
+
+fn get_parsed<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: `{v}`")),
+    }
+}
+
+fn cmd_attack(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["directory", "attack", "bits", "cores", "seed"])?;
+    let kind = parse_directory(flags.get("directory").map_or("secdir", String::as_str))?;
+    let bits: usize = get_parsed(&flags, "bits", 64)?;
+    let cores: usize = get_parsed(&flags, "cores", 8)?;
+    let seed: u64 = get_parsed(&flags, "seed", 0xa77acu64)?;
+    let attack = flags.get("attack").map_or("evict-reload", String::as_str);
+
+    let mut machine = Machine::new(MachineConfig::skylake_x(cores, kind));
+    let cfg = AttackConfig {
+        bits,
+        seed,
+        ..AttackConfig::standard(cores)
+    };
+    let target = LineAddr::new(0x5ec);
+    let outcome = match attack {
+        "evict-reload" => evict_reload_attack(&mut machine, &cfg, target),
+        "prime-probe" => prime_probe_attack(&mut machine, &cfg, target),
+        "evict-time" => evict_time_attack(&mut machine, &cfg, target),
+        other => return Err(format!("unknown attack `{other}`")),
+    };
+    println!("directory        : {kind:?}");
+    println!("attack           : {attack}");
+    println!("bits transmitted : {bits}");
+    println!("accuracy         : {:.3}  (0.5 = chance)", outcome.accuracy);
+    println!("victim inclusion victims: {}", outcome.victim_inclusion_victims);
+    Ok(())
+}
+
+fn run_streams_report(
+    kind: DirectoryKind,
+    mut streams: Vec<Box<dyn AccessStream>>,
+    refs: u64,
+) -> Result<(), String> {
+    let mut machine = Machine::new(MachineConfig::skylake_x(streams.len(), kind));
+    run_workload(&mut machine, &mut streams, refs / 2);
+    let s0 = machine.stats().clone();
+    let summary = run_workload(&mut machine, &mut streams, refs);
+    let stats = machine.stats();
+    let (e0, v0, m0) = s0.miss_breakdown();
+    let (e1, v1, m1) = stats.miss_breakdown();
+    let misses = stats.total_l2_misses() - s0.total_l2_misses();
+    println!("directory   : {kind:?}");
+    println!("mean IPC    : {:.3}", summary.mean_ipc());
+    println!("exec cycles : {}", summary.cycles);
+    println!("L2 misses   : {misses}");
+    println!(
+        "  breakdown : ED/TD {} | VD {} | memory {}",
+        e1 - e0,
+        v1 - v0,
+        m1 - m0
+    );
+    println!(
+        "inclusion victims: {}",
+        stats.total_inclusion_victims() - s0.total_inclusion_victims()
+    );
+    Ok(())
+}
+
+fn cmd_spec(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["mix", "directory", "refs", "seed"])?;
+    let name = flags.get("mix").ok_or("--mix is required (mix0..mix11)")?;
+    let mix = mixes()
+        .into_iter()
+        .find(|m| m.name == name)
+        .ok_or_else(|| format!("unknown mix `{name}`"))?;
+    let kind = parse_directory(flags.get("directory").map_or("secdir", String::as_str))?;
+    let refs: u64 = get_parsed(&flags, "refs", 200_000)?;
+    let seed: u64 = get_parsed(&flags, "seed", 0x5eedu64)?;
+    println!("mix         : {} ({} + {})", mix.name, mix.a.name, mix.b.name);
+    run_streams_report(kind, mix.streams(8, seed), refs)
+}
+
+fn cmd_parsec(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["app", "directory", "refs", "seed"])?;
+    let name = flags.get("app").ok_or("--app is required (e.g. canneal)")?;
+    let app = ParsecApp::ALL
+        .iter()
+        .find(|a| a.name == name)
+        .ok_or_else(|| format!("unknown PARSEC app `{name}`"))?;
+    let kind = parse_directory(flags.get("directory").map_or("secdir", String::as_str))?;
+    let refs: u64 = get_parsed(&flags, "refs", 200_000)?;
+    let seed: u64 = get_parsed(&flags, "seed", 0x9a25ecu64)?;
+    println!("app         : {}", app.name);
+    run_streams_report(kind, app.threads(8, seed), refs)
+}
+
+fn cmd_aes(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["directory", "encryptions", "seed"])?;
+    let kind = parse_directory(flags.get("directory").map_or("vd-only", String::as_str))?;
+    let encryptions: u64 = get_parsed(&flags, "encryptions", 200)?;
+    let seed: u64 = get_parsed(&flags, "seed", 0xfe11u64)?;
+    let mut machine = Machine::new(MachineConfig::skylake_x(8, kind));
+    let mut victim = AesVictim::new(*b"secdir-sim key!!", LineAddr::new(0xc8), seed);
+    let (mut mem, mut private, mut dir) = (0u64, 0u64, 0u64);
+    while victim.encryptions < encryptions {
+        let a = victim.next_access().expect("infinite stream");
+        match machine.access(CoreId(0), a.line, a.write).served {
+            ServedBy::Memory => mem += 1,
+            s if s.is_private_hit() => private += 1,
+            _ => dir += 1,
+        }
+    }
+    println!("directory    : {kind:?}");
+    println!("encryptions  : {encryptions}");
+    println!("table lookups: {}", mem + private + dir);
+    println!("  memory     : {mem}  (Figure 6: first-touches only on VD-only)");
+    println!("  private    : {private}");
+    println!("  directory  : {dir}");
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["mix", "out", "refs", "replay", "directory", "seed"])?;
+    if let Some(path) = flags.get("replay") {
+        let kind = parse_directory(flags.get("directory").map_or("secdir", String::as_str))?;
+        let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        let trace = secdir_workloads::trace::Trace::load(file).map_err(|e| e.to_string())?;
+        println!("trace       : {path} ({} cores, {} refs)", trace.cores(), trace.len());
+        let mut machine = Machine::new(MachineConfig::skylake_x(trace.cores(), kind));
+        let summary = run_workload(&mut machine, &mut trace.streams(), u64::MAX);
+        println!("directory   : {kind:?}");
+        println!("mean IPC    : {:.3}", summary.mean_ipc());
+        println!("exec cycles : {}", summary.cycles);
+        println!("L2 misses   : {}", machine.stats().total_l2_misses());
+        println!("inclusion victims: {}", machine.stats().total_inclusion_victims());
+        return Ok(());
+    }
+    let name = flags.get("mix").ok_or("--mix (capture) or --replay FILE is required")?;
+    let out = flags.get("out").ok_or("--out FILE is required for capture")?;
+    let refs: usize = get_parsed(&flags, "refs", 100_000)?;
+    let seed: u64 = get_parsed(&flags, "seed", 0x5eedu64)?;
+    let mix = mixes()
+        .into_iter()
+        .find(|m| m.name == name)
+        .ok_or_else(|| format!("unknown mix `{name}`"))?;
+    let trace = secdir_workloads::trace::Trace::capture(mix.streams(8, seed), refs);
+    let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    trace
+        .save(std::io::BufWriter::new(file))
+        .map_err(|e| e.to_string())?;
+    println!("captured {} refs ({} per core) of {} into {out}", trace.len(), refs, mix.name);
+    Ok(())
+}
+
+fn cmd_design(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["cores"])?;
+    let cores: usize = get_parsed(&flags, "cores", 8)?;
+    let b = secdir_area::storage::baseline_slice(cores);
+    let s = secdir_area::storage::secdir_slice(cores);
+    let (ba, sa) = secdir_area::area::table7_area(cores);
+    println!("cores                 : {cores}");
+    println!("baseline storage (KB) : {:.2}", b.total_kb());
+    println!("secdir storage (KB)   : {:.2}", s.total_kb());
+    println!("baseline area (mm^2)  : {:.3}", ba.total_mm2());
+    println!("secdir area (mm^2)    : {:.3}", sa.total_mm2());
+    println!(
+        "required conventional associativity: {}",
+        secdir_area::associativity::required_associativity(cores)
+    );
+    if let Some(p) = secdir_area::design_space::design_point(cores, 8) {
+        println!("figure-5 ratio (W_ED=8): {:.3}", p.ratio_to_l2);
+    }
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "usage: secdir-sim <attack|spec|parsec|aes|design|trace> [--flags...]\n\
+     run `secdir-sim <command>` with no flags for defaults; see the module\n\
+     docs (`cargo doc`) or README.md for the full flag list."
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "attack" => cmd_attack(rest),
+        "spec" => cmd_spec(rest),
+        "parsec" => cmd_parsec(rest),
+        "aes" => cmd_aes(rest),
+        "design" => cmd_design(rest),
+        "trace" => cmd_trace(rest),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("secdir-sim: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

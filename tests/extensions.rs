@@ -1,0 +1,144 @@
+//! Tests for the paper's discussed-but-unevaluated mechanisms that this
+//! reproduction implements: the §6 timing-side-channel mitigation, the
+//! §5.1 batched VD search, and the §1 way-partitioned comparator.
+
+use secdir::{SecDirConfig, SecDirSlice};
+use secdir_attack::{evict_reload_attack, AttackConfig};
+use secdir_cache::Geometry;
+use secdir_coherence::{AccessKind, DirSlice};
+use secdir_machine::{
+    DirectoryKind, Machine, MachineConfig, TimingMitigation,
+};
+use secdir_mem::{CoreId, LineAddr};
+
+/// The latency of a cross-core read served by the ED, under a given
+/// mitigation setting.
+fn c2c_latency(mitigation: TimingMitigation) -> u64 {
+    let mut cfg = MachineConfig::skylake_x(2, DirectoryKind::SecDir);
+    cfg.timing_mitigation = mitigation;
+    let mut m = Machine::new(cfg);
+    let line = LineAddr::new(0x77);
+    m.access(CoreId(0), line, false);
+    m.access(CoreId(1), line, false).latency
+}
+
+#[test]
+fn timing_mitigation_pads_observable_ed_td_transactions() {
+    let off = c2c_latency(TimingMitigation::Off);
+    let naive = c2c_latency(TimingMitigation::Naive);
+    let selective = c2c_latency(TimingMitigation::Selective);
+    // The pad equals the EB + VD array time the VD path would have cost.
+    assert_eq!(naive, off + 7);
+    assert_eq!(selective, off + 7, "a c2c read queries another core's cache");
+}
+
+#[test]
+fn selective_mitigation_leaves_private_transactions_alone() {
+    // A cold miss (memory fill, no other core involved) must not be padded
+    // by the selective policy, but is by the naive one.
+    let run = |mitigation| {
+        let mut cfg = MachineConfig::skylake_x(2, DirectoryKind::SecDir);
+        cfg.timing_mitigation = mitigation;
+        let mut m = Machine::new(cfg);
+        // Fill a line, evict it into the LLC via set pressure, and re-read:
+        // an ED/TD-satisfied transaction with no other core involved.
+        let lines: Vec<LineAddr> = (0..17u64).map(|i| LineAddr::new(i << 10)).collect();
+        for &l in &lines {
+            m.access(CoreId(0), l, false);
+        }
+        m.access(CoreId(0), lines[0], false).latency
+    };
+    let off = run(TimingMitigation::Off);
+    let selective = run(TimingMitigation::Selective);
+    let naive = run(TimingMitigation::Naive);
+    assert_eq!(selective, off, "LLC refill involves no other core");
+    assert_eq!(naive, off + 7);
+}
+
+#[test]
+fn batched_search_touches_batches_and_reads_stop_early() {
+    let config = SecDirConfig {
+        vd_bank: Geometry::new(8, 2),
+        num_banks: 8,
+        search_batch: Some(2),
+        ..SecDirConfig::skylake_x(8)
+    };
+    let mut s = SecDirSlice::new(config, 1);
+    // Preload a line into several cores' banks through the public flow:
+    // it is enough that bank 0 holds a line a later reader will find.
+    // Use a tiny ED/TD so entries spill into the VD.
+    let config_small = SecDirConfig {
+        ed: Geometry::new(1, 1),
+        td: Geometry::new(1, 1),
+        vd_bank: Geometry::new(8, 2),
+        num_banks: 8,
+        search_batch: Some(2),
+        ..SecDirConfig::skylake_x(8)
+    };
+    let mut s2 = SecDirSlice::new(config_small, 1);
+    for l in 1..=3u64 {
+        s2.request(LineAddr::new(l), CoreId(0), AccessKind::Read);
+    }
+    // One of these lines is now in core 0's VD bank; find it.
+    let vd_line = (1..=3u64)
+        .map(LineAddr::new)
+        .find(|&l| s2.vd_bank(CoreId(0)).contains(l))
+        .expect("a line reached the VD");
+    let resp = s2.request(vd_line, CoreId(1), AccessKind::Read);
+    assert!(resp.vd_batches >= 1, "batched search must count batches");
+    assert!(
+        resp.vd_batches <= 4,
+        "8 banks at batch 2 can take at most 4 batches"
+    );
+    // The default all-parallel configuration reports at most one batch.
+    let resp = s.request(LineAddr::new(9), CoreId(0), AccessKind::Read);
+    assert!(resp.vd_batches <= 1);
+}
+
+#[test]
+fn way_partitioning_also_blocks_the_attack() {
+    let mut m = Machine::new(MachineConfig::skylake_x(8, DirectoryKind::WayPartitioned));
+    let cfg = AttackConfig {
+        bits: 24,
+        ..AttackConfig::standard(8)
+    };
+    let o = evict_reload_attack(&mut m, &cfg, LineAddr::new(0x5ec));
+    assert!(o.accuracy <= 0.7, "way partitioning leaked: {}", o.accuracy);
+    assert_eq!(o.victim_inclusion_victims, 0);
+}
+
+#[test]
+fn way_partitioning_pays_with_memory_accesses() {
+    // The §1 critique, measured: a core's LLC share under way partitioning
+    // is a single TD way per set per slice, so an L2-overflowing working
+    // set that SecDir serves from the LLC goes to memory instead.
+    let run = |kind| {
+        let mut m = Machine::new(MachineConfig::skylake_x(8, kind));
+        let mut memory = 0u64;
+        for round in 0..4u64 {
+            for i in 0..40_000u64 {
+                let o = m.access(CoreId(0), LineAddr::new(i), false);
+                if round > 0 && o.served == secdir_machine::ServedBy::Memory {
+                    memory += 1;
+                }
+            }
+        }
+        memory
+    };
+    let partitioned = run(DirectoryKind::WayPartitioned);
+    let secdir = run(DirectoryKind::SecDir);
+    assert!(
+        partitioned > secdir * 2,
+        "partitioned {partitioned} vs secdir {secdir}"
+    );
+}
+
+#[test]
+fn way_partitioning_cannot_scale_past_the_ways() {
+    // 16 cores > 11 TD ways: the design is impossible — the paper's
+    // scalability objection.
+    assert!(!secdir_coherence::WayPartitionedSlice::supports(
+        &secdir_coherence::BaselineDirConfig::skylake_x(),
+        16
+    ));
+}

@@ -1,0 +1,106 @@
+//! The Table-4 latency model, observed end-to-end through `Machine::access`.
+
+use secdir_machine::{DirectoryKind, Machine, MachineConfig, ServedBy};
+use secdir_mem::{CoreId, LineAddr};
+
+fn machine(kind: DirectoryKind) -> Machine {
+    Machine::new(MachineConfig::skylake_x(2, kind))
+}
+
+#[test]
+fn latency_hierarchy_is_ordered() {
+    let mut m = machine(DirectoryKind::Baseline);
+    let line = LineAddr::new(0x10);
+    let memory = m.access(CoreId(0), line, false).latency;
+    let l1 = m.access(CoreId(0), line, false).latency;
+    let c2c = m.access(CoreId(1), line, false).latency;
+    assert!(l1 < c2c, "L1 ({l1}) must beat cache-to-cache ({c2c})");
+    assert!(c2c < memory, "c2c ({c2c}) must beat memory ({memory})");
+    assert_eq!(l1, 4);
+}
+
+#[test]
+fn llc_hit_beats_memory() {
+    let mut m = machine(DirectoryKind::Baseline);
+    // Fill one L2 set past capacity to push a line into the LLC.
+    let lines: Vec<LineAddr> = (0..17u64).map(|i| LineAddr::new(i << 10)).collect();
+    for &l in &lines {
+        m.access(CoreId(0), l, false);
+    }
+    let o = m.access(CoreId(0), lines[0], false);
+    assert_eq!(o.served, ServedBy::EdTd);
+    assert!(o.latency < 100, "LLC hit cost {}", o.latency);
+}
+
+#[test]
+fn empty_bit_saves_the_array_probe() {
+    // On an idle VD the miss pays only the 2-cycle EB check; with the EB
+    // disabled... the config always enables it, so compare against
+    // Baseline: SecDir cold miss = Baseline cold miss + 2.
+    let mut base = machine(DirectoryKind::Baseline);
+    let mut sec = machine(DirectoryKind::SecDir);
+    let b = base.access(CoreId(0), LineAddr::new(0x123), false).latency;
+    let s = sec.access(CoreId(0), LineAddr::new(0x123), false).latency;
+    assert_eq!(s, b + 2);
+}
+
+#[test]
+fn vd_array_probe_costs_5_more() {
+    let mut m = machine(DirectoryKind::SecDirVdOnly);
+    let line = LineAddr::new(0x44);
+    // Populate core 0's VD bank so the EB no longer filters this set.
+    m.access(CoreId(0), line, false);
+    // Evict from core 0's L1/L2 only (VD-only drops the entry with it) —
+    // instead, let core 1 miss on a line whose candidate VD sets are
+    // non-empty: its lookup probes the array.
+    let probe_line = line; // same sets by construction
+    let o = m.access(CoreId(1), probe_line, false);
+    assert!(o.vd_probed_cost_applied(), "{o:?}");
+}
+
+/// Helper on the outcome for the test above.
+trait ProbedCost {
+    fn vd_probed_cost_applied(&self) -> bool;
+}
+
+impl ProbedCost for secdir_machine::AccessOutcome {
+    fn vd_probed_cost_applied(&self) -> bool {
+        // A VD hit from core 1 pays EB (2) + array (5) + c2c on top of the
+        // directory round trip: distinguishable from a plain miss.
+        self.served == ServedBy::Vd && self.latency >= 10 + 30 + 2 + 5
+    }
+}
+
+#[test]
+fn upgrades_cost_a_directory_round_trip() {
+    let mut m = machine(DirectoryKind::Baseline);
+    let line = LineAddr::new(0x55);
+    m.access(CoreId(0), line, false);
+    m.access(CoreId(1), line, false); // both Shared now
+    let upgrade = m.access(CoreId(0), line, true);
+    assert_eq!(upgrade.served, ServedBy::L1);
+    assert!(upgrade.latency > 4 + 25, "upgrade cost {}", upgrade.latency);
+    // After the upgrade the writer owns the line: silent store.
+    let silent = m.access(CoreId(0), line, true);
+    assert_eq!(silent.latency, 4);
+}
+
+#[test]
+fn remote_slice_costs_more_than_local() {
+    let mut m = machine(DirectoryKind::Baseline);
+    // Find one line homed at each slice.
+    let mut local = None;
+    let mut remote = None;
+    for i in 0..1000u64 {
+        let l = LineAddr::new(0x8000 + i * 131);
+        match m.slice_of(l).0 {
+            0 if local.is_none() => local = Some(l),
+            1 if remote.is_none() => remote = Some(l),
+            _ => {}
+        }
+    }
+    let (local, remote) = (local.unwrap(), remote.unwrap());
+    let a = m.access(CoreId(0), local, false).latency;
+    let b = m.access(CoreId(0), remote, false).latency;
+    assert_eq!(b - a, 20, "remote-local delta should be 50-30 cycles");
+}

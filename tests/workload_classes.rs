@@ -1,0 +1,89 @@
+//! The workload generators land in their paper classes when run on the
+//! Table-4 machine: CCF misses rarely, LLCF lives in the LLC, LLCT goes to
+//! memory.
+
+use secdir_machine::{run_workload, AccessStream, DirectoryKind, Machine, MachineConfig};
+use secdir_workloads::parsec::ParsecApp;
+use secdir_workloads::spec::SpecApp;
+
+/// Runs 8 copies of `app` and returns (L2 miss rate, memory share of L2
+/// misses) over a measured window.
+fn profile(app: &SpecApp) -> (f64, f64) {
+    let mut m = Machine::new(MachineConfig::skylake_x(8, DirectoryKind::Baseline));
+    let mut streams: Vec<Box<dyn AccessStream>> = (0..8)
+        .map(|c| {
+            Box::new(app.stream((c as u64 + 1) << 26, 42 + c as u64)) as Box<dyn AccessStream>
+        })
+        .collect();
+    run_workload(&mut m, &mut streams, 150_000);
+    let s0 = m.stats().clone();
+    run_workload(&mut m, &mut streams, 100_000);
+    let misses = m.stats().total_l2_misses() - s0.total_l2_misses();
+    let accesses = m.stats().total_accesses() - s0.total_accesses();
+    let (_, _, mem1) = m.stats().miss_breakdown();
+    let (_, _, mem0) = s0.miss_breakdown();
+    (
+        misses as f64 / accesses as f64,
+        (mem1 - mem0) as f64 / misses.max(1) as f64,
+    )
+}
+
+#[test]
+fn ccf_apps_have_low_miss_rates() {
+    for app in [&SpecApp::GAMESS, &SpecApp::HMMER, &SpecApp::GOBMK] {
+        let (miss_rate, _) = profile(app);
+        assert!(miss_rate < 0.12, "{}: miss rate {miss_rate}", app.name);
+    }
+}
+
+#[test]
+fn llct_apps_go_to_memory() {
+    for app in [&SpecApp::LIBQUANTUM, &SpecApp::LBM] {
+        let (miss_rate, mem_share) = profile(app);
+        assert!(miss_rate > 0.5, "{}: miss rate {miss_rate}", app.name);
+        assert!(mem_share > 0.8, "{}: memory share {mem_share}", app.name);
+    }
+}
+
+#[test]
+fn class_ordering_holds() {
+    let (ccf, _) = profile(&SpecApp::SJENG);
+    let (llcf, _) = profile(&SpecApp::OMNETPP);
+    let (llct, _) = profile(&SpecApp::LBM);
+    assert!(ccf < llcf, "CCF ({ccf}) !< LLCF ({llcf})");
+    assert!(llcf < llct, "LLCF ({llcf}) !< LLCT ({llct})");
+}
+
+#[test]
+fn llcf_apps_exercise_the_llc() {
+    let (_, mem_share) = profile(&SpecApp::BZIP2);
+    assert!(
+        mem_share < 0.85,
+        "bzip2 should be served substantially by the LLC, memory share {mem_share}"
+    );
+}
+
+#[test]
+fn parsec_sharing_generates_coherence_traffic() {
+    let mut m = Machine::new(MachineConfig::skylake_x(8, DirectoryKind::Baseline));
+    let mut streams = ParsecApp::FLUIDANIMATE.threads(8, 7);
+    run_workload(&mut m, &mut streams, 60_000);
+    assert!(
+        m.stats().invalidations_by_cause[0] > 0,
+        "shared writes must invalidate other copies"
+    );
+    let dir = m.directory_stats();
+    assert!(dir.td_to_ed_migrations > 0, "writes to TD lines must migrate");
+}
+
+#[test]
+fn low_sharing_parsec_apps_generate_little_coherence_traffic() {
+    let run = |app: &ParsecApp| {
+        let mut m = Machine::new(MachineConfig::skylake_x(8, DirectoryKind::Baseline));
+        let mut streams = app.threads(8, 7);
+        run_workload(&mut m, &mut streams, 60_000);
+        m.stats().invalidations_by_cause[0]
+    };
+    assert!(run(&ParsecApp::SWAPTIONS) * 10 < run(&ParsecApp::FREQMINE).max(1) * 10 + 1);
+    assert!(run(&ParsecApp::SWAPTIONS) < run(&ParsecApp::CANNEAL));
+}
