@@ -119,8 +119,7 @@ mod tests {
     #[test]
     fn banks_fit_their_budget() {
         for p in figure5_sweep() {
-            let budget =
-                DIR_SETS * (ED_WAYS_BASELINE - p.w_ed) * ed_entry_bits(p.cores) / p.cores;
+            let budget = DIR_SETS * (ED_WAYS_BASELINE - p.w_ed) * ed_entry_bits(p.cores) / p.cores;
             assert!(vd_bank_bits(p.s_vd, p.w_vd) <= budget);
             assert!(p.s_vd.is_power_of_two());
             assert!((3..=8).contains(&p.w_vd));

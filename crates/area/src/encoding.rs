@@ -9,8 +9,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::storage::{
-    choose_vd_bank, vd_bank_bits, DIR_SETS, ED_WAYS_BASELINE, ED_WAYS_SECDIR, L2_LINES,
-    SliceStorage, TD_ED_TAG_BITS, TD_WAYS,
+    choose_vd_bank, vd_bank_bits, SliceStorage, DIR_SETS, ED_WAYS_BASELINE, ED_WAYS_SECDIR,
+    L2_LINES, TD_ED_TAG_BITS, TD_WAYS,
 };
 
 /// How a directory entry records which cores hold the line.
@@ -94,8 +94,14 @@ mod tests {
     #[test]
     fn full_map_matches_the_default_model() {
         for n in [4usize, 8, 44, 64] {
-            assert_eq!(baseline_slice_with(SharerEncoding::FullMap, n), baseline_slice(n));
-            assert_eq!(secdir_slice_with(SharerEncoding::FullMap, n), secdir_slice(n));
+            assert_eq!(
+                baseline_slice_with(SharerEncoding::FullMap, n),
+                baseline_slice(n)
+            );
+            assert_eq!(
+                secdir_slice_with(SharerEncoding::FullMap, n),
+                secdir_slice(n)
+            );
         }
         assert_eq!(
             storage_crossover_with(SharerEncoding::FullMap),
@@ -126,9 +132,9 @@ mod tests {
         // vanishes).
         let full = storage_crossover_with(SharerEncoding::FullMap).unwrap();
         let p2 = storage_crossover_with(SharerEncoding::LimitedPointers { pointers: 2 });
-        match p2 {
-            Some(n) => assert!(n > full, "pointer crossover {n} vs full-map {full}"),
-            None => {} // never crossing is the extreme of "pushed out"
+        // Never crossing is the extreme of "pushed out", so `None` passes.
+        if let Some(n) = p2 {
+            assert!(n > full, "pointer crossover {n} vs full-map {full}");
         }
     }
 

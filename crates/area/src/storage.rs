@@ -183,10 +183,7 @@ mod tests {
     #[test]
     fn crossover_near_44_cores() {
         let n = storage_crossover_cores();
-        assert!(
-            (36..=52).contains(&n),
-            "crossover at {n}, paper reports 44"
-        );
+        assert!((36..=52).contains(&n), "crossover at {n}, paper reports 44");
     }
 
     #[test]

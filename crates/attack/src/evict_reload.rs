@@ -45,7 +45,10 @@ pub fn evict_reload_attack(
     cfg: &AttackConfig,
     target: LineAddr,
 ) -> AttackOutcome {
-    assert!(!cfg.attacker_cores.is_empty(), "need at least one attacker core");
+    assert!(
+        !cfg.attacker_cores.is_empty(),
+        "need at least one attacker core"
+    );
     let truth = cfg.secret();
     let per_core = cfg.lines_per_core;
     let total = per_core * cfg.attacker_cores.len();
@@ -122,11 +125,7 @@ mod tests {
     #[test]
     fn secdir_blocks_the_attack() {
         let o = run(DirectoryKind::SecDir);
-        assert!(
-            o.accuracy < 0.7,
-            "secdir leaked: accuracy {}",
-            o.accuracy
-        );
+        assert!(o.accuracy < 0.7, "secdir leaked: accuracy {}", o.accuracy);
         assert_eq!(
             o.victim_inclusion_victims, 0,
             "secdir must create no inclusion victims in the victim"

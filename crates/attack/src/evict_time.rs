@@ -28,16 +28,26 @@ pub fn evict_time_attack(
     cfg: &AttackConfig,
     target: LineAddr,
 ) -> AttackOutcome {
-    assert!(!cfg.attacker_cores.is_empty(), "need at least one attacker core");
+    assert!(
+        !cfg.attacker_cores.is_empty(),
+        "need at least one attacker core"
+    );
     let truth = cfg.secret();
     let per_core = cfg.lines_per_core;
-    let ev = build_eviction_set(machine, target, per_core * cfg.attacker_cores.len(), 1 << 30);
+    let ev = build_eviction_set(
+        machine,
+        target,
+        per_core * cfg.attacker_cores.len(),
+        1 << 30,
+    );
     let iv_before = machine.stats().cores[cfg.victim_core.0].inclusion_victims;
 
     // The victim's "request handler": some fixed work plus the
     // secret-dependent touch. The fixed work is kept in unrelated lines so
     // only the target's residency varies.
-    let work_lines: Vec<LineAddr> = (0..8u64).map(|i| target.offset_lines(0x10_000 + i)).collect();
+    let work_lines: Vec<LineAddr> = (0..8u64)
+        .map(|i| target.offset_lines(0x10_000 + i))
+        .collect();
     machine.access(cfg.victim_core, target, false);
     for &l in &work_lines {
         machine.access(cfg.victim_core, l, false);

@@ -88,7 +88,11 @@ impl AttackConfig {
 
 /// Fraction of `guessed` bits matching `truth`.
 pub fn accuracy(guessed: &[bool], truth: &[bool]) -> f64 {
-    assert_eq!(guessed.len(), truth.len(), "bit strings must match in length");
+    assert_eq!(
+        guessed.len(),
+        truth.len(),
+        "bit strings must match in length"
+    );
     if truth.is_empty() {
         return 0.0;
     }

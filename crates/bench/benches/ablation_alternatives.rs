@@ -27,8 +27,18 @@ fn main() {
         "directory", "mix2 IPC", "misses", "mix0 IPC", "misses", "attack", "IVs"
     );
     let all = mixes();
-    let base2 = run_spec_mix(&all[2], DirectoryKind::Baseline, DEFAULT_WARMUP, DEFAULT_MEASURE);
-    let base0 = run_spec_mix(&all[0], DirectoryKind::Baseline, DEFAULT_WARMUP, DEFAULT_MEASURE);
+    let base2 = run_spec_mix(
+        &all[2],
+        DirectoryKind::Baseline,
+        DEFAULT_WARMUP,
+        DEFAULT_MEASURE,
+    );
+    let base0 = run_spec_mix(
+        &all[0],
+        DirectoryKind::Baseline,
+        DEFAULT_WARMUP,
+        DEFAULT_MEASURE,
+    );
     for (name, kind) in kinds {
         let r2 = run_spec_mix(&all[2], kind, DEFAULT_WARMUP, DEFAULT_MEASURE);
         let r0 = run_spec_mix(&all[0], kind, DEFAULT_WARMUP, DEFAULT_MEASURE);

@@ -31,7 +31,11 @@ fn drop_rate(hashing: VdHashing, ways: usize, occupancy: f64) -> f64 {
             let line = bank.iter().nth(n).expect("resident");
             bank.remove(line);
         }
-        if bank.insert(LineAddr::new(rng.next_below(1 << 34))).displaced.is_some() {
+        if bank
+            .insert(LineAddr::new(rng.next_below(1 << 34)))
+            .displaced
+            .is_some()
+        {
             drops += 1;
         }
     }
@@ -50,7 +54,13 @@ fn main() {
         for ways in [2usize, 4, 8] {
             print!(
                 "  {:>8.1}",
-                drop_rate(VdHashing::Cuckoo { num_relocations: relocations }, ways, 0.95)
+                drop_rate(
+                    VdHashing::Cuckoo {
+                        num_relocations: relocations
+                    },
+                    ways,
+                    0.95
+                )
             );
         }
         if relocations == 8 {

@@ -8,9 +8,7 @@
 //! ordinary multithreaded workloads.
 
 use secdir_bench::{header, run_streams, DEFAULT_MEASURE, DEFAULT_WARMUP};
-use secdir_machine::{
-    DirectoryKind, Machine, MachineConfig, TimingMitigation,
-};
+use secdir_machine::{DirectoryKind, Machine, MachineConfig, TimingMitigation};
 use secdir_mem::{CoreId, LineAddr};
 use secdir_workloads::parsec::ParsecApp;
 
@@ -64,7 +62,11 @@ fn main() {
         "{:>14} {:>10} {:>10} {:>10}",
         "app", "off", "naive", "selective"
     );
-    for app in [&ParsecApp::FLUIDANIMATE, &ParsecApp::CANNEAL, &ParsecApp::FREQMINE] {
+    for app in [
+        &ParsecApp::FLUIDANIMATE,
+        &ParsecApp::CANNEAL,
+        &ParsecApp::FREQMINE,
+    ] {
         let mut cycles = Vec::new();
         for mit in [
             TimingMitigation::Off,
@@ -76,8 +78,7 @@ fn main() {
             let mut machine = Machine::new(cfg);
             let mut streams = app.threads(8, 0x9a25ec);
             secdir_machine::run_workload(&mut machine, &mut streams, DEFAULT_WARMUP / 4);
-            let s =
-                secdir_machine::run_workload(&mut machine, &mut streams, DEFAULT_MEASURE / 4);
+            let s = secdir_machine::run_workload(&mut machine, &mut streams, DEFAULT_MEASURE / 4);
             cycles.push(s.cycles);
         }
         println!(

@@ -26,7 +26,10 @@ fn main() {
     }
 
     header("Chosen VD bank shapes (W_ED = 8 column)");
-    println!("{:>7} {:>8} {:>8} {:>14}", "cores", "S_VD", "W_VD", "entries/core");
+    println!(
+        "{:>7} {:>8} {:>8} {:>14}",
+        "cores", "S_VD", "W_VD", "entries/core"
+    );
     for cores in [4usize, 8, 16, 32, 64, 128] {
         let p = design_point(cores, 8).expect("fits");
         println!(
@@ -38,10 +41,12 @@ fn main() {
     // Consistency check mirrored from the paper's text.
     let all = figure5_sweep();
     assert_eq!(all.len(), 30);
-    println!("\npaper check: W_ED=8 ratio >= 1 first at N = {}",
+    println!(
+        "\npaper check: W_ED=8 ratio >= 1 first at N = {}",
         [4usize, 8, 16, 32, 64, 128]
             .iter()
             .find(|&&n| design_point(n, 8).unwrap().ratio_to_l2 >= 1.0)
             .map(|n| n.to_string())
-            .unwrap_or_else(|| "none".into()));
+            .unwrap_or_else(|| "none".into())
+    );
 }

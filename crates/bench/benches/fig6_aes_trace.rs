@@ -21,8 +21,8 @@ fn main() {
 
     let t0_lines: Vec<LineAddr> = victim.table_lines(0);
     let mut first_touch: Vec<Option<u64>> = vec![None; 16];
-    let mut mem_accesses = vec![0u64; 16];
-    let mut private_hits = vec![0u64; 16];
+    let mut mem_accesses = [0u64; 16];
+    let mut private_hits = [0u64; 16];
     let mut other_serves = 0u64;
     let mut time = 0u64;
 

@@ -6,29 +6,56 @@
 //! SecDir reduces L2 misses (avg ≈ −11.4% in the paper) by avoiding
 //! inclusion victims; VD hits ≈ 0 for single-threaded mixes.
 
-use secdir_bench::{header, run_spec_mix, DEFAULT_MEASURE, DEFAULT_WARMUP};
+use secdir_bench::{bench_threads, fig7_matrix, header, DEFAULT_MEASURE, DEFAULT_WARMUP};
+use secdir_machine::sweep::sweep;
 use secdir_machine::DirectoryKind;
-use secdir_workloads::spec::mixes;
+use secdir_workloads::registry;
 
 fn main() {
-    let mut rows = Vec::new();
-    for mix in mixes() {
-        let b = run_spec_mix(&mix, DirectoryKind::Baseline, DEFAULT_WARMUP, DEFAULT_MEASURE);
-        let s = run_spec_mix(&mix, DirectoryKind::SecDir, DEFAULT_WARMUP, DEFAULT_MEASURE);
-        rows.push((mix.name, b, s));
-    }
+    // One 12-mix × {Baseline, SecDir} sweep, fanned out over the available
+    // cores; per-cell results are bit-identical to the old serial loop.
+    let matrix = fig7_matrix(
+        vec![DirectoryKind::Baseline, DirectoryKind::SecDir],
+        DEFAULT_WARMUP,
+        DEFAULT_MEASURE,
+    );
+    let cells = matrix.cells();
+    let results = sweep(&cells, &registry::factory, bench_threads(cells.len()));
+    // Cells are workload-major: [mix_i × Baseline, mix_i × SecDir], …
+    let rows: Vec<_> = results
+        .chunks_exact(2)
+        .map(|pair| {
+            (
+                pair[0].cell.workload.clone(),
+                pair[0].run.clone(),
+                pair[1].run.clone(),
+            )
+        })
+        .collect();
 
     header("Figure 7(a): SPEC normalized IPC (SecDir / Baseline)");
-    println!("{:>7} {:>10} {:>10} {:>8}", "mix", "base_ipc", "sec_ipc", "norm");
+    println!(
+        "{:>7} {:>10} {:>10} {:>8}",
+        "mix", "base_ipc", "sec_ipc", "norm"
+    );
     let mut norm_sum = 0.0;
     for (name, b, s) in &rows {
         let norm = s.ipc() / b.ipc();
         norm_sum += norm;
-        println!("{:>7} {:>10.3} {:>10.3} {:>8.3}", name, b.ipc(), s.ipc(), norm);
+        println!(
+            "{:>7} {:>10.3} {:>10.3} {:>8.3}",
+            name,
+            b.ipc(),
+            s.ipc(),
+            norm
+        );
     }
     println!(
         "{:>7} {:>10} {:>10} {:>8.3}   (paper: ~1.00)",
-        "avg", "", "", norm_sum / rows.len() as f64
+        "avg",
+        "",
+        "",
+        norm_sum / rows.len() as f64
     );
 
     header("Figure 7(b): L2-miss breakdown, normalized to Baseline total");

@@ -5,20 +5,38 @@
 //! VD hits are small on average but visible for sharing-heavy apps
 //! (freqmine ≈ 14% of misses).
 
-use secdir_bench::{header, run_parsec, DEFAULT_MEASURE, DEFAULT_WARMUP};
+use secdir_bench::{bench_threads, fig8_matrix, header, DEFAULT_MEASURE, DEFAULT_WARMUP};
+use secdir_machine::sweep::sweep;
 use secdir_machine::DirectoryKind;
-use secdir_workloads::parsec::ParsecApp;
+use secdir_workloads::registry;
 
 fn main() {
-    let mut rows = Vec::new();
-    for app in ParsecApp::ALL {
-        let b = run_parsec(app, DirectoryKind::Baseline, DEFAULT_WARMUP, DEFAULT_MEASURE);
-        let s = run_parsec(app, DirectoryKind::SecDir, DEFAULT_WARMUP, DEFAULT_MEASURE);
-        rows.push((app.name, b, s));
-    }
+    // One apps × {Baseline, SecDir} sweep, fanned out over the available
+    // cores; per-cell results are bit-identical to the old serial loop.
+    let matrix = fig8_matrix(
+        vec![DirectoryKind::Baseline, DirectoryKind::SecDir],
+        DEFAULT_WARMUP,
+        DEFAULT_MEASURE,
+    );
+    let cells = matrix.cells();
+    let results = sweep(&cells, &registry::factory, bench_threads(cells.len()));
+    // Cells are workload-major: [app_i × Baseline, app_i × SecDir], …
+    let rows: Vec<_> = results
+        .chunks_exact(2)
+        .map(|pair| {
+            (
+                pair[0].cell.workload.clone(),
+                pair[0].run.clone(),
+                pair[1].run.clone(),
+            )
+        })
+        .collect();
 
     header("Figure 8(a): PARSEC normalized execution time (SecDir / Baseline)");
-    println!("{:>14} {:>12} {:>12} {:>8}", "app", "base_cycles", "sec_cycles", "norm");
+    println!(
+        "{:>14} {:>12} {:>12} {:>8}",
+        "app", "base_cycles", "sec_cycles", "norm"
+    );
     let mut norm_sum = 0.0;
     for (name, b, s) in &rows {
         let norm = s.cycles() as f64 / b.cycles() as f64;
@@ -33,7 +51,10 @@ fn main() {
     }
     println!(
         "{:>14} {:>12} {:>12} {:>8.3}   (paper: ~1.00)",
-        "avg", "", "", norm_sum / rows.len() as f64
+        "avg",
+        "",
+        "",
+        norm_sum / rows.len() as f64
     );
 
     header("Figure 8(b): L2-miss breakdown, normalized to Baseline total");
@@ -50,7 +71,7 @@ fn main() {
         reduction_sum += 1.0 - ratio;
         let vd_share = s.breakdown.vd as f64 / s.breakdown.total().max(1) as f64;
         if vd_share > vd_share_max.0 {
-            vd_share_max = (vd_share, name);
+            vd_share_max = (vd_share, name.as_str());
         }
         println!(
             "{:>14} | {:>8.3} {:>6.3} {:>8.3} | {:>8.3} {:>6.3} {:>8.3} | {:>9.3}",

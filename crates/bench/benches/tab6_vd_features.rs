@@ -46,7 +46,12 @@ fn main() {
     for mix in &all_mixes {
         let s = run_spec_mix(mix, DirectoryKind::SecDir, DEFAULT_WARMUP, DEFAULT_MEASURE);
         let eb = eb_ratio(s.dir.vd_bank_probes, s.dir.vd_bank_probes_without_eb);
-        let ck_c = run_spec_mix(mix, DirectoryKind::SecDirVdOnly, DEFAULT_WARMUP, DEFAULT_MEASURE);
+        let ck_c = run_spec_mix(
+            mix,
+            DirectoryKind::SecDirVdOnly,
+            DEFAULT_WARMUP,
+            DEFAULT_MEASURE,
+        );
         let ck_p = run_spec_mix(
             mix,
             DirectoryKind::SecDirVdOnlyPlain,
@@ -71,7 +76,12 @@ fn main() {
     for app in ParsecApp::ALL {
         let s = run_parsec(app, DirectoryKind::SecDir, DEFAULT_WARMUP, DEFAULT_MEASURE);
         let eb = eb_ratio(s.dir.vd_bank_probes, s.dir.vd_bank_probes_without_eb);
-        let ck_c = run_parsec(app, DirectoryKind::SecDirVdOnly, DEFAULT_WARMUP, DEFAULT_MEASURE);
+        let ck_c = run_parsec(
+            app,
+            DirectoryKind::SecDirVdOnly,
+            DEFAULT_WARMUP,
+            DEFAULT_MEASURE,
+        );
         let ck_p = run_parsec(
             app,
             DirectoryKind::SecDirVdOnlyPlain,

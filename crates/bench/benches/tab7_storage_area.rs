@@ -25,15 +25,30 @@ fn main() {
     );
     println!(
         "{:<10} {:>12.2} {:>10.3}   {:<10} {:>12.2} {:>10.3}",
-        "TD", base.td_kb(), base_area.td_mm2, "TD", sec.td_kb(), sec_area.td_mm2
+        "TD",
+        base.td_kb(),
+        base_area.td_mm2,
+        "TD",
+        sec.td_kb(),
+        sec_area.td_mm2
     );
     println!(
         "{:<10} {:>12.2} {:>10.3}   {:<10} {:>12.2} {:>10.3}",
-        "ED", base.ed_kb(), base_area.ed_mm2, "ED", sec.ed_kb(), sec_area.ed_mm2
+        "ED",
+        base.ed_kb(),
+        base_area.ed_mm2,
+        "ED",
+        sec.ed_kb(),
+        sec_area.ed_mm2
     );
     println!(
         "{:<10} {:>12} {:>10}   {:<10} {:>12.2} {:>10.3}",
-        "-", "-", "-", "VD", sec.vd_kb(), sec_area.vd_mm2
+        "-",
+        "-",
+        "-",
+        "VD",
+        sec.vd_kb(),
+        sec_area.vd_mm2
     );
     println!(
         "{:<10} {:>12.2} {:>10.3}   {:<10} {:>12.2} {:>10.3}",

@@ -1,17 +1,23 @@
 //! Shared experiment-runner helpers for the table/figure benches.
 //!
 //! Every `cargo bench -p secdir-bench --bench <name>` target regenerates
-//! one table or figure of the paper (see DESIGN.md §4 for the index); this
-//! library holds the common skip-then-measure runner and formatting
-//! helpers.
+//! one table or figure of the paper (see DESIGN.md §4 for the index). The
+//! skip-then-measure runner and its result types live in
+//! [`secdir_machine::sweep`] (re-exported here), so the benches, the
+//! `secdir-sim sweep` subcommand, and the determinism tests all share one
+//! implementation and one matrix vocabulary; this library keeps the
+//! bench-facing conveniences (per-workload wrappers, figure matrices,
+//! formatting).
 
 #![warn(missing_docs)]
 
-use secdir_coherence::DirSliceStats;
-use secdir_machine::{run_workload, AccessStream, DirectoryKind, Machine, MachineConfig, RunSummary};
+pub use secdir_machine::sweep::{
+    run_streams, CellResult, CellSpec, ExperimentRun, MissBreakdown, SweepMatrix,
+};
+use secdir_machine::DirectoryKind;
 use secdir_workloads::parsec::ParsecApp;
+use secdir_workloads::registry;
 use secdir_workloads::spec::SpecMix;
-use serde::{Deserialize, Serialize};
 
 /// Default warm-up references per core (the paper skips 10 B instructions;
 /// we skip proportionally on the scaled window).
@@ -20,85 +26,64 @@ pub const DEFAULT_WARMUP: u64 = 350_000;
 /// window).
 pub const DEFAULT_MEASURE: u64 = 200_000;
 
-/// The Figure 7(b)/8(b) L2-miss breakdown.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct MissBreakdown {
-    /// Misses satisfied by ED/TD hits.
-    pub ed_td: u64,
-    /// Misses satisfied by VD hits.
-    pub vd: u64,
-    /// Misses that went to memory.
-    pub memory: u64,
-}
+/// The workload seed the SPEC benches (Fig 7, Tab 6) use.
+pub const SPEC_SEED: u64 = 0x5eed;
+/// The workload seed the PARSEC benches (Fig 8, Tab 6) use.
+pub const PARSEC_SEED: u64 = 0x9a25ec;
 
-impl MissBreakdown {
-    /// Total L2 misses.
-    pub fn total(&self) -> u64 {
-        self.ed_td + self.vd + self.memory
-    }
-}
-
-/// The measured phase of one workload × directory-kind run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct ExperimentRun {
-    /// Timing summary of the measured phase.
-    pub summary: RunSummary,
-    /// L2-miss breakdown over the measured phase.
-    pub breakdown: MissBreakdown,
-    /// Directory counter deltas over the measured phase.
-    pub dir: DirSliceStats,
-    /// Inclusion victims created during the measured phase.
-    pub inclusion_victims: u64,
-}
-
-impl ExperimentRun {
-    /// Mean per-core IPC.
-    pub fn ipc(&self) -> f64 {
-        self.summary.mean_ipc()
-    }
-
-    /// Execution time in cycles.
-    pub fn cycles(&self) -> u64 {
-        self.summary.cycles
-    }
-}
-
-/// Runs `streams` on a fresh Table-4 machine with the given directory,
-/// skipping `warmup` references per core and measuring `measure` more.
-pub fn run_streams(
+/// Runs a Table-5 SPEC mix on 8 cores.
+pub fn run_spec_mix(
+    mix: &SpecMix,
     kind: DirectoryKind,
-    cores: usize,
-    mut streams: Vec<Box<dyn AccessStream + '_>>,
     warmup: u64,
     measure: u64,
 ) -> ExperimentRun {
-    let mut machine = Machine::new(MachineConfig::skylake_x(cores, kind));
-    run_workload(&mut machine, &mut streams, warmup);
-    let (ed_td0, vd0, mem0) = machine.stats().miss_breakdown();
-    let iv0 = machine.stats().total_inclusion_victims();
-    let dir0 = machine.directory_stats();
-    let summary = run_workload(&mut machine, &mut streams, measure);
-    let (ed_td1, vd1, mem1) = machine.stats().miss_breakdown();
-    ExperimentRun {
-        summary,
-        breakdown: MissBreakdown {
-            ed_td: ed_td1 - ed_td0,
-            vd: vd1 - vd0,
-            memory: mem1 - mem0,
-        },
-        dir: machine.directory_stats().diff(&dir0),
-        inclusion_victims: machine.stats().total_inclusion_victims() - iv0,
-    }
-}
-
-/// Runs a Table-5 SPEC mix on 8 cores.
-pub fn run_spec_mix(mix: &SpecMix, kind: DirectoryKind, warmup: u64, measure: u64) -> ExperimentRun {
-    run_streams(kind, 8, mix.streams(8, 0x5eed), warmup, measure)
+    run_streams(kind, 8, mix.streams(8, SPEC_SEED), warmup, measure)
 }
 
 /// Runs a PARSEC app with 8 threads on 8 cores.
-pub fn run_parsec(app: &ParsecApp, kind: DirectoryKind, warmup: u64, measure: u64) -> ExperimentRun {
-    run_streams(kind, 8, app.threads(8, 0x9a25ec), warmup, measure)
+pub fn run_parsec(
+    app: &ParsecApp,
+    kind: DirectoryKind,
+    warmup: u64,
+    measure: u64,
+) -> ExperimentRun {
+    run_streams(kind, 8, app.threads(8, PARSEC_SEED), warmup, measure)
+}
+
+/// The Figure-7 matrix: all 12 SPEC mixes × the given directory kinds on
+/// the 8-core Table-4 machine.
+pub fn fig7_matrix(kinds: Vec<DirectoryKind>, warmup: u64, measure: u64) -> SweepMatrix {
+    SweepMatrix {
+        workloads: registry::spec_mix_names(),
+        kinds,
+        seeds: vec![SPEC_SEED],
+        cores: 8,
+        warmup,
+        measure,
+    }
+}
+
+/// The Figure-8 matrix: all PARSEC apps × the given directory kinds on the
+/// 8-core Table-4 machine.
+pub fn fig8_matrix(kinds: Vec<DirectoryKind>, warmup: u64, measure: u64) -> SweepMatrix {
+    SweepMatrix {
+        workloads: registry::parsec_names(),
+        kinds,
+        seeds: vec![PARSEC_SEED],
+        cores: 8,
+        warmup,
+        measure,
+    }
+}
+
+/// Worker-thread count for parallel bench sweeps: the machine's available
+/// parallelism, capped at the cell count.
+pub fn bench_threads(cells: usize) -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, usize::from)
+        .min(cells)
+        .max(1)
 }
 
 /// Formats a ratio as a fixed-width cell.
@@ -115,6 +100,7 @@ pub fn header(title: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use secdir_machine::sweep::sweep;
     use secdir_workloads::spec::mixes;
 
     #[test]
@@ -130,12 +116,7 @@ mod tests {
 
     #[test]
     fn breakdown_total_matches_l2_misses() {
-        let r = run_parsec(
-            &ParsecApp::CANNEAL,
-            DirectoryKind::SecDir,
-            500,
-            2_000,
-        );
+        let r = run_parsec(&ParsecApp::CANNEAL, DirectoryKind::SecDir, 500, 2_000);
         assert!(r.breakdown.total() > 0, "canneal must miss in L2");
     }
 
@@ -146,5 +127,17 @@ mod tests {
         let s = run_spec_mix(mix, DirectoryKind::SecDir, 1_000, 4_000);
         let rel = s.ipc() / b.ipc();
         assert!((0.5..2.0).contains(&rel), "IPC ratio out of range: {rel}");
+    }
+
+    #[test]
+    fn fig7_matrix_cells_reproduce_run_spec_mix() {
+        // The matrix path and the legacy wrapper must agree bit-for-bit —
+        // they are the same implementation rewired.
+        let matrix = fig7_matrix(vec![DirectoryKind::Baseline], 500, 2_000);
+        let cells = matrix.cells();
+        assert_eq!(cells.len(), 12);
+        let via_sweep = &sweep(&cells[..1], &registry::factory, 1)[0];
+        let direct = run_spec_mix(&mixes()[0], DirectoryKind::Baseline, 500, 2_000);
+        assert_eq!(via_sweep.run, direct);
     }
 }

@@ -104,16 +104,24 @@ impl<T> SetAssoc<T> {
     /// state; use [`SetAssoc::access`] on the architectural access path.
     pub fn get(&self, line: LineAddr) -> Option<&T> {
         let set = self.set_of(line);
-        self.find(line)
-            .map(|way| &self.sets[set][way].as_ref().expect("found way occupied").payload)
+        self.find(line).map(|way| {
+            &self.sets[set][way]
+                .as_ref()
+                .expect("found way occupied")
+                .payload
+        })
     }
 
     /// Mutable payload for `line`, if present. Does not update replacement
     /// state.
     pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut T> {
         let set = self.set_of(line);
-        self.find(line)
-            .map(|way| &mut self.sets[set][way].as_mut().expect("found way occupied").payload)
+        self.find(line).map(|way| {
+            &mut self.sets[set][way]
+                .as_mut()
+                .expect("found way occupied")
+                .payload
+        })
     }
 
     /// Looks up `line` as an architectural access: on a hit, updates the
@@ -122,7 +130,12 @@ impl<T> SetAssoc<T> {
         let set = self.set_of(line);
         let way = self.find(line)?;
         self.replacer.touch(set, way);
-        Some(&mut self.sets[set][way].as_mut().expect("found way occupied").payload)
+        Some(
+            &mut self.sets[set][way]
+                .as_mut()
+                .expect("found way occupied")
+                .payload,
+        )
     }
 
     /// Inserts an entry for `line`, touching replacement state.
@@ -163,7 +176,12 @@ impl<T> SetAssoc<T> {
         let way = self.find(line)?;
         self.replacer.clear(set, way);
         self.len -= 1;
-        Some(self.sets[set][way].take().expect("found way occupied").payload)
+        Some(
+            self.sets[set][way]
+                .take()
+                .expect("found way occupied")
+                .payload,
+        )
     }
 
     /// Number of occupied ways in `set`.
@@ -287,8 +305,7 @@ mod tests {
 
     #[test]
     fn random_replacement_stays_within_set() {
-        let mut c: SetAssoc<u32> =
-            SetAssoc::new(Geometry::new(2, 2), ReplacementPolicy::Random, 7);
+        let mut c: SetAssoc<u32> = SetAssoc::new(Geometry::new(2, 2), ReplacementPolicy::Random, 7);
         c.insert(LineAddr::new(1), 1); // set 1
         for i in 0..50u64 {
             c.insert(LineAddr::new(i * 2), i as u32); // set 0 only

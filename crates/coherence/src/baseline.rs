@@ -128,7 +128,11 @@ impl BaselineSlice {
         if entry.has_data {
             self.stats.llc_data_fills += 1;
         }
-        if let Some(Evicted { line: vline, payload: victim }) = self.td.insert(line, entry) {
+        if let Some(Evicted {
+            line: vline,
+            payload: victim,
+        }) = self.td.insert(line, entry)
+        {
             self.stats.td_conflict_discards += 1;
             out.push(Invalidation {
                 line: vline,
@@ -183,7 +187,11 @@ impl BaselineSlice {
                 sharers: SharerSet::single(core),
             },
         );
-        if let Some(Evicted { line: vline, payload }) = evicted {
+        if let Some(Evicted {
+            line: vline,
+            payload,
+        }) = evicted
+        {
             self.ed_conflict_to_td(vline, payload, out);
         }
     }
@@ -196,7 +204,10 @@ impl BaselineSlice {
                 !entry.sharers.contains(core),
                 "read miss by a core the ED already lists as sharer"
             );
-            let owner = entry.sharers.any().expect("ED entry has at least one sharer");
+            let owner = entry
+                .sharers
+                .any()
+                .expect("ED entry has at least one sharer");
             entry.sharers.insert(core);
             return DirResponse::new(DataSource::L2Cache(owner), DirHitKind::Ed);
         }
@@ -233,7 +244,11 @@ impl BaselineSlice {
             let source = if had_copy {
                 DataSource::None
             } else {
-                DataSource::L2Cache(others.any().expect("write miss hit an ED entry with no sharer"))
+                DataSource::L2Cache(
+                    others
+                        .any()
+                        .expect("write miss hit an ED entry with no sharer"),
+                )
             };
             let mut resp = DirResponse::new(source, DirHitKind::Ed);
             if !others.is_empty() {

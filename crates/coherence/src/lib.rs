@@ -35,10 +35,10 @@ mod state;
 mod way_partitioned;
 
 pub use baseline::{AppendixA, BaselineDirConfig, BaselineSlice, EdEntry, TdEntry};
-pub use way_partitioned::WayPartitionedSlice;
 pub use protocol::{
     AccessKind, DataSource, DirHitKind, DirResponse, DirSlice, DirSliceStats, DirWhere,
     Invalidation, InvalidationCause,
 };
 pub use sharers::SharerSet;
 pub use state::Moesi;
+pub use way_partitioned::WayPartitionedSlice;

@@ -178,6 +178,9 @@ mod tests {
     #[test]
     fn debug_is_nonempty() {
         assert_eq!(format!("{:?}", SharerSet::empty()), "SharerSet{}");
-        assert_eq!(format!("{:?}", SharerSet::single(CoreId(2))), "SharerSet{2}");
+        assert_eq!(
+            format!("{:?}", SharerSet::single(CoreId(2))),
+            "SharerSet{2}"
+        );
     }
 }

@@ -105,7 +105,10 @@ impl WayPartitionedSlice {
         if entry.has_data {
             self.stats.llc_data_fills += 1;
         }
-        if let Some(Evicted { line: vline, payload: victim }) = self.td[owner].insert(line, entry)
+        if let Some(Evicted {
+            line: vline,
+            payload: victim,
+        }) = self.td[owner].insert(line, entry)
         {
             self.stats.td_conflict_discards += 1;
             if victim.has_data && victim.llc_dirty {
@@ -127,7 +130,11 @@ impl WayPartitionedSlice {
                 sharers: SharerSet::single(core),
             },
         );
-        if let Some(Evicted { line: vline, payload }) = evicted {
+        if let Some(Evicted {
+            line: vline,
+            payload,
+        }) = evicted
+        {
             // ED self-conflict: migrate to the same core's TD partition
             // (data-less; the partitioned design has no reason to keep the
             // Appendix-A quirk).
@@ -181,8 +188,10 @@ impl DirSlice for WayPartitionedSlice {
                     if part != core.0 {
                         let e = self.ed[part].remove(line).expect("entry present");
                         let mut out = Vec::new();
-                        if let Some(Evicted { line: vline, payload }) =
-                            self.ed[core.0].insert(line, e)
+                        if let Some(Evicted {
+                            line: vline,
+                            payload,
+                        }) = self.ed[core.0].insert(line, e)
                         {
                             self.stats.ed_to_td_migrations += 1;
                             self.insert_td(
@@ -349,7 +358,7 @@ mod tests {
         read(&mut s, 0, 0);
         read(&mut s, 2, 0);
         read(&mut s, 4, 0); // self-conflict: core 0's own victim migrates
-        // Core 1's single entry is untouched throughout.
+                            // Core 1's single entry is untouched throughout.
         read(&mut s, 6, 1);
         for l in (8..40).step_by(2) {
             read(&mut s, l, 0);
@@ -367,10 +376,7 @@ mod tests {
         let mut victim_invalidated = false;
         for l in (2..200).step_by(2) {
             let r = read(&mut s, l, 1); // attacker storm
-            victim_invalidated |= r
-                .invalidations
-                .iter()
-                .any(|i| i.cores.contains(CoreId(0)));
+            victim_invalidated |= r.invalidations.iter().any(|i| i.cores.contains(CoreId(0)));
         }
         assert!(!victim_invalidated, "way partitioning must isolate cores");
     }

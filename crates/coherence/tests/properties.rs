@@ -20,7 +20,9 @@ struct Driver {
 
 impl Driver {
     fn new() -> Self {
-        Driver { holds: HashSet::new() }
+        Driver {
+            holds: HashSet::new(),
+        }
     }
 
     fn request(

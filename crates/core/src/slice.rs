@@ -130,7 +130,11 @@ impl SecDirSlice {
         if entry.has_data {
             self.stats.llc_data_fills += 1;
         }
-        if let Some(Evicted { line: vline, payload: victim }) = self.td.insert(line, entry) {
+        if let Some(Evicted {
+            line: vline,
+            payload: victim,
+        }) = self.td.insert(line, entry)
+        {
             if victim.has_data && victim.llc_dirty {
                 self.stats.llc_writebacks += 1;
             }
@@ -160,7 +164,11 @@ impl SecDirSlice {
                 sharers: SharerSet::single(core),
             },
         );
-        if let Some(Evicted { line: vline, payload }) = evicted {
+        if let Some(Evicted {
+            line: vline,
+            payload,
+        }) = evicted
+        {
             self.stats.ed_to_td_migrations += 1;
             self.insert_td(
                 vline,
@@ -178,7 +186,10 @@ impl SecDirSlice {
         if self.ed.contains(line) {
             self.stats.ed_hits += 1;
             let entry = self.ed.access(line).expect("ED entry present");
-            let owner = entry.sharers.any().expect("ED entry has at least one sharer");
+            let owner = entry
+                .sharers
+                .any()
+                .expect("ED entry has at least one sharer");
             entry.sharers.insert(core);
             return DirResponse::new(DataSource::L2Cache(owner), DirHitKind::Ed);
         }
@@ -235,7 +246,11 @@ impl SecDirSlice {
             let source = if had_copy {
                 DataSource::None
             } else {
-                DataSource::L2Cache(others.any().expect("write miss hit an ED entry with no sharer"))
+                DataSource::L2Cache(
+                    others
+                        .any()
+                        .expect("write miss hit an ED entry with no sharer"),
+                )
             };
             let mut resp = DirResponse::new(source, DirHitKind::Ed);
             if !others.is_empty() {
@@ -400,8 +415,8 @@ impl DirSlice for SecDirSlice {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use secdir_cache::Geometry;
     use crate::VdHashing;
+    use secdir_cache::Geometry;
 
     /// A slice small enough to force every transition: 1-set ED/TD with 2
     /// ways each, 4 cores, 4-set × 2-way cuckoo VD banks.
@@ -441,7 +456,9 @@ mod tests {
         // victim has core 0 as sharer, so it must go to core 0's VD.
         let r = read(&mut s, 5, 0);
         assert!(
-            r.invalidations.iter().all(|i| i.cause != InvalidationCause::TdConflict),
+            r.invalidations
+                .iter()
+                .all(|i| i.cause != InvalidationCause::TdConflict),
             "no inclusion victims on the secure path"
         );
         assert_eq!(s.stats().td_to_vd_migrations, 1);
@@ -460,7 +477,7 @@ mod tests {
         s.l2_evict(LineAddr::new(1), CoreId(0), false); // line 1: LLC only
         read(&mut s, 2, 0);
         s.l2_evict(LineAddr::new(2), CoreId(0), false); // line 2: LLC only
-        // TD (2 ways) is now full of sharer-less entries; force a third fill.
+                                                        // TD (2 ways) is now full of sharer-less entries; force a third fill.
         read(&mut s, 3, 0);
         s.l2_evict(LineAddr::new(3), CoreId(0), false);
         assert_eq!(s.stats().td_conflict_discards, 1);
@@ -473,11 +490,11 @@ mod tests {
         read(&mut s, 1, 0);
         read(&mut s, 1, 1);
         read(&mut s, 1, 2); // line 1 shared by cores 0,1,2 (entry in ED)
-        // Evict line 1's entry from ED into TD (data-less), then conflict it
-        // out of TD.
+                            // Evict line 1's entry from ED into TD (data-less), then conflict it
+                            // out of TD.
         fill_ed_td(&mut s, 2, 2, 3); // fills remaining ED way + forces line 1 out
-        // line 1's ED entry may have been victimized already; keep pushing
-        // until it reaches VD.
+                                     // line 1's ED entry may have been victimized already; keep pushing
+                                     // until it reaches VD.
         let mut next = 4u64;
         while !matches!(s.locate(LineAddr::new(1)), Some(DirWhere::Vd(_))) {
             read(&mut s, next, 3);
@@ -528,7 +545,10 @@ mod tests {
         assert_eq!(r.invalidations.len(), 1);
         assert_eq!(r.invalidations[0].cores, SharerSet::single(CoreId(0)));
         assert_eq!(r.invalidations[0].cause, InvalidationCause::Coherence);
-        assert_eq!(s.locate(vd_line), Some(DirWhere::Vd(SharerSet::single(CoreId(1)))));
+        assert_eq!(
+            s.locate(vd_line),
+            Some(DirWhere::Vd(SharerSet::single(CoreId(1))))
+        );
     }
 
     #[test]
@@ -579,7 +599,10 @@ mod tests {
                 }
             }
         }
-        assert!(s.stats().vd_self_conflicts > 0, "tiny VD must self-conflict");
+        assert!(
+            s.stats().vd_self_conflicts > 0,
+            "tiny VD must self-conflict"
+        );
     }
 
     #[test]

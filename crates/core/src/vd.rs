@@ -68,7 +68,10 @@ impl VdBank {
             geometry,
             hashing,
             empty_bit,
-            hashes: [SkewHash::new(0, geometry.sets()), SkewHash::new(1, geometry.sets())],
+            hashes: [
+                SkewHash::new(0, geometry.sets()),
+                SkewHash::new(1, geometry.sets()),
+            ],
             sets: (0..geometry.sets())
                 .map(|_| vec![None; geometry.ways()])
                 .collect(),
@@ -316,7 +319,10 @@ mod tests {
         let mut dropped = 0;
         for i in 0..224u64 {
             // ~87% load
-            if b.insert(LineAddr::new(i.wrapping_mul(0x9e37_79b9))).displaced.is_some() {
+            if b.insert(LineAddr::new(i.wrapping_mul(0x9e37_79b9)))
+                .displaced
+                .is_some()
+            {
                 dropped += 1;
             }
         }
@@ -340,7 +346,10 @@ mod tests {
         assert!(b.insert(lines[0]).displaced.is_none());
         assert!(b.insert(lines[1]).displaced.is_none());
         let r = b.insert(lines[2]);
-        assert!(r.displaced.is_some(), "plain bank must displace on conflict");
+        assert!(
+            r.displaced.is_some(),
+            "plain bank must displace on conflict"
+        );
         assert_eq!(b.len(), 2);
     }
 

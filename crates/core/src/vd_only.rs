@@ -203,7 +203,10 @@ mod tests {
         let r = s.request(LineAddr::new(9), CoreId(0), AccessKind::Read);
         assert_eq!(r.hit, DirHitKind::Miss);
         assert_eq!(r.source, DataSource::Memory);
-        assert_eq!(s.locate(LineAddr::new(9)), Some(DirWhere::Vd(SharerSet::single(CoreId(0)))));
+        assert_eq!(
+            s.locate(LineAddr::new(9)),
+            Some(DirWhere::Vd(SharerSet::single(CoreId(0))))
+        );
     }
 
     #[test]

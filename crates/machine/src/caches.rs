@@ -84,11 +84,14 @@ impl PrivateCaches {
     /// Fills `line` into L2 (and L1) in `state`. Returns the L2 victim, if
     /// the fill displaced one: the caller must notify the directory.
     pub fn fill(&mut self, line: LineAddr, state: Moesi) -> Option<(LineAddr, Moesi)> {
-        let victim = self.l2.insert(line, state).map(|Evicted { line, payload }| {
-            // Enforce L1 ⊆ L2.
-            self.l1.remove(line);
-            (line, payload)
-        });
+        let victim = self
+            .l2
+            .insert(line, state)
+            .map(|Evicted { line, payload }| {
+                // Enforce L1 ⊆ L2.
+                self.l1.remove(line);
+                (line, payload)
+            });
         self.fill_l1(line);
         victim
     }
@@ -109,7 +112,6 @@ impl PrivateCaches {
     pub fn l2_iter(&self) -> impl Iterator<Item = (LineAddr, Moesi)> + '_ {
         self.l2.iter().map(|(l, &s)| (l, s))
     }
-
 }
 
 #[cfg(test)]
@@ -134,7 +136,9 @@ mod tests {
         // Lines 0, 4, 8 share L2 set 0 (4 sets).
         p.fill(LineAddr::new(0), Moesi::Exclusive);
         p.fill(LineAddr::new(4), Moesi::Exclusive);
-        let (victim, state) = p.fill(LineAddr::new(8), Moesi::Exclusive).expect("L2 conflict");
+        let (victim, state) = p
+            .fill(LineAddr::new(8), Moesi::Exclusive)
+            .expect("L2 conflict");
         assert_eq!(victim, LineAddr::new(0));
         assert_eq!(state, Moesi::Exclusive);
         assert!(!p.l1_contains(victim), "L1 must stay inclusive in L2");

@@ -30,13 +30,52 @@ pub enum DirectoryKind {
 }
 
 impl DirectoryKind {
+    /// Every directory organization, in declaration order.
+    pub const ALL: [DirectoryKind; 7] = [
+        DirectoryKind::Baseline,
+        DirectoryKind::BaselineFixed,
+        DirectoryKind::SecDir,
+        DirectoryKind::SecDirPlainVd,
+        DirectoryKind::WayPartitioned,
+        DirectoryKind::SecDirVdOnly,
+        DirectoryKind::SecDirVdOnlyPlain,
+    ];
+
+    /// The stable CLI/JSONL name of this organization.
+    pub fn name(self) -> &'static str {
+        match self {
+            DirectoryKind::Baseline => "baseline",
+            DirectoryKind::BaselineFixed => "baseline-fixed",
+            DirectoryKind::SecDir => "secdir",
+            DirectoryKind::SecDirPlainVd => "secdir-plain-vd",
+            DirectoryKind::WayPartitioned => "way-partitioned",
+            DirectoryKind::SecDirVdOnly => "vd-only",
+            DirectoryKind::SecDirVdOnlyPlain => "vd-only-plain",
+        }
+    }
+
+    /// Parses a [`DirectoryKind::name`] string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the known names on an unknown input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        DirectoryKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| {
+                format!(
+                    "unknown directory kind `{s}` (known: {})",
+                    DirectoryKind::ALL.map(|k| k.name()).join(", ")
+                )
+            })
+    }
+
     /// Whether this organization contains Victim Directories.
     pub fn has_vd(self) -> bool {
         !matches!(
             self,
-            DirectoryKind::Baseline
-                | DirectoryKind::BaselineFixed
-                | DirectoryKind::WayPartitioned
+            DirectoryKind::Baseline | DirectoryKind::BaselineFixed | DirectoryKind::WayPartitioned
         )
     }
 }
@@ -227,12 +266,18 @@ mod tests {
     #[test]
     fn fixed_baseline_flag_propagates() {
         let c = MachineConfig::skylake_x(8, DirectoryKind::BaselineFixed);
-        assert_eq!(c.baseline_dir().appendix_a, secdir_coherence::AppendixA::Fixed);
+        assert_eq!(
+            c.baseline_dir().appendix_a,
+            secdir_coherence::AppendixA::Fixed
+        );
     }
 
     #[test]
     fn plain_vd_variants_use_plain_hashing() {
-        for k in [DirectoryKind::SecDirPlainVd, DirectoryKind::SecDirVdOnlyPlain] {
+        for k in [
+            DirectoryKind::SecDirPlainVd,
+            DirectoryKind::SecDirVdOnlyPlain,
+        ] {
             let c = MachineConfig::skylake_x(8, k);
             assert_eq!(c.secdir_dir().hashing, secdir::VdHashing::Plain);
         }

@@ -7,6 +7,9 @@
 //! in global-time order, so cross-core interleavings — the substance of
 //! directory conflicts — are modeled faithfully at transaction granularity.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use secdir_mem::{CoreId, LineAddr};
 use serde::{Deserialize, Serialize};
 
@@ -110,13 +113,65 @@ impl RunSummary {
     }
 }
 
+/// How [`run_workload_with`] picks the next core to advance.
+///
+/// Both schedulers pick the earliest-ready active core, with the lowest
+/// core id breaking time ties — so they produce bit-identical runs (see
+/// `tests/determinism.rs`). The heap is the default: it makes each pick
+/// O(log n) instead of O(n), which matters on the sweep harness's hot path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scheduler {
+    /// `BinaryHeap` event queue keyed on `(ready-time, core-id)`.
+    #[default]
+    Heap,
+    /// Linear `min_by_key` scan over all cores (the reference
+    /// implementation, kept for A/B determinism checks).
+    Scan,
+}
+
+/// Advances `core` by one reference: returns its new ready time, or `None`
+/// (recording `finish_time`) when the stream is exhausted or the per-call
+/// access cap is reached.
+fn advance_core(
+    machine: &mut Machine,
+    streams: &mut [Box<dyn AccessStream + '_>],
+    runs: &mut [CoreRun],
+    core: usize,
+    ready: u64,
+    max_accesses_per_core: u64,
+) -> Option<u64> {
+    if runs[core].accesses >= max_accesses_per_core {
+        runs[core].finish_time = ready;
+        return None;
+    }
+    match streams[core].next_access() {
+        None => {
+            runs[core].finish_time = ready;
+            None
+        }
+        Some(acc) => {
+            let outcome = machine.access(CoreId(core), acc.line, acc.write);
+            runs[core].instructions += u64::from(acc.gap) + 1;
+            runs[core].accesses += 1;
+            Some(ready + u64::from(acc.gap) + outcome.latency)
+        }
+    }
+}
+
 /// Runs one stream per core until every stream is exhausted or a core has
 /// issued `max_accesses_per_core` references, advancing cores in global
-/// time order.
+/// time order (earliest-ready first, lowest core id on ties).
 ///
-/// The streams are borrowed mutably so a caller can run a warm-up phase
-/// and then continue the *same* streams for the measured phase (the
-/// paper's skip-then-measure methodology).
+/// `max_accesses_per_core` caps the references issued **during this call
+/// only** — the count restarts from zero on every call, it is not
+/// cumulative across calls. The streams are borrowed mutably so a caller
+/// can run a warm-up phase and then continue the *same* streams for the
+/// measured phase (the paper's skip-then-measure methodology): warm up
+/// with `run_workload(m, s, warmup)` and then measure with
+/// `run_workload(m, s, measure)`, where `measure` is the size of the
+/// measured phase itself, *not* `warmup + measure`.
+///
+/// Equivalent to [`run_workload_with`] using [`Scheduler::Heap`].
 ///
 /// # Panics
 ///
@@ -126,40 +181,66 @@ pub fn run_workload(
     streams: &mut [Box<dyn AccessStream + '_>],
     max_accesses_per_core: u64,
 ) -> RunSummary {
+    run_workload_with(machine, streams, max_accesses_per_core, Scheduler::Heap)
+}
+
+/// [`run_workload`] with an explicit [`Scheduler`] choice.
+///
+/// # Panics
+///
+/// Panics if `streams.len()` differs from the machine's core count.
+pub fn run_workload_with(
+    machine: &mut Machine,
+    streams: &mut [Box<dyn AccessStream + '_>],
+    max_accesses_per_core: u64,
+    scheduler: Scheduler,
+) -> RunSummary {
     assert_eq!(
         streams.len(),
         machine.num_cores(),
         "one stream per core required"
     );
     let n = streams.len();
-    let mut ready = vec![0u64; n];
-    let mut done = vec![false; n];
     let mut runs = vec![CoreRun::default(); n];
 
-    loop {
-        // Pick the earliest-ready active core (lowest id breaks ties for
-        // determinism).
-        let Some(core) = (0..n).filter(|&i| !done[i]).min_by_key(|&i| (ready[i], i)) else {
-            break;
-        };
-        if runs[core].accesses >= max_accesses_per_core {
-            done[core] = true;
-            runs[core].finish_time = ready[core];
-            continue;
-        }
-        match streams[core].next_access() {
-            None => {
-                done[core] = true;
-                runs[core].finish_time = ready[core];
+    match scheduler {
+        Scheduler::Heap => {
+            // One entry per active core; a core re-enqueues itself with its
+            // new ready time, so the queue never holds stale entries.
+            let mut queue: BinaryHeap<Reverse<(u64, usize)>> =
+                (0..n).map(|i| Reverse((0, i))).collect();
+            while let Some(Reverse((ready, core))) = queue.pop() {
+                if let Some(next) = advance_core(
+                    machine,
+                    streams,
+                    &mut runs,
+                    core,
+                    ready,
+                    max_accesses_per_core,
+                ) {
+                    queue.push(Reverse((next, core)));
+                }
             }
-            Some(acc) => {
-                let outcome = machine.access(CoreId(core), acc.line, acc.write);
-                ready[core] += u64::from(acc.gap) + outcome.latency;
-                runs[core].instructions += u64::from(acc.gap) + 1;
-                runs[core].accesses += 1;
+        }
+        Scheduler::Scan => {
+            let mut ready = vec![0u64; n];
+            let mut done = vec![false; n];
+            while let Some(core) = (0..n).filter(|&i| !done[i]).min_by_key(|&i| (ready[i], i)) {
+                match advance_core(
+                    machine,
+                    streams,
+                    &mut runs,
+                    core,
+                    ready[core],
+                    max_accesses_per_core,
+                ) {
+                    Some(next) => ready[core] = next,
+                    None => done[core] = true,
+                }
             }
         }
     }
+
     let cycles = runs.iter().map(|r| r.finish_time).max().unwrap_or(0);
     RunSummary {
         cores: runs,
@@ -183,7 +264,7 @@ mod tests {
     #[test]
     fn single_core_run_counts_instructions() {
         let mut m = Machine::new(MachineConfig::small(1, DirectoryKind::Baseline));
-        let s = run_workload(&mut m, &mut vec![stream_of(vec![1, 2, 3], 4)], u64::MAX);
+        let s = run_workload(&mut m, &mut [stream_of(vec![1, 2, 3], 4)], u64::MAX);
         assert_eq!(s.cores[0].accesses, 3);
         assert_eq!(s.cores[0].instructions, 15); // 3 × (4 gap + 1)
         assert!(s.cycles > 0);
@@ -192,7 +273,7 @@ mod tests {
     #[test]
     fn access_cap_limits_the_run() {
         let mut m = Machine::new(MachineConfig::small(1, DirectoryKind::Baseline));
-        let s = run_workload(&mut m, &mut vec![stream_of((0..100).collect(), 0)], 10);
+        let s = run_workload(&mut m, &mut [stream_of((0..100).collect(), 0)], 10);
         assert_eq!(s.cores[0].accesses, 10);
     }
 
@@ -201,7 +282,7 @@ mod tests {
         let mut m = Machine::new(MachineConfig::small(2, DirectoryKind::Baseline));
         let s = run_workload(
             &mut m,
-            &mut vec![stream_of(vec![1], 0), stream_of((10..60).collect(), 10)],
+            &mut [stream_of(vec![1], 0), stream_of((10..60).collect(), 10)],
             u64::MAX,
         );
         assert_eq!(s.cycles, s.cores[1].finish_time);
@@ -211,9 +292,9 @@ mod tests {
     #[test]
     fn repeated_lines_get_cache_hit_timing() {
         let mut m = Machine::new(MachineConfig::small(1, DirectoryKind::Baseline));
-        let cold = run_workload(&mut m, &mut vec![stream_of(vec![7], 0)], u64::MAX);
+        let cold = run_workload(&mut m, &mut [stream_of(vec![7], 0)], u64::MAX);
         let mut m2 = Machine::new(MachineConfig::small(1, DirectoryKind::Baseline));
-        let warm = run_workload(&mut m2, &mut vec![stream_of(vec![7, 7, 7], 0)], u64::MAX);
+        let warm = run_workload(&mut m2, &mut [stream_of(vec![7, 7, 7], 0)], u64::MAX);
         // Two extra L1 hits cost 8 cycles total.
         assert_eq!(warm.cycles, cold.cycles + 8);
     }
@@ -248,6 +329,26 @@ mod tests {
     #[should_panic(expected = "one stream per core")]
     fn stream_count_must_match() {
         let mut m = Machine::new(MachineConfig::small(2, DirectoryKind::Baseline));
-        run_workload(&mut m, &mut vec![stream_of(vec![1], 0)], 10);
+        run_workload(&mut m, &mut [stream_of(vec![1], 0)], 10);
+    }
+
+    #[test]
+    fn heap_and_scan_schedulers_are_bit_identical() {
+        // Interleaved multi-core streams with shared lines, gaps, and an
+        // access cap — everything that could perturb scheduling order.
+        let build = || {
+            vec![
+                stream_of((0..200).map(|i| i % 37).collect(), 0),
+                stream_of((0..200).map(|i| i % 11).collect(), 3),
+                stream_of((0..50).collect(), 7),
+                stream_of(vec![5; 300], 1),
+            ]
+        };
+        let mut m_heap = Machine::new(MachineConfig::small(4, DirectoryKind::SecDir));
+        let heap = run_workload_with(&mut m_heap, &mut build(), 120, Scheduler::Heap);
+        let mut m_scan = Machine::new(MachineConfig::small(4, DirectoryKind::SecDir));
+        let scan = run_workload_with(&mut m_scan, &mut build(), 120, Scheduler::Scan);
+        assert_eq!(heap, scan);
+        assert_eq!(m_heap.stats(), m_scan.stats());
     }
 }

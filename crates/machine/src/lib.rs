@@ -33,9 +33,12 @@ mod config;
 mod engine;
 mod machine;
 mod stats;
+pub mod sweep;
 
 pub use caches::PrivateCaches;
 pub use config::{DirectoryKind, Latencies, MachineConfig, TimingMitigation};
-pub use engine::{run_workload, Access, AccessStream, CoreRun, RunSummary};
+pub use engine::{
+    run_workload, run_workload_with, Access, AccessStream, CoreRun, RunSummary, Scheduler,
+};
 pub use machine::{AccessOutcome, Machine, ServedBy};
 pub use stats::{CoreStats, MachineStats};

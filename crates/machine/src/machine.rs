@@ -215,9 +215,7 @@ impl Machine {
     /// §6: cycles of padding an ED/TD-satisfied response needs so the
     /// attacker cannot tell it from a VD-satisfied one.
     fn mitigation_pad(&self, resp: &secdir_coherence::DirResponse) -> u64 {
-        if !self.config.directory.has_vd()
-            || !matches!(resp.hit, DirHitKind::Ed | DirHitKind::Td)
-        {
+        if !self.config.directory.has_vd() || !matches!(resp.hit, DirHitKind::Ed | DirHitKind::Td) {
             return 0;
         }
         let pad = self.config.latencies.vd_empty_bit + self.config.latencies.vd_array;
@@ -225,8 +223,8 @@ impl Machine {
             TimingMitigation::Off => 0,
             TimingMitigation::Naive => pad,
             TimingMitigation::Selective => {
-                let observable = matches!(resp.source, DataSource::L2Cache(_))
-                    || !resp.invalidations.is_empty();
+                let observable =
+                    matches!(resp.source, DataSource::L2Cache(_)) || !resp.invalidations.is_empty();
                 if observable {
                     pad
                 } else {
@@ -240,7 +238,9 @@ impl Machine {
     /// round-trip that invalidates the other copies.
     fn upgrade(&mut self, core: CoreId, line: LineAddr) -> u64 {
         let slice = self.slice_of(line);
-        let resp = self.slices[slice.0].as_dir().request(line, core, AccessKind::Write);
+        let resp = self.slices[slice.0]
+            .as_dir()
+            .request(line, core, AccessKind::Write);
         debug_assert_eq!(resp.source, DataSource::None, "upgrade moved data");
         let mut extra = self.dir_latency(core, slice);
         if resp.vd_eb_checked {
@@ -312,7 +312,11 @@ impl Machine {
 
         // L2 miss: directory transaction at the home slice.
         let slice = self.slice_of(line);
-        let kind = if write { AccessKind::Write } else { AccessKind::Read };
+        let kind = if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
         let resp = self.slices[slice.0].as_dir().request(line, core, kind);
         self.stats.cores[core.0].l2_misses += 1;
 
@@ -427,9 +431,9 @@ mod tests {
         let line = LineAddr::new(0x77);
         m.access(CoreId(0), line, false);
         assert_eq!(m.access(CoreId(0), line, false).latency, 4); // L1
-        // Evict from L1 only: touch enough same-L1-set lines.
-        // Simpler: a fresh line hits L2 after an L1-displacing sweep is
-        // overkill here; instead check the L2 path via a second core's copy.
+                                                                 // Evict from L1 only: touch enough same-L1-set lines.
+                                                                 // Simpler: a fresh line hits L2 after an L1-displacing sweep is
+                                                                 // overkill here; instead check the L2 path via a second core's copy.
     }
 
     #[test]

@@ -107,14 +107,20 @@ impl LineAddr {
     ///
     /// Panics if `num_sets` is not a power of two.
     pub fn set_index(self, num_sets: usize) -> usize {
-        assert!(num_sets.is_power_of_two(), "num_sets must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "num_sets must be a power of two"
+        );
         (self.0 as usize) & (num_sets - 1)
     }
 
     /// Conventional tag for a structure with `num_sets` sets: the line
     /// address bits above the set index.
     pub fn tag(self, num_sets: usize) -> u64 {
-        assert!(num_sets.is_power_of_two(), "num_sets must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "num_sets must be a power of two"
+        );
         self.0 >> num_sets.trailing_zeros()
     }
 

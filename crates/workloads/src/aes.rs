@@ -131,7 +131,8 @@ impl Aes128 {
         let tables = TTables::new();
         let mut rk = [0u32; 44];
         for i in 0..4 {
-            rk[i] = u32::from_be_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+            rk[i] =
+                u32::from_be_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
         }
         let mut rcon: u8 = 1;
         for i in 4..44 {
@@ -162,8 +163,9 @@ impl Aes128 {
         let mut trace = Vec::with_capacity(160);
         let rk = &self.round_keys;
         let te = &self.tables.te;
-        let word =
-            |b: &[u8], i: usize| u32::from_be_bytes([b[4 * i], b[4 * i + 1], b[4 * i + 2], b[4 * i + 3]]);
+        let word = |b: &[u8], i: usize| {
+            u32::from_be_bytes([b[4 * i], b[4 * i + 1], b[4 * i + 2], b[4 * i + 3]])
+        };
         let mut s = [
             word(&plaintext, 0) ^ rk[0],
             word(&plaintext, 1) ^ rk[1],
@@ -171,7 +173,10 @@ impl Aes128 {
             word(&plaintext, 3) ^ rk[3],
         ];
         let look = |trace: &mut Vec<TableAccess>, t: u8, idx: u8| -> u32 {
-            trace.push(TableAccess { table: t, index: idx });
+            trace.push(TableAccess {
+                table: t,
+                index: idx,
+            });
             te[t as usize][idx as usize]
         };
         for round in 1..10 {
@@ -275,16 +280,16 @@ mod tests {
     use super::*;
 
     const FIPS_KEY: [u8; 16] = [
-        0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
-        0x0e, 0x0f,
+        0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e,
+        0x0f,
     ];
     const FIPS_PT: [u8; 16] = [
-        0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
-        0xee, 0xff,
+        0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee,
+        0xff,
     ];
     const FIPS_CT: [u8; 16] = [
-        0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
-        0xc5, 0x5a,
+        0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5,
+        0x5a,
     ];
 
     #[test]
@@ -333,7 +338,10 @@ mod tests {
     #[test]
     fn table_access_maps_to_correct_line() {
         let base = LineAddr::new(0x1000);
-        let a = TableAccess { table: 1, index: 0x25 };
+        let a = TableAccess {
+            table: 1,
+            index: 0x25,
+        };
         // Table 1 starts at line base+16; index 0x25 (byte 0x94) is line 2.
         assert_eq!(a.line(base), LineAddr::new(0x1000 + 16 + 2));
     }

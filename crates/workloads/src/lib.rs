@@ -15,7 +15,9 @@
 //! * [`rsa`] — a square-and-multiply victim with an exponent-dependent
 //!   access pattern (§9's RSA discussion);
 //! * [`trace`] — capture, save, load, and replay reference traces, for
-//!   replaying one stream against several machine configurations.
+//!   replaying one stream against several machine configurations;
+//! * [`registry`] — name-based lookup of all of the above, feeding the
+//!   `secdir_machine::sweep` experiment matrices.
 //!
 //! # Examples
 //!
@@ -32,9 +34,10 @@
 
 pub mod aes;
 pub mod parsec;
+pub mod registry;
 pub mod rsa;
 pub mod spec;
 mod stream;
 pub mod trace;
 
-pub use stream::{SyntheticStream, StreamParams};
+pub use stream::{StreamParams, SyntheticStream};

@@ -1,0 +1,88 @@
+//! Name-based workload lookup — the glue between the declarative sweep
+//! matrix (`secdir_machine::sweep`) and the concrete generators here.
+//!
+//! The sweep harness identifies workloads by string so `secdir-machine`
+//! never has to know about SPEC mixes or PARSEC apps (the dependency points
+//! the other way). This module resolves those names: the twelve Table-5
+//! SPEC mixes (`mix0`..`mix11`) and the PARSEC apps, each expanded to one
+//! reference stream per core with the cell's seed.
+
+use secdir_machine::sweep::CellSpec;
+use secdir_machine::AccessStream;
+
+use crate::parsec::ParsecApp;
+use crate::spec::mixes;
+
+/// Every name [`streams_by_name`] resolves: the SPEC mixes first, then the
+/// PARSEC apps, in their canonical order.
+pub fn all_names() -> Vec<String> {
+    mixes()
+        .iter()
+        .map(|m| m.name.to_string())
+        .chain(ParsecApp::ALL.iter().map(|a| a.name.to_string()))
+        .collect()
+}
+
+/// The twelve Table-5 mix names (`mix0`..`mix11`).
+pub fn spec_mix_names() -> Vec<String> {
+    mixes().iter().map(|m| m.name.to_string()).collect()
+}
+
+/// The PARSEC app names.
+pub fn parsec_names() -> Vec<String> {
+    ParsecApp::ALL.iter().map(|a| a.name.to_string()).collect()
+}
+
+/// Builds one stream per core for the named workload, or `None` if the
+/// name is unknown. Deterministic in `(name, cores, seed)`.
+pub fn streams_by_name(name: &str, cores: usize, seed: u64) -> Option<Vec<Box<dyn AccessStream>>> {
+    if let Some(mix) = mixes().into_iter().find(|m| m.name == name) {
+        return Some(mix.streams(cores, seed));
+    }
+    ParsecApp::ALL
+        .iter()
+        .find(|a| a.name == name)
+        .map(|app| app.threads(cores, seed))
+}
+
+/// A [`secdir_machine::sweep::StreamFactory`] resolving cell workloads
+/// through [`streams_by_name`] — pass as `&registry::factory`.
+///
+/// # Panics
+///
+/// Panics if the cell names an unknown workload (matrices should be built
+/// from [`all_names`] / [`spec_mix_names`] / [`parsec_names`]).
+pub fn factory(cell: &CellSpec) -> Vec<Box<dyn AccessStream + 'static>> {
+    streams_by_name(&cell.workload, cell.cores, cell.seed)
+        .unwrap_or_else(|| panic!("unknown workload `{}`", cell.workload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_every_advertised_name() {
+        for name in all_names() {
+            assert!(streams_by_name(&name, 4, 1).is_some(), "{name} missing");
+        }
+        assert_eq!(
+            all_names().len(),
+            spec_mix_names().len() + parsec_names().len()
+        );
+        assert_eq!(spec_mix_names().len(), 12);
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(streams_by_name("specint2077", 4, 1).is_none());
+    }
+
+    #[test]
+    fn produces_one_stream_per_core() {
+        for cores in [1, 4, 8] {
+            assert_eq!(streams_by_name("mix0", cores, 7).unwrap().len(), cores);
+            assert_eq!(streams_by_name("canneal", cores, 7).unwrap().len(), cores);
+        }
+    }
+}

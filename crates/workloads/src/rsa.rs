@@ -153,7 +153,10 @@ mod tests {
         }
         let v = RsaVictim::new(0b1101_0110, LineAddr::new(0));
         for b in [2u64, 3, 12345] {
-            assert_eq!(v.modexp(b, 1_000_003), slow_modexp(b, 0b1101_0110, 1_000_003));
+            assert_eq!(
+                v.modexp(b, 1_000_003),
+                slow_modexp(b, 0b1101_0110, 1_000_003)
+            );
         }
     }
 
@@ -163,8 +166,8 @@ mod tests {
         assert_eq!(
             v.steps(),
             vec![
-                RsaStep::Square,            // bit 1 = 0
-                RsaStep::Square,            // bit 0 = 1
+                RsaStep::Square, // bit 1 = 0
+                RsaStep::Square, // bit 0 = 1
                 RsaStep::Multiply,
             ]
         );
@@ -181,7 +184,10 @@ mod tests {
                 multiply_touches += 1;
             }
         }
-        assert_eq!(multiply_touches, 0, "exponent 0b1000 has no 1-bits below top");
+        assert_eq!(
+            multiply_touches, 0,
+            "exponent 0b1000 has no 1-bits below top"
+        );
 
         let with_ones = RsaVictim::new(0b1011, LineAddr::new(0));
         let mut s = with_ones.stream();

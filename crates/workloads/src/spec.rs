@@ -162,25 +162,72 @@ impl SpecMix {
 /// The twelve Table-5 mixes.
 pub fn mixes() -> Vec<SpecMix> {
     vec![
-        SpecMix { name: "mix0", a: SpecApp::GOBMK, b: SpecApp::SJENG },
-        SpecMix { name: "mix1", a: SpecApp::HMMER, b: SpecApp::GAMESS },
-        SpecMix { name: "mix2", a: SpecApp::BZIP2, b: SpecApp::OMNETPP },
-        SpecMix { name: "mix3", a: SpecApp::GROMACS, b: SpecApp::ZEUSMP },
-        SpecMix { name: "mix4", a: SpecApp::LIBQUANTUM, b: SpecApp::LBM },
-        SpecMix { name: "mix5", a: SpecApp::BWAVES, b: SpecApp::SPHINX3 },
-        SpecMix { name: "mix6", a: SpecApp::SJENG, b: SpecApp::OMNETPP },
-        SpecMix { name: "mix7", a: SpecApp::H264REF, b: SpecApp::ZEUSMP },
-        SpecMix { name: "mix8", a: SpecApp::GOBMK, b: SpecApp::LIBQUANTUM },
-        SpecMix { name: "mix9", a: SpecApp::NAMD, b: SpecApp::BWAVES },
-        SpecMix { name: "mix10", a: SpecApp::OMNETPP, b: SpecApp::BWAVES },
-        SpecMix { name: "mix11", a: SpecApp::ZEUSMP, b: SpecApp::LBM },
+        SpecMix {
+            name: "mix0",
+            a: SpecApp::GOBMK,
+            b: SpecApp::SJENG,
+        },
+        SpecMix {
+            name: "mix1",
+            a: SpecApp::HMMER,
+            b: SpecApp::GAMESS,
+        },
+        SpecMix {
+            name: "mix2",
+            a: SpecApp::BZIP2,
+            b: SpecApp::OMNETPP,
+        },
+        SpecMix {
+            name: "mix3",
+            a: SpecApp::GROMACS,
+            b: SpecApp::ZEUSMP,
+        },
+        SpecMix {
+            name: "mix4",
+            a: SpecApp::LIBQUANTUM,
+            b: SpecApp::LBM,
+        },
+        SpecMix {
+            name: "mix5",
+            a: SpecApp::BWAVES,
+            b: SpecApp::SPHINX3,
+        },
+        SpecMix {
+            name: "mix6",
+            a: SpecApp::SJENG,
+            b: SpecApp::OMNETPP,
+        },
+        SpecMix {
+            name: "mix7",
+            a: SpecApp::H264REF,
+            b: SpecApp::ZEUSMP,
+        },
+        SpecMix {
+            name: "mix8",
+            a: SpecApp::GOBMK,
+            b: SpecApp::LIBQUANTUM,
+        },
+        SpecMix {
+            name: "mix9",
+            a: SpecApp::NAMD,
+            b: SpecApp::BWAVES,
+        },
+        SpecMix {
+            name: "mix10",
+            a: SpecApp::OMNETPP,
+            b: SpecApp::BWAVES,
+        },
+        SpecMix {
+            name: "mix11",
+            a: SpecApp::ZEUSMP,
+            b: SpecApp::LBM,
+        },
     ]
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
 
     #[test]
     fn twelve_mixes_matching_table_5_classes() {
@@ -220,8 +267,11 @@ mod tests {
             assert!(app.hot_lines > 16_384, "{} fits L2", app.name);
             // 8 copies of the hot set must fit the 180K-line LLC roughly.
             assert!(app.hot_lines < 45_000, "{} thrashes the LLC", app.name);
-            assert!(app.hot_lines > 16_384 || app.hot_lines * 8 > 131_072 / 2,
-                "{} does not pressure the LLC", app.name);
+            assert!(
+                app.hot_lines > 16_384 || app.hot_lines * 8 > 131_072 / 2,
+                "{} does not pressure the LLC",
+                app.name
+            );
         }
     }
 

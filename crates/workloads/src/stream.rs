@@ -56,9 +56,18 @@ impl StreamParams {
     pub fn validated(self) -> Self {
         assert!(self.hot_lines > 0, "hot region must be non-empty");
         assert!(self.hot_stride > 0, "hot_stride must be positive");
-        assert!((0.0..=1.0).contains(&self.hot_fraction), "hot_fraction in [0,1]");
-        assert!((0.0..=1.0).contains(&self.very_hot_bias), "very_hot_bias in [0,1]");
-        assert!((0.0..=1.0).contains(&self.write_fraction), "write_fraction in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&self.hot_fraction),
+            "hot_fraction in [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.very_hot_bias),
+            "very_hot_bias in [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.write_fraction),
+            "write_fraction in [0,1]"
+        );
         self
     }
 
@@ -231,7 +240,9 @@ mod tests {
     #[test]
     fn write_fraction_respected_roughly() {
         let mut s = SyntheticStream::new(params(), 11);
-        let writes = (0..100_000).filter(|_| s.next_access().unwrap().write).count();
+        let writes = (0..100_000)
+            .filter(|_| s.next_access().unwrap().write)
+            .count();
         assert!((25_000..35_000).contains(&writes), "writes {writes}");
     }
 

@@ -186,7 +186,10 @@ impl Trace {
                 .parse()
                 .map_err(|_| ParseTraceError::Malformed(i + 1, "bad core".into()))?;
             if core >= cores {
-                return Err(ParseTraceError::Malformed(i + 1, format!("core {core} out of range")));
+                return Err(ParseTraceError::Malformed(
+                    i + 1,
+                    format!("core {core} out of range"),
+                ));
             }
             let addr = u64::from_str_radix(&parse(i, "line", parts.next())?, 16)
                 .map_err(|_| ParseTraceError::Malformed(i + 1, "bad line address".into()))?;
@@ -194,7 +197,10 @@ impl Trace {
                 "R" => false,
                 "W" => true,
                 other => {
-                    return Err(ParseTraceError::Malformed(i + 1, format!("bad kind `{other}`")))
+                    return Err(ParseTraceError::Malformed(
+                        i + 1,
+                        format!("bad kind `{other}`"),
+                    ))
                 }
             };
             let gap: u32 = parse(i, "gap", parts.next())?
@@ -241,7 +247,7 @@ mod tests {
 
     #[test]
     fn replay_matches_the_capture() {
-        use secdir_machine::{DirectoryKind, Machine, MachineConfig, run_workload};
+        use secdir_machine::{run_workload, DirectoryKind, Machine, MachineConfig};
         let t = sample();
         let mut m1 = Machine::new(MachineConfig::small(2, DirectoryKind::SecDir));
         let s1 = run_workload(&mut m1, &mut t.streams(), u64::MAX);

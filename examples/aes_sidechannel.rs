@@ -51,7 +51,12 @@ fn spy_accuracy(kind: DirectoryKind) -> (f64, usize, usize, u64) {
     let monitored = TableAccess { table: 0, index: 0 }.line(base); // T0 line 0
 
     // Build the directory eviction set for the monitored line.
-    let ev = build_eviction_set(&machine, monitored, LINES_PER_CORE * ATTACKERS.len(), 1 << 32);
+    let ev = build_eviction_set(
+        &machine,
+        monitored,
+        LINES_PER_CORE * ATTACKERS.len(),
+        1 << 32,
+    );
 
     // Warm the victim's tables.
     let mut rng = secdir_mem::SplitMix64::new(1);
@@ -78,9 +83,7 @@ fn spy_accuracy(kind: DirectoryKind) -> (f64, usize, usize, u64) {
         }
         // The victim encrypts one block.
         let trace = victim_encrypt(&mut machine, &aes, base, random_block());
-        let truth = trace
-            .iter()
-            .any(|t| t.line(base) == monitored);
+        let truth = trace.iter().any(|t| t.line(base) == monitored);
         // Reload: fast means "victim touched T0 line 0 this block".
         let latency = machine.access(ATTACKERS[0], monitored, false).latency;
         let guess = latency < THRESHOLD;

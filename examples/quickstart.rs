@@ -18,17 +18,26 @@ fn main() {
 
     // A cold read goes to memory and allocates an Extended Directory entry.
     let miss = machine.access(core0, line, false);
-    println!("cold read : {:>3} cycles, served by {:?}", miss.latency, miss.served);
+    println!(
+        "cold read : {:>3} cycles, served by {:?}",
+        miss.latency, miss.served
+    );
     assert_eq!(miss.served, ServedBy::Memory);
 
     // A re-read hits the L1.
     let hit = machine.access(core0, line, false);
-    println!("warm read : {:>3} cycles, served by {:?}", hit.latency, hit.served);
+    println!(
+        "warm read : {:>3} cycles, served by {:?}",
+        hit.latency, hit.served
+    );
     assert_eq!(hit.served, ServedBy::L1);
 
     // Another core's read is a cache-to-cache transfer through the ED.
     let c2c = machine.access(core1, line, false);
-    println!("c2c read  : {:>3} cycles, served by {:?}", c2c.latency, c2c.served);
+    println!(
+        "c2c read  : {:>3} cycles, served by {:?}",
+        c2c.latency, c2c.served
+    );
     assert_eq!(c2c.served, ServedBy::EdTd);
 
     // Where does the directory track the line?
@@ -58,6 +67,8 @@ fn main() {
         machine.stats().cores[0].inclusion_victims
     );
     assert_eq!(machine.stats().cores[0].inclusion_victims, 0);
-    machine.check_invariants().expect("directory inclusion invariant");
+    machine
+        .check_invariants()
+        .expect("directory inclusion invariant");
     println!("directory invariants hold — done.");
 }

@@ -62,10 +62,7 @@ fn recover_exponent(kind: DirectoryKind, exponent: u64) -> (u64, u64) {
         let latency = machine.access(attackers[0], probe, false).latency;
         recovered = (recovered << 1) | u64::from(latency < THRESHOLD);
     }
-    (
-        recovered,
-        machine.stats().cores[VICTIM.0].inclusion_victims,
-    )
+    (recovered, machine.stats().cores[VICTIM.0].inclusion_victims)
 }
 
 fn main() {

@@ -8,48 +8,52 @@
 //! secdir-sim design  [--cores N]
 //! secdir-sim trace   --mix NAME --out FILE [--refs N]   (capture)
 //! secdir-sim trace   --replay FILE [--directory KIND]   (replay)
+//! secdir-sim sweep   [--workloads LIST] [--directories LIST] [--seeds LIST]
+//!                    [--threads N] [--out FILE]
 //! ```
 //!
 //! Directory kinds: `baseline`, `baseline-fixed`, `secdir` (default),
-//! `secdir-plain-vd`, `way-partitioned`, `vd-only`.
+//! `secdir-plain-vd`, `way-partitioned`, `vd-only`, `vd-only-plain`.
 //! Attacks: `evict-reload` (default), `prime-probe`, `evict-time`.
+//! Every command accepts `--help`/`-h` for its flag list.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use secdir_attack::{evict_reload_attack, evict_time_attack, prime_probe_attack, AttackConfig};
-use secdir_machine::{
-    run_workload, AccessStream, DirectoryKind, Machine, MachineConfig, ServedBy,
-};
+use secdir_machine::sweep::{sweep, write_jsonl, SweepMatrix};
+use secdir_machine::{run_workload, AccessStream, DirectoryKind, Machine, MachineConfig, ServedBy};
 use secdir_mem::{CoreId, LineAddr};
 use secdir_workloads::aes::AesVictim;
 use secdir_workloads::parsec::ParsecApp;
+use secdir_workloads::registry;
 use secdir_workloads::spec::mixes;
 
-fn parse_directory(s: &str) -> Result<DirectoryKind, String> {
-    Ok(match s {
-        "baseline" => DirectoryKind::Baseline,
-        "baseline-fixed" => DirectoryKind::BaselineFixed,
-        "secdir" => DirectoryKind::SecDir,
-        "secdir-plain-vd" => DirectoryKind::SecDirPlainVd,
-        "way-partitioned" => DirectoryKind::WayPartitioned,
-        "vd-only" => DirectoryKind::SecDirVdOnly,
-        other => return Err(format!("unknown directory kind `{other}`")),
-    })
-}
-
-/// Minimal `--key value` parser; rejects unknown keys.
-fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
+/// Minimal `--key value` parser; rejects unknown keys. On `--help`/`-h`
+/// prints `usage` and returns `Ok(None)` so the command can exit cleanly.
+fn parse_flags(
+    args: &[String],
+    allowed: &[&str],
+    usage: &str,
+) -> Result<Option<HashMap<String, String>>, String> {
     let mut out = HashMap::new();
     let mut it = args.iter();
     while let Some(key) = it.next() {
+        if key == "--help" || key == "-h" {
+            println!("{usage}");
+            return Ok(None);
+        }
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected a --flag, found `{key}`"));
         };
         if !allowed.contains(&name) {
             return Err(format!(
                 "unknown flag `--{name}` (allowed: {})",
-                allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                allowed
+                    .iter()
+                    .map(|a| format!("--{a}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ));
         }
         let Some(value) = it.next() else {
@@ -57,7 +61,7 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, Stri
         };
         out.insert(name.to_string(), value.clone());
     }
-    Ok(out)
+    Ok(Some(out))
 }
 
 fn get_parsed<T: std::str::FromStr>(
@@ -67,13 +71,32 @@ fn get_parsed<T: std::str::FromStr>(
 ) -> Result<T, String> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: `{v}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for --{key}: `{v}`")),
     }
 }
 
+const ATTACK_USAGE: &str = "\
+usage: secdir-sim attack [--directory KIND] [--attack NAME] [--bits N]
+                         [--cores N] [--seed N]
+  --directory  baseline | baseline-fixed | secdir (default) | secdir-plain-vd
+               | way-partitioned | vd-only | vd-only-plain
+  --attack     evict-reload (default) | prime-probe | evict-time
+  --bits       secret bits to transmit (default 64)
+  --cores      core count (default 8)
+  --seed       attack RNG seed";
+
 fn cmd_attack(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["directory", "attack", "bits", "cores", "seed"])?;
-    let kind = parse_directory(flags.get("directory").map_or("secdir", String::as_str))?;
+    let Some(flags) = parse_flags(
+        args,
+        &["directory", "attack", "bits", "cores", "seed"],
+        ATTACK_USAGE,
+    )?
+    else {
+        return Ok(());
+    };
+    let kind = DirectoryKind::parse(flags.get("directory").map_or("secdir", String::as_str))?;
     let bits: usize = get_parsed(&flags, "bits", 64)?;
     let cores: usize = get_parsed(&flags, "cores", 8)?;
     let seed: u64 = get_parsed(&flags, "seed", 0xa77acu64)?;
@@ -96,10 +119,21 @@ fn cmd_attack(args: &[String]) -> Result<(), String> {
     println!("attack           : {attack}");
     println!("bits transmitted : {bits}");
     println!("accuracy         : {:.3}  (0.5 = chance)", outcome.accuracy);
-    println!("victim inclusion victims: {}", outcome.victim_inclusion_victims);
+    println!(
+        "victim inclusion victims: {}",
+        outcome.victim_inclusion_victims
+    );
     Ok(())
 }
 
+/// Warms up with the first `refs / 2` references per core, then measures
+/// the remaining `refs - refs / 2`, reporting measured-phase deltas.
+///
+/// `run_workload`'s cap is per *call*, not cumulative: each call issues up
+/// to that many references on top of whatever earlier calls consumed. The
+/// measured phase must therefore ask for `refs - refs / 2`, not `refs` —
+/// asking for `refs` again would measure a window as long as warm-up plus
+/// measurement combined.
 fn run_streams_report(
     kind: DirectoryKind,
     mut streams: Vec<Box<dyn AccessStream>>,
@@ -108,7 +142,7 @@ fn run_streams_report(
     let mut machine = Machine::new(MachineConfig::skylake_x(streams.len(), kind));
     run_workload(&mut machine, &mut streams, refs / 2);
     let s0 = machine.stats().clone();
-    let summary = run_workload(&mut machine, &mut streams, refs);
+    let summary = run_workload(&mut machine, &mut streams, refs - refs / 2);
     let stats = machine.stats();
     let (e0, v0, m0) = s0.miss_breakdown();
     let (e1, v1, m1) = stats.miss_breakdown();
@@ -130,37 +164,67 @@ fn run_streams_report(
     Ok(())
 }
 
+const SPEC_USAGE: &str = "\
+usage: secdir-sim spec --mix NAME [--directory KIND] [--refs N] [--seed N]
+  --mix        mix0..mix11 (Table 5)
+  --directory  directory kind (default secdir)
+  --refs       references per core, half warm-up half measured (default 200000)
+  --seed       workload seed (default 24301)";
+
 fn cmd_spec(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["mix", "directory", "refs", "seed"])?;
+    let Some(flags) = parse_flags(args, &["mix", "directory", "refs", "seed"], SPEC_USAGE)? else {
+        return Ok(());
+    };
     let name = flags.get("mix").ok_or("--mix is required (mix0..mix11)")?;
     let mix = mixes()
         .into_iter()
         .find(|m| m.name == name)
         .ok_or_else(|| format!("unknown mix `{name}`"))?;
-    let kind = parse_directory(flags.get("directory").map_or("secdir", String::as_str))?;
+    let kind = DirectoryKind::parse(flags.get("directory").map_or("secdir", String::as_str))?;
     let refs: u64 = get_parsed(&flags, "refs", 200_000)?;
     let seed: u64 = get_parsed(&flags, "seed", 0x5eedu64)?;
-    println!("mix         : {} ({} + {})", mix.name, mix.a.name, mix.b.name);
+    println!(
+        "mix         : {} ({} + {})",
+        mix.name, mix.a.name, mix.b.name
+    );
     run_streams_report(kind, mix.streams(8, seed), refs)
 }
 
+const PARSEC_USAGE: &str = "\
+usage: secdir-sim parsec --app NAME [--directory KIND] [--refs N] [--seed N]
+  --app        PARSEC app name (e.g. canneal, freqmine)
+  --directory  directory kind (default secdir)
+  --refs       references per core, half warm-up half measured (default 200000)
+  --seed       workload seed";
+
 fn cmd_parsec(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["app", "directory", "refs", "seed"])?;
+    let Some(flags) = parse_flags(args, &["app", "directory", "refs", "seed"], PARSEC_USAGE)?
+    else {
+        return Ok(());
+    };
     let name = flags.get("app").ok_or("--app is required (e.g. canneal)")?;
     let app = ParsecApp::ALL
         .iter()
         .find(|a| a.name == name)
         .ok_or_else(|| format!("unknown PARSEC app `{name}`"))?;
-    let kind = parse_directory(flags.get("directory").map_or("secdir", String::as_str))?;
+    let kind = DirectoryKind::parse(flags.get("directory").map_or("secdir", String::as_str))?;
     let refs: u64 = get_parsed(&flags, "refs", 200_000)?;
     let seed: u64 = get_parsed(&flags, "seed", 0x9a25ecu64)?;
     println!("app         : {}", app.name);
     run_streams_report(kind, app.threads(8, seed), refs)
 }
 
+const AES_USAGE: &str = "\
+usage: secdir-sim aes [--directory KIND] [--encryptions N] [--seed N]
+  --directory    directory kind (default vd-only)
+  --encryptions  AES-128 encryptions to trace (default 200)
+  --seed         plaintext RNG seed";
+
 fn cmd_aes(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["directory", "encryptions", "seed"])?;
-    let kind = parse_directory(flags.get("directory").map_or("vd-only", String::as_str))?;
+    let Some(flags) = parse_flags(args, &["directory", "encryptions", "seed"], AES_USAGE)? else {
+        return Ok(());
+    };
+    let kind = DirectoryKind::parse(flags.get("directory").map_or("vd-only", String::as_str))?;
     let encryptions: u64 = get_parsed(&flags, "encryptions", 200)?;
     let seed: u64 = get_parsed(&flags, "seed", 0xfe11u64)?;
     let mut machine = Machine::new(MachineConfig::skylake_x(8, kind));
@@ -183,24 +247,52 @@ fn cmd_aes(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+const TRACE_USAGE: &str = "\
+usage: secdir-sim trace --mix NAME --out FILE [--refs N] [--seed N]   (capture)
+       secdir-sim trace --replay FILE [--directory KIND]              (replay)
+  --mix        mix0..mix11 to capture
+  --out        output trace file
+  --refs       references per core to capture (default 100000)
+  --replay     trace file to replay
+  --directory  directory kind for replay (default secdir)
+  --seed       workload seed for capture";
+
 fn cmd_trace(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["mix", "out", "refs", "replay", "directory", "seed"])?;
+    let Some(flags) = parse_flags(
+        args,
+        &["mix", "out", "refs", "replay", "directory", "seed"],
+        TRACE_USAGE,
+    )?
+    else {
+        return Ok(());
+    };
     if let Some(path) = flags.get("replay") {
-        let kind = parse_directory(flags.get("directory").map_or("secdir", String::as_str))?;
+        let kind = DirectoryKind::parse(flags.get("directory").map_or("secdir", String::as_str))?;
         let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
         let trace = secdir_workloads::trace::Trace::load(file).map_err(|e| e.to_string())?;
-        println!("trace       : {path} ({} cores, {} refs)", trace.cores(), trace.len());
+        println!(
+            "trace       : {path} ({} cores, {} refs)",
+            trace.cores(),
+            trace.len()
+        );
         let mut machine = Machine::new(MachineConfig::skylake_x(trace.cores(), kind));
         let summary = run_workload(&mut machine, &mut trace.streams(), u64::MAX);
         println!("directory   : {kind:?}");
         println!("mean IPC    : {:.3}", summary.mean_ipc());
         println!("exec cycles : {}", summary.cycles);
         println!("L2 misses   : {}", machine.stats().total_l2_misses());
-        println!("inclusion victims: {}", machine.stats().total_inclusion_victims());
+        println!(
+            "inclusion victims: {}",
+            machine.stats().total_inclusion_victims()
+        );
         return Ok(());
     }
-    let name = flags.get("mix").ok_or("--mix (capture) or --replay FILE is required")?;
-    let out = flags.get("out").ok_or("--out FILE is required for capture")?;
+    let name = flags
+        .get("mix")
+        .ok_or("--mix (capture) or --replay FILE is required")?;
+    let out = flags
+        .get("out")
+        .ok_or("--out FILE is required for capture")?;
     let refs: usize = get_parsed(&flags, "refs", 100_000)?;
     let seed: u64 = get_parsed(&flags, "seed", 0x5eedu64)?;
     let mix = mixes()
@@ -212,12 +304,23 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     trace
         .save(std::io::BufWriter::new(file))
         .map_err(|e| e.to_string())?;
-    println!("captured {} refs ({} per core) of {} into {out}", trace.len(), refs, mix.name);
+    println!(
+        "captured {} refs ({} per core) of {} into {out}",
+        trace.len(),
+        refs,
+        mix.name
+    );
     Ok(())
 }
 
+const DESIGN_USAGE: &str = "\
+usage: secdir-sim design [--cores N]
+  --cores  core count for the Table-7 storage/area comparison (default 8)";
+
 fn cmd_design(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["cores"])?;
+    let Some(flags) = parse_flags(args, &["cores"], DESIGN_USAGE)? else {
+        return Ok(());
+    };
     let cores: usize = get_parsed(&flags, "cores", 8)?;
     let b = secdir_area::storage::baseline_slice(cores);
     let s = secdir_area::storage::secdir_slice(cores);
@@ -237,10 +340,135 @@ fn cmd_design(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+const SWEEP_USAGE: &str = "\
+usage: secdir-sim sweep [--workloads LIST] [--directories LIST] [--seeds LIST]
+                        [--cores N] [--warmup N] [--measure N] [--threads N]
+                        [--out FILE]
+  --workloads    comma-separated workload names, or the groups
+                 spec (default; the 12 Table-5 mixes), parsec, all
+  --directories  comma-separated directory kinds (default baseline,secdir)
+  --seeds        comma-separated workload seeds (default 24301)
+  --cores        cores per cell (default 8, the Table-4 machine)
+  --warmup       warm-up references per core (default 350000)
+  --measure      measured references per core (default 200000)
+  --threads      worker threads (default: available parallelism)
+  --out          JSONL output file (default BENCH_sweep.json)
+Runs the workload x directory x seed matrix in parallel and writes one
+JSON object per cell, in matrix order, bit-identical for any --threads.";
+
+/// Splits a comma-separated flag value, dropping empty segments.
+fn split_list(s: &str) -> Vec<String> {
+    s.split(',')
+        .filter(|p| !p.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let Some(flags) = parse_flags(
+        args,
+        &[
+            "workloads",
+            "directories",
+            "seeds",
+            "cores",
+            "warmup",
+            "measure",
+            "threads",
+            "out",
+        ],
+        SWEEP_USAGE,
+    )?
+    else {
+        return Ok(());
+    };
+    let workloads = match flags.get("workloads").map_or("spec", String::as_str) {
+        "spec" => registry::spec_mix_names(),
+        "parsec" => registry::parsec_names(),
+        "all" => registry::all_names(),
+        list => {
+            let names = split_list(list);
+            for n in &names {
+                if registry::streams_by_name(n, 1, 0).is_none() {
+                    return Err(format!(
+                        "unknown workload `{n}` (see `secdir-sim sweep --help`)"
+                    ));
+                }
+            }
+            names
+        }
+    };
+    let kinds = split_list(
+        flags
+            .get("directories")
+            .map_or("baseline,secdir", String::as_str),
+    )
+    .iter()
+    .map(|s| DirectoryKind::parse(s))
+    .collect::<Result<Vec<_>, _>>()?;
+    let seeds = match flags.get("seeds") {
+        None => vec![0x5eed],
+        Some(list) => split_list(list)
+            .iter()
+            .map(|s| s.parse().map_err(|_| format!("invalid seed `{s}`")))
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let matrix = SweepMatrix {
+        workloads,
+        kinds,
+        seeds,
+        cores: get_parsed(&flags, "cores", 8)?,
+        warmup: get_parsed(&flags, "warmup", 350_000u64)?,
+        measure: get_parsed(&flags, "measure", 200_000u64)?,
+    };
+    let cells = matrix.cells();
+    if cells.is_empty() {
+        return Err("empty matrix: need at least one workload, directory, and seed".into());
+    }
+    let default_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let threads = get_parsed(&flags, "threads", default_threads)?.clamp(1, cells.len());
+    let out_path = flags.get("out").map_or("BENCH_sweep.json", String::as_str);
+
+    let started = std::time::Instant::now();
+    let results = sweep(&cells, &registry::factory, threads);
+    let elapsed = started.elapsed();
+
+    let file = std::fs::File::create(out_path).map_err(|e| format!("create {out_path}: {e}"))?;
+    write_jsonl(std::io::BufWriter::new(file), &results).map_err(|e| e.to_string())?;
+
+    println!(
+        "{} cells ({} workloads x {} kinds x {} seeds) on {threads} threads in {:.2}s",
+        cells.len(),
+        matrix.workloads.len(),
+        matrix.kinds.len(),
+        matrix.seeds.len(),
+        elapsed.as_secs_f64()
+    );
+    println!("wrote {out_path}");
+    println!();
+    println!(
+        "{:>14} {:>16} {:>6} {:>10} {:>8} {:>10} {:>8}",
+        "workload", "directory", "seed", "cycles", "ipc", "l2_misses", "vd_hits"
+    );
+    for r in &results {
+        println!(
+            "{:>14} {:>16} {:>6} {:>10} {:>8.3} {:>10} {:>8}",
+            r.cell.workload,
+            r.cell.kind.name(),
+            r.cell.seed,
+            r.run.cycles(),
+            r.run.ipc(),
+            r.run.breakdown.total(),
+            r.run.breakdown.vd,
+        );
+    }
+    Ok(())
+}
+
 fn usage() -> &'static str {
-    "usage: secdir-sim <attack|spec|parsec|aes|design|trace> [--flags...]\n\
-     run `secdir-sim <command>` with no flags for defaults; see the module\n\
-     docs (`cargo doc`) or README.md for the full flag list."
+    "usage: secdir-sim <attack|spec|parsec|aes|design|trace|sweep> [--flags...]\n\
+     run `secdir-sim <command> --help` for that command's flags; see the\n\
+     module docs (`cargo doc`) or README.md for the full index."
 }
 
 fn main() -> ExitCode {
@@ -256,6 +484,7 @@ fn main() -> ExitCode {
         "aes" => cmd_aes(rest),
         "design" => cmd_design(rest),
         "trace" => cmd_trace(rest),
+        "sweep" => cmd_sweep(rest),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             return ExitCode::SUCCESS;

@@ -26,7 +26,10 @@ fn figure6_first_touch_only_misses() {
     }
     // 5 tables × 16 lines: each fetched exactly once.
     assert_eq!(mem.len(), 80, "all table lines eventually touched");
-    assert!(mem.values().all(|&c| c == 1), "a line was re-fetched: {mem:?}");
+    assert!(
+        mem.values().all(|&c| c == 1),
+        "a line was re-fetched: {mem:?}"
+    );
     assert_eq!(other, 0, "single-threaded victim can never hit the VD");
 }
 

@@ -81,7 +81,13 @@ fn more_attacker_cores_strengthen_the_baseline_attack() {
     };
     let weak = run(1);
     let strong = run(7);
-    assert!(strong >= 0.9, "7-core attack should be near-perfect: {strong}");
+    assert!(
+        strong >= 0.9,
+        "7-core attack should be near-perfect: {strong}"
+    );
     assert!(strong >= weak, "more cores must not weaken the attack");
-    assert!(weak <= 0.8, "a single core cannot out-associate the directory: {weak}");
+    assert!(
+        weak <= 0.8,
+        "a single core cannot out-associate the directory: {weak}"
+    );
 }

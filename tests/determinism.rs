@@ -1,0 +1,97 @@
+//! Determinism suite: the simulator must be bit-identical for the same
+//! config + seed across (a) repeated serial runs, (b) serial vs the
+//! parallel sweep at any worker-thread count, and (c) the heap vs the
+//! linear-scan scheduler. These guarantees are what make the parallel
+//! sweep harness trustworthy: every cell runs on its own machine, so
+//! fan-out must never change a single counter.
+
+use secdir_machine::sweep::{run_cell, sweep, CellSpec, SweepMatrix};
+use secdir_machine::{run_workload_with, DirectoryKind, Machine, MachineConfig, Scheduler};
+use secdir_workloads::registry;
+
+fn small_matrix() -> SweepMatrix {
+    SweepMatrix {
+        workloads: vec!["mix0".into(), "mix4".into(), "canneal".into()],
+        kinds: vec![DirectoryKind::Baseline, DirectoryKind::SecDir],
+        seeds: vec![0x5eed, 7],
+        cores: 4,
+        warmup: 2_000,
+        measure: 6_000,
+    }
+}
+
+#[test]
+fn serial_reruns_are_bit_identical() {
+    for cell in &small_matrix().cells() {
+        let a = run_cell(cell, &registry::factory);
+        let b = run_cell(cell, &registry::factory);
+        assert_eq!(a.run.summary, b.run.summary, "{cell:?}");
+        assert_eq!(a.stats, b.stats, "{cell:?}");
+        assert_eq!(a, b, "{cell:?}");
+    }
+}
+
+#[test]
+fn sweep_is_bit_identical_to_serial_at_any_thread_count() {
+    let cells = small_matrix().cells();
+    let serial: Vec<_> = cells
+        .iter()
+        .map(|c| run_cell(c, &registry::factory))
+        .collect();
+    for threads in [1, 4, 8] {
+        let parallel = sweep(&cells, &registry::factory, threads);
+        assert_eq!(serial, parallel, "threads={threads}");
+    }
+}
+
+#[test]
+fn heap_and_scan_schedulers_agree_on_real_workloads() {
+    for cell in &small_matrix().cells() {
+        let mut results = Vec::new();
+        for scheduler in [Scheduler::Heap, Scheduler::Scan] {
+            let mut machine = Machine::new(MachineConfig::skylake_x(cell.cores, cell.kind));
+            let mut streams = registry::factory(&CellSpec {
+                workload: cell.workload.clone(),
+                ..cell.clone()
+            });
+            let warm = run_workload_with(&mut machine, &mut streams, cell.warmup, scheduler);
+            let measured = run_workload_with(&mut machine, &mut streams, cell.measure, scheduler);
+            results.push((warm, measured, machine.stats().clone()));
+        }
+        assert_eq!(results[0], results[1], "{cell:?}");
+    }
+}
+
+/// The sweep's whole point: wall-clock speedup from fan-out. Requires real
+/// parallel hardware, so it skips (vacuously passes) below 4 CPUs — CI
+/// runners have them; the development container may not.
+#[test]
+fn sweep_speeds_up_on_parallel_hardware() {
+    let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    if cpus < 4 {
+        eprintln!("skipping speedup check: only {cpus} CPU(s) available");
+        return;
+    }
+    let matrix = SweepMatrix {
+        workloads: registry::spec_mix_names(),
+        kinds: vec![DirectoryKind::Baseline, DirectoryKind::SecDir],
+        seeds: vec![0x5eed],
+        cores: 8,
+        warmup: 5_000,
+        measure: 20_000,
+    };
+    let cells = matrix.cells();
+    let t1 = std::time::Instant::now();
+    let serial = sweep(&cells, &registry::factory, 1);
+    let serial_time = t1.elapsed();
+    let t4 = std::time::Instant::now();
+    let parallel = sweep(&cells, &registry::factory, 4);
+    let parallel_time = t4.elapsed();
+    assert_eq!(serial, parallel);
+    let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64();
+    assert!(
+        speedup >= 2.0,
+        "expected >=2x speedup on 4 threads, got {speedup:.2}x \
+         (serial {serial_time:?}, parallel {parallel_time:?})"
+    );
+}

@@ -6,9 +6,7 @@ use secdir::{SecDirConfig, SecDirSlice};
 use secdir_attack::{evict_reload_attack, AttackConfig};
 use secdir_cache::Geometry;
 use secdir_coherence::{AccessKind, DirSlice};
-use secdir_machine::{
-    DirectoryKind, Machine, MachineConfig, TimingMitigation,
-};
+use secdir_machine::{DirectoryKind, Machine, MachineConfig, TimingMitigation};
 use secdir_mem::{CoreId, LineAddr};
 
 /// The latency of a cross-core read served by the ED, under a given
@@ -29,7 +27,11 @@ fn timing_mitigation_pads_observable_ed_td_transactions() {
     let selective = c2c_latency(TimingMitigation::Selective);
     // The pad equals the EB + VD array time the VD path would have cost.
     assert_eq!(naive, off + 7);
-    assert_eq!(selective, off + 7, "a c2c read queries another core's cache");
+    assert_eq!(
+        selective,
+        off + 7,
+        "a c2c read queries another core's cache"
+    );
 }
 
 #[test]

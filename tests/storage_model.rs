@@ -10,7 +10,10 @@ use secdir_area::storage::{
 #[test]
 fn table7_storage_is_exact() {
     let b = baseline_slice(8);
-    assert_eq!((b.td_kb(), b.ed_kb(), b.total_kb()), (107.25, 114.0, 221.25));
+    assert_eq!(
+        (b.td_kb(), b.ed_kb(), b.total_kb()),
+        (107.25, 114.0, 221.25)
+    );
     let s = secdir_slice(8);
     assert_eq!(
         (s.td_kb(), s.ed_kb(), s.vd_kb(), s.total_kb()),
@@ -21,8 +24,16 @@ fn table7_storage_is_exact() {
 #[test]
 fn table7_area_matches_cacti_within_3_percent() {
     let (b, s) = table7_area(8);
-    assert!((b.total_mm2() - 0.167).abs() / 0.167 < 0.03, "{}", b.total_mm2());
-    assert!((s.total_mm2() - 0.194).abs() / 0.194 < 0.03, "{}", s.total_mm2());
+    assert!(
+        (b.total_mm2() - 0.167).abs() / 0.167 < 0.03,
+        "{}",
+        b.total_mm2()
+    );
+    assert!(
+        (s.total_mm2() - 0.194).abs() / 0.194 < 0.03,
+        "{}",
+        s.total_mm2()
+    );
 }
 
 #[test]
@@ -86,7 +97,7 @@ fn vd_storage_is_core_count_invariant_by_design() {
     let per_slice_64 = secdir_slice(64).vd_bits * 64;
     let ratio = per_slice_64 as f64 / per_slice_8 as f64;
     assert!((0.9..=1.3 * 8.0).contains(&ratio)); // grows ~linearly with slices, not quadratically
-    // And a single bank shrinks as cores grow.
+                                                 // And a single bank shrinks as cores grow.
     assert!(secdir_slice(64).vd_bits / 64 < secdir_slice(8).vd_bits / 8);
     let _ = vd_bank_bits(512, 4);
 }

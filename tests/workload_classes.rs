@@ -11,9 +11,7 @@ use secdir_workloads::spec::SpecApp;
 fn profile(app: &SpecApp) -> (f64, f64) {
     let mut m = Machine::new(MachineConfig::skylake_x(8, DirectoryKind::Baseline));
     let mut streams: Vec<Box<dyn AccessStream>> = (0..8)
-        .map(|c| {
-            Box::new(app.stream((c as u64 + 1) << 26, 42 + c as u64)) as Box<dyn AccessStream>
-        })
+        .map(|c| Box::new(app.stream((c as u64 + 1) << 26, 42 + c as u64)) as Box<dyn AccessStream>)
         .collect();
     run_workload(&mut m, &mut streams, 150_000);
     let s0 = m.stats().clone();
@@ -73,7 +71,10 @@ fn parsec_sharing_generates_coherence_traffic() {
         "shared writes must invalidate other copies"
     );
     let dir = m.directory_stats();
-    assert!(dir.td_to_ed_migrations > 0, "writes to TD lines must migrate");
+    assert!(
+        dir.td_to_ed_migrations > 0,
+        "writes to TD lines must migrate"
+    );
 }
 
 #[test]
