@@ -24,24 +24,29 @@ impl Geometry {
     ///
     /// # Panics
     ///
-    /// Panics if `sets` is not a power of two or `ways` is zero.
+    /// Panics if `sets` is not a power of two, or `ways` is zero or exceeds
+    /// 64 (set occupancy is tracked in a `u64` bitmask).
     pub fn new(sets: usize, ways: usize) -> Self {
         assert!(sets.is_power_of_two(), "sets must be a power of two");
         assert!(ways > 0, "ways must be positive");
+        assert!(ways <= 64, "ways must fit a u64 occupancy mask");
         Geometry { sets, ways }
     }
 
     /// Number of sets.
+    #[inline]
     pub fn sets(&self) -> usize {
         self.sets
     }
 
     /// Associativity (ways per set).
+    #[inline]
     pub fn ways(&self) -> usize {
         self.ways
     }
 
     /// Total entry capacity (`sets × ways`).
+    #[inline]
     pub fn lines(&self) -> usize {
         self.sets * self.ways
     }
@@ -84,6 +89,12 @@ mod tests {
     #[should_panic(expected = "ways must be positive")]
     fn rejects_zero_ways() {
         Geometry::new(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "occupancy mask")]
+    fn rejects_more_than_64_ways() {
+        Geometry::new(4, 65);
     }
 
     #[test]

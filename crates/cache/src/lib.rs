@@ -25,9 +25,10 @@
 #![warn(missing_docs)]
 
 mod geometry;
+mod prefetch;
 mod replacement;
 mod set_assoc;
 
 pub use geometry::Geometry;
 pub use replacement::ReplacementPolicy;
-pub use set_assoc::{Evicted, SetAssoc};
+pub use set_assoc::{Evicted, SetAssoc, WayRef};

@@ -22,8 +22,6 @@ pub enum ReplacementPolicy {
     Nru,
 }
 
-/// Per-set replacement state, updated on every access and consulted on
-/// eviction. Internal to the crate; `SetAssoc` drives it.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub(crate) struct ReplacerState {
     policy: ReplacementPolicy,
@@ -46,6 +44,7 @@ impl ReplacerState {
     }
 
     /// Records a use of `(set, way)`.
+    #[inline]
     pub(crate) fn touch(&mut self, set: usize, way: usize) {
         let idx = set * self.ways + way;
         match self.policy {
@@ -68,15 +67,22 @@ impl ReplacerState {
     }
 
     /// Picks the victim way in a full `set`.
+    #[inline]
     pub(crate) fn victim(&mut self, set: usize) -> usize {
         let base = set * self.ways;
         match self.policy {
             ReplacementPolicy::Lru => {
-                let (way, _) = self.stamps[base..base + self.ways]
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|&(_, &s)| s)
-                    .expect("set has at least one way");
+                // Explicit first-min loop: compiles to conditional moves
+                // (no branch per way), unlike the `min_by_key` chain.
+                let row = &self.stamps[base..base + self.ways];
+                let mut way = 0;
+                let mut best = row[0];
+                for (i, &s) in row.iter().enumerate().skip(1) {
+                    if s < best {
+                        best = s;
+                        way = i;
+                    }
+                }
                 way
             }
             ReplacementPolicy::Random => self.rng.next_below(self.ways as u64) as usize,
@@ -88,8 +94,21 @@ impl ReplacerState {
     }
 
     /// Clears the state of `(set, way)` after an invalidation.
+    #[inline]
     pub(crate) fn clear(&mut self, set: usize, way: usize) {
         self.stamps[set * self.ways + way] = 0;
+    }
+
+    /// Hints the host CPU to pull `set`'s replacement state into cache
+    /// ahead of a future touch/victim call. No architectural effect.
+    /// Write intent: a touch stores a fresh stamp into the row.
+    #[inline]
+    pub(crate) fn prefetch(&self, set: usize) {
+        let base = set * self.ways;
+        crate::prefetch::prefetch_write(&self.stamps[base]);
+        if self.ways > 8 {
+            crate::prefetch::prefetch_write(&self.stamps[base + 8]);
+        }
     }
 }
 

@@ -15,11 +15,23 @@ pub struct Evicted<T> {
     pub payload: T,
 }
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
-struct Slot<T> {
-    line: LineAddr,
-    payload: T,
+/// A handle to an occupied way, returned by [`SetAssoc::lookup`] /
+/// [`SetAssoc::lookup_touch`].
+///
+/// The single-probe API contract: one lookup locates the entry, then any
+/// number of O(1) accesses ([`SetAssoc::payload`],
+/// [`SetAssoc::payload_mut`], [`SetAssoc::take`]) go through the handle —
+/// no second tag scan. A `WayRef` is only meaningful on the array that
+/// produced it, and is invalidated by any subsequent `insert`/`remove`/
+/// `take` on that array (the way may then hold a different line).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WayRef {
+    set: usize,
+    way: usize,
 }
+
+/// Tag stored in unoccupied ways; never a real line address.
+const TAG_INVALID: u64 = u64::MAX;
 
 /// A set-associative array mapping [`LineAddr`]s to payloads of type `T`.
 ///
@@ -28,6 +40,14 @@ struct Slot<T> {
 /// Indexing uses the conventional low-order line-address bits
 /// (paper Figure 4(a)); the skewed/cuckoo indexing of a VD bank lives in the
 /// `secdir` crate.
+///
+/// Storage is flat and contiguous: one tag array and one payload array,
+/// both indexed by `set * ways + way`, plus a per-set `u64` valid bitmask
+/// (so ways ≤ 64, asserted by [`Geometry::new`]). Invalid ways keep the
+/// sentinel tag `u64::MAX` (no real line address — reserved, debug-asserted
+/// in [`SetAssoc::insert`]), so a `find` is a straight compare over one
+/// contiguous tag row with no mask consultation and no early exit — a
+/// branch-light, vectorizable loop. This is the simulator's hottest code.
 ///
 /// # Examples
 ///
@@ -48,26 +68,53 @@ struct Slot<T> {
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SetAssoc<T> {
     geometry: Geometry,
-    sets: Vec<Vec<Option<Slot<T>>>>,
+    /// Tag of each way, `set * ways + way`; [`TAG_INVALID`] where `valid`
+    /// is clear.
+    tags: Vec<LineAddr>,
+    /// Payload of each way, same indexing; `T::default()` where invalid.
+    payloads: Vec<T>,
+    /// Per-set occupancy bitmask (bit `way` set ⇔ the way holds an entry).
+    valid: Vec<u64>,
     replacer: ReplacerState,
     len: usize,
 }
 
-impl<T> SetAssoc<T> {
+impl<T: Default> SetAssoc<T> {
     /// Creates an empty array with the given shape and replacement policy.
     /// `seed` feeds the random replacement policy (ignored by LRU/NRU).
     pub fn new(geometry: Geometry, policy: ReplacementPolicy, seed: u64) -> Self {
-        let sets = (0..geometry.sets())
-            .map(|_| (0..geometry.ways()).map(|_| None).collect())
-            .collect();
+        let lines = geometry.lines();
         SetAssoc {
             geometry,
-            sets,
+            tags: vec![LineAddr::new(TAG_INVALID); lines],
+            payloads: (0..lines).map(|_| T::default()).collect(),
+            valid: vec![0; geometry.sets()],
             replacer: ReplacerState::new(policy, geometry.sets(), geometry.ways(), seed),
             len: 0,
         }
     }
 
+    /// Removes the entry at `way_ref` (from a prior lookup), returning its
+    /// payload — the second half of a single-probe remove.
+    #[inline]
+    pub fn take(&mut self, way_ref: WayRef) -> T {
+        let WayRef { set, way } = way_ref;
+        debug_assert!(self.valid[set] & (1 << way) != 0, "stale WayRef");
+        self.valid[set] &= !(1 << way);
+        self.tags[set * self.geometry.ways() + way] = LineAddr::new(TAG_INVALID);
+        self.replacer.clear(set, way);
+        self.len -= 1;
+        std::mem::take(&mut self.payloads[set * self.geometry.ways() + way])
+    }
+
+    /// Removes the entry for `line`, returning its payload.
+    #[inline]
+    pub fn remove(&mut self, line: LineAddr) -> Option<T> {
+        self.lookup(line).map(|r| self.take(r))
+    }
+}
+
+impl<T> SetAssoc<T> {
     /// The array's geometry.
     pub fn geometry(&self) -> Geometry {
         self.geometry
@@ -84,104 +131,225 @@ impl<T> SetAssoc<T> {
     }
 
     /// The set index `line` maps to.
+    #[inline]
     pub fn set_of(&self, line: LineAddr) -> usize {
         line.set_index(self.geometry.sets())
     }
 
+    /// All-ways mask for one set.
+    #[inline]
+    fn row_mask(&self) -> u64 {
+        let ways = self.geometry.ways();
+        if ways == 64 {
+            u64::MAX
+        } else {
+            (1 << ways) - 1
+        }
+    }
+
+    /// Scans the tag row of `line`'s set for a match. The whole row is
+    /// compared without early exit, accumulating match bits: tags are
+    /// unique within a set and unoccupied ways hold [`TAG_INVALID`], so
+    /// the exhaustive loop gives the same answer as a masked scan while
+    /// compiling to a straight-line (vectorizable) compare-and-or
+    /// reduction.
+    #[inline]
     fn find(&self, line: LineAddr) -> Option<usize> {
         let set = self.set_of(line);
-        self.sets[set]
-            .iter()
-            .position(|slot| slot.as_ref().is_some_and(|s| s.line == line))
+        let base = set * self.geometry.ways();
+        let row = &self.tags[base..base + self.geometry.ways()];
+        let mut hits = 0u64;
+        for (way, &tag) in row.iter().enumerate() {
+            hits |= u64::from(tag == line) << way;
+        }
+        if hits == 0 {
+            None
+        } else {
+            Some(hits.trailing_zeros() as usize)
+        }
+    }
+
+    /// Hints the host CPU to pull the rows a future probe of `line` will
+    /// touch (tag row and replacement state) into its cache. Purely a
+    /// performance hint: no architectural effect, no replacement update.
+    ///
+    /// The engine calls this as soon as a core's next access is known —
+    /// typically many simulated accesses before the probe — so the host
+    /// cache misses on these randomly indexed arrays overlap with the
+    /// other cores' simulation work.
+    #[inline]
+    pub fn prefetch(&self, line: LineAddr) {
+        let set = self.set_of(line);
+        let ways = self.geometry.ways();
+        let base = set * ways;
+        crate::prefetch::prefetch_read(&self.tags[base]);
+        if ways > 8 {
+            // A row of more than 8 tags spans a second 64-byte line.
+            crate::prefetch::prefetch_read(&self.tags[base + 8]);
+        }
+        self.replacer.prefetch(set);
+    }
+
+    /// Locates `line` without touching replacement state. Pair with
+    /// [`SetAssoc::payload`] / [`SetAssoc::payload_mut`] /
+    /// [`SetAssoc::take`] for single-probe read/modify/remove.
+    #[inline]
+    pub fn lookup(&self, line: LineAddr) -> Option<WayRef> {
+        let set = self.set_of(line);
+        self.find(line).map(|way| WayRef { set, way })
+    }
+
+    /// Locates `line` as an architectural access: on a hit, updates the
+    /// replacement state. The single-probe counterpart of
+    /// [`SetAssoc::access`].
+    #[inline]
+    pub fn lookup_touch(&mut self, line: LineAddr) -> Option<WayRef> {
+        let r = self.lookup(line)?;
+        self.replacer.touch(r.set, r.way);
+        Some(r)
+    }
+
+    /// Updates replacement state for the entry at `way_ref`, as an
+    /// architectural access would — for callers that decide only after a
+    /// plain [`SetAssoc::lookup`] that the access is architectural.
+    #[inline]
+    pub fn touch(&mut self, way_ref: WayRef) {
+        debug_assert!(
+            self.valid[way_ref.set] & (1 << way_ref.way) != 0,
+            "stale WayRef"
+        );
+        self.replacer.touch(way_ref.set, way_ref.way);
+    }
+
+    /// The payload at `way_ref` (from a prior lookup on this array).
+    #[inline]
+    pub fn payload(&self, way_ref: WayRef) -> &T {
+        debug_assert!(
+            self.valid[way_ref.set] & (1 << way_ref.way) != 0,
+            "stale WayRef"
+        );
+        &self.payloads[way_ref.set * self.geometry.ways() + way_ref.way]
+    }
+
+    /// Mutable payload at `way_ref` (from a prior lookup on this array).
+    #[inline]
+    pub fn payload_mut(&mut self, way_ref: WayRef) -> &mut T {
+        debug_assert!(
+            self.valid[way_ref.set] & (1 << way_ref.way) != 0,
+            "stale WayRef"
+        );
+        &mut self.payloads[way_ref.set * self.geometry.ways() + way_ref.way]
     }
 
     /// Whether an entry for `line` is present.
+    #[inline]
     pub fn contains(&self, line: LineAddr) -> bool {
         self.find(line).is_some()
     }
 
     /// The payload for `line`, if present. Does **not** update replacement
     /// state; use [`SetAssoc::access`] on the architectural access path.
+    #[inline]
     pub fn get(&self, line: LineAddr) -> Option<&T> {
-        let set = self.set_of(line);
-        self.find(line).map(|way| {
-            &self.sets[set][way]
-                .as_ref()
-                .expect("found way occupied")
-                .payload
-        })
+        self.lookup(line).map(|r| self.payload(r))
     }
 
     /// Mutable payload for `line`, if present. Does not update replacement
     /// state.
+    #[inline]
     pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut T> {
-        let set = self.set_of(line);
-        self.find(line).map(|way| {
-            &mut self.sets[set][way]
-                .as_mut()
-                .expect("found way occupied")
-                .payload
-        })
+        let r = self.lookup(line)?;
+        Some(self.payload_mut(r))
     }
 
     /// Looks up `line` as an architectural access: on a hit, updates the
     /// replacement state and returns the payload.
+    #[inline]
     pub fn access(&mut self, line: LineAddr) -> Option<&mut T> {
-        let set = self.set_of(line);
-        let way = self.find(line)?;
-        self.replacer.touch(set, way);
-        Some(
-            &mut self.sets[set][way]
-                .as_mut()
-                .expect("found way occupied")
-                .payload,
-        )
+        let r = self.lookup_touch(line)?;
+        Some(self.payload_mut(r))
     }
 
     /// Inserts an entry for `line`, touching replacement state.
     ///
+    /// One pass over the set's tag row resolves all three cases:
+    ///
     /// * If `line` is already present, its payload is replaced and `None` is
     ///   returned (no eviction).
-    /// * If the set has a free way, the entry takes it; returns `None`.
+    /// * If the set has a free way, the entry takes the lowest one; returns
+    ///   `None`.
     /// * Otherwise the replacement policy picks a victim, which is returned
     ///   as an [`Evicted`] for the caller to handle (write back, migrate to
     ///   another directory structure, invalidate, ...).
+    #[inline]
     pub fn insert(&mut self, line: LineAddr, payload: T) -> Option<Evicted<T>> {
+        debug_assert!(
+            line.value() != TAG_INVALID,
+            "LineAddr {TAG_INVALID:#x} is reserved as the invalid-tag sentinel"
+        );
         let set = self.set_of(line);
+        let ways = self.geometry.ways();
+        let base = set * ways;
         if let Some(way) = self.find(line) {
             self.replacer.touch(set, way);
-            self.sets[set][way] = Some(Slot { line, payload });
+            self.payloads[base + way] = payload;
             return None;
         }
-        if let Some(way) = self.sets[set].iter().position(Option::is_none) {
+        let free = !self.valid[set] & self.row_mask();
+        if free != 0 {
+            let way = free.trailing_zeros() as usize;
             self.replacer.touch(set, way);
-            self.sets[set][way] = Some(Slot { line, payload });
+            self.tags[base + way] = line;
+            self.payloads[base + way] = payload;
+            self.valid[set] |= 1 << way;
             self.len += 1;
             return None;
         }
         let way = self.replacer.victim(set);
         self.replacer.touch(set, way);
-        let old = self.sets[set][way]
-            .replace(Slot { line, payload })
-            .expect("victim way occupied in full set");
+        let old_line = std::mem::replace(&mut self.tags[base + way], line);
+        let old_payload = std::mem::replace(&mut self.payloads[base + way], payload);
         Some(Evicted {
-            line: old.line,
-            payload: old.payload,
+            line: old_line,
+            payload: old_payload,
         })
     }
 
-    /// Removes the entry for `line`, returning its payload.
-    pub fn remove(&mut self, line: LineAddr) -> Option<T> {
+    /// Inserts an entry for a `line` the caller knows is absent (verified
+    /// by a preceding miss), skipping [`SetAssoc::insert`]'s match scan.
+    /// This is the fill path: every fill follows a lookup that missed, so
+    /// re-scanning the tag row for a match is pure overhead.
+    #[inline]
+    pub fn insert_new(&mut self, line: LineAddr, payload: T) -> Option<Evicted<T>> {
+        debug_assert!(
+            line.value() != TAG_INVALID,
+            "LineAddr {TAG_INVALID:#x} is reserved as the invalid-tag sentinel"
+        );
+        debug_assert!(
+            self.find(line).is_none(),
+            "insert_new of a line already present"
+        );
         let set = self.set_of(line);
-        let way = self.find(line)?;
-        self.replacer.clear(set, way);
-        self.len -= 1;
-        Some(
-            self.sets[set][way]
-                .take()
-                .expect("found way occupied")
-                .payload,
-        )
+        let ways = self.geometry.ways();
+        let base = set * ways;
+        let free = !self.valid[set] & self.row_mask();
+        if free != 0 {
+            let way = free.trailing_zeros() as usize;
+            self.replacer.touch(set, way);
+            self.tags[base + way] = line;
+            self.payloads[base + way] = payload;
+            self.valid[set] |= 1 << way;
+            self.len += 1;
+            return None;
+        }
+        let way = self.replacer.victim(set);
+        self.replacer.touch(set, way);
+        let old_line = std::mem::replace(&mut self.tags[base + way], line);
+        let old_payload = std::mem::replace(&mut self.payloads[base + way], payload);
+        Some(Evicted {
+            line: old_line,
+            payload: old_payload,
+        })
     }
 
     /// Number of occupied ways in `set`.
@@ -190,22 +358,21 @@ impl<T> SetAssoc<T> {
     ///
     /// Panics if `set` is out of range.
     pub fn set_occupancy(&self, set: usize) -> usize {
-        self.sets[set].iter().filter(|s| s.is_some()).count()
+        self.valid[set].count_ones() as usize
     }
 
     /// Iterates over the occupied `(line, payload)` entries of `set`.
     pub fn iter_set(&self, set: usize) -> impl Iterator<Item = (LineAddr, &T)> {
-        self.sets[set]
-            .iter()
-            .filter_map(|slot| slot.as_ref().map(|s| (s.line, &s.payload)))
+        let base = set * self.geometry.ways();
+        let mask = self.valid[set];
+        (0..self.geometry.ways())
+            .filter(move |way| mask & (1 << way) != 0)
+            .map(move |way| (self.tags[base + way], &self.payloads[base + way]))
     }
 
     /// Iterates over every occupied `(line, payload)` entry.
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &T)> {
-        self.sets
-            .iter()
-            .flatten()
-            .filter_map(|slot| slot.as_ref().map(|s| (s.line, &s.payload)))
+        (0..self.geometry.sets()).flat_map(move |set| self.iter_set(set))
     }
 }
 
@@ -311,5 +478,65 @@ mod tests {
             c.insert(LineAddr::new(i * 2), i as u32); // set 0 only
         }
         assert!(c.contains(LineAddr::new(1)), "set 1 must be untouched");
+    }
+
+    #[test]
+    fn lookup_then_payload_roundtrips() {
+        let mut c = small();
+        c.insert(LineAddr::new(5), 50);
+        let r = c.lookup(LineAddr::new(5)).expect("present");
+        assert_eq!(*c.payload(r), 50);
+        *c.payload_mut(r) = 51;
+        assert_eq!(c.get(LineAddr::new(5)), Some(&51));
+        assert!(c.lookup(LineAddr::new(9)).is_none());
+    }
+
+    #[test]
+    fn lookup_does_not_perturb_lru_but_lookup_touch_does() {
+        let mut c = small();
+        c.insert(LineAddr::new(0), 0);
+        c.insert(LineAddr::new(4), 4);
+        c.lookup(LineAddr::new(0)); // no touch: line 0 stays LRU
+        assert_eq!(
+            c.insert(LineAddr::new(8), 8).unwrap().line,
+            LineAddr::new(0)
+        );
+
+        let mut c = small();
+        c.insert(LineAddr::new(0), 0);
+        c.insert(LineAddr::new(4), 4);
+        c.lookup_touch(LineAddr::new(0)); // touch: line 4 becomes LRU
+        assert_eq!(
+            c.insert(LineAddr::new(8), 8).unwrap().line,
+            LineAddr::new(4)
+        );
+    }
+
+    #[test]
+    fn take_is_single_probe_remove() {
+        let mut c = small();
+        c.insert(LineAddr::new(0), 7);
+        c.insert(LineAddr::new(4), 8);
+        let r = c.lookup(LineAddr::new(0)).expect("present");
+        assert_eq!(c.take(r), 7);
+        assert_eq!(c.len(), 1);
+        assert!(!c.contains(LineAddr::new(0)));
+        assert!(c.insert(LineAddr::new(8), 9).is_none(), "freed way reused");
+    }
+
+    #[test]
+    fn valid_mask_tracks_occupancy() {
+        let mut c = small();
+        for i in 0..100u64 {
+            c.insert(LineAddr::new(i % 16), i as u32);
+            let counted: usize = (0..4).map(|s| c.set_occupancy(s)).sum();
+            assert_eq!(counted, c.len());
+            assert_eq!(c.iter().count(), c.len());
+        }
+        for i in 0..16u64 {
+            c.remove(LineAddr::new(i));
+        }
+        assert!(c.is_empty());
+        assert_eq!(c.iter().count(), 0);
     }
 }

@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::{
     AccessKind, DataSource, DirHitKind, DirResponse, DirSlice, DirSliceStats, DirWhere,
-    Invalidation, InvalidationCause, SharerSet,
+    Invalidation, InvalidationCause, Invalidations, SharerSet,
 };
 
 /// An Extended Directory entry: a line that lives only in private L2s.
@@ -14,7 +14,7 @@ use crate::{
 /// Per the paper's §7 accounting an ED entry carries the address tag, the
 /// presence bit vector, and a Valid bit; dirtiness is tracked by the MOESI
 /// state of the L2 copies.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EdEntry {
     /// Cores whose L2s hold the line.
     pub sharers: SharerSet,
@@ -22,7 +22,7 @@ pub struct EdEntry {
 
 /// A Traditional Directory entry, coupled to an LLC data way
 /// (paper Figure 2: the TD has a Data column).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TdEntry {
     /// Cores whose L2s hold the line.
     pub sharers: SharerSet,
@@ -124,14 +124,14 @@ impl BaselineSlice {
     /// Inserts `entry` into the TD, discarding (transition ② of Figure 3)
     /// any conflicting victim: the victim's line is invalidated from every
     /// private cache and its dirty LLC data written back to memory.
-    fn insert_td(&mut self, line: LineAddr, entry: TdEntry, out: &mut Vec<Invalidation>) {
+    fn insert_td(&mut self, line: LineAddr, entry: TdEntry, out: &mut Invalidations) {
         if entry.has_data {
             self.stats.llc_data_fills += 1;
         }
         if let Some(Evicted {
             line: vline,
             payload: victim,
-        }) = self.td.insert(line, entry)
+        }) = self.td.insert_new(line, entry)
         {
             self.stats.td_conflict_discards += 1;
             out.push(Invalidation {
@@ -144,7 +144,7 @@ impl BaselineSlice {
     }
 
     /// Migrates an ED victim to the TD (ED set conflict path).
-    fn ed_conflict_to_td(&mut self, line: LineAddr, entry: EdEntry, out: &mut Vec<Invalidation>) {
+    fn ed_conflict_to_td(&mut self, line: LineAddr, entry: EdEntry, out: &mut Invalidations) {
         self.stats.ed_to_td_migrations += 1;
         let td_entry = match self.appendix_a {
             AppendixA::SkylakeQuirk => {
@@ -180,8 +180,8 @@ impl BaselineSlice {
 
     /// Allocates an ED entry for a newly fetched line, migrating any ED
     /// victim into the TD.
-    fn allocate_ed(&mut self, line: LineAddr, core: CoreId, out: &mut Vec<Invalidation>) {
-        let evicted = self.ed.insert(
+    fn allocate_ed(&mut self, line: LineAddr, core: CoreId, out: &mut Invalidations) {
+        let evicted = self.ed.insert_new(
             line,
             EdEntry {
                 sharers: SharerSet::single(core),
@@ -197,9 +197,9 @@ impl BaselineSlice {
     }
 
     fn serve_read(&mut self, line: LineAddr, core: CoreId) -> DirResponse {
-        if self.ed.contains(line) {
+        if let Some(way) = self.ed.lookup_touch(line) {
             self.stats.ed_hits += 1;
-            let entry = self.ed.access(line).expect("ED entry present");
+            let entry = self.ed.payload_mut(way);
             debug_assert!(
                 !entry.sharers.contains(core),
                 "read miss by a core the ED already lists as sharer"
@@ -211,9 +211,9 @@ impl BaselineSlice {
             entry.sharers.insert(core);
             return DirResponse::new(DataSource::L2Cache(owner), DirHitKind::Ed);
         }
-        if self.td.contains(line) {
+        if let Some(way) = self.td.lookup_touch(line) {
             self.stats.td_hits += 1;
-            let entry = self.td.access(line).expect("TD entry present");
+            let entry = self.td.payload_mut(way);
             let source = if entry.has_data {
                 DataSource::Llc
             } else {
@@ -235,9 +235,9 @@ impl BaselineSlice {
     }
 
     fn serve_write(&mut self, line: LineAddr, core: CoreId) -> DirResponse {
-        if self.ed.contains(line) {
+        if let Some(way) = self.ed.lookup_touch(line) {
             self.stats.ed_hits += 1;
-            let entry = self.ed.access(line).expect("ED entry present");
+            let entry = self.ed.payload_mut(way);
             let had_copy = entry.sharers.contains(core);
             let others = entry.sharers.without(core);
             entry.sharers = SharerSet::single(core);
@@ -261,10 +261,10 @@ impl BaselineSlice {
             }
             return resp;
         }
-        if self.td.contains(line) {
+        if let Some(way) = self.td.lookup(line) {
             self.stats.td_hits += 1;
             self.stats.td_to_ed_migrations += 1;
-            let entry = self.td.remove(line).expect("TD entry present");
+            let entry = self.td.take(way);
             let had_copy = entry.sharers.contains(core);
             let others = entry.sharers.without(core);
             // The LLC data copy (dirty or not) is dropped: the writer's M
@@ -304,8 +304,13 @@ impl DirSlice for BaselineSlice {
         }
     }
 
-    fn l2_evict(&mut self, line: LineAddr, core: CoreId, dirty: bool) -> Vec<Invalidation> {
-        let mut out = Vec::new();
+    fn prefetch(&self, line: LineAddr) {
+        self.ed.prefetch(line);
+        self.td.prefetch(line);
+    }
+
+    fn l2_evict(&mut self, line: LineAddr, core: CoreId, dirty: bool) -> Invalidations {
+        let mut out = Invalidations::new();
         if let Some(entry) = self.ed.remove(line) {
             // L2 write-back: the line moves into the LLC, its entry ED→TD.
             self.stats.ed_to_td_migrations += 1;

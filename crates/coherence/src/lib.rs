@@ -37,7 +37,7 @@ mod way_partitioned;
 pub use baseline::{AppendixA, BaselineDirConfig, BaselineSlice, EdEntry, TdEntry};
 pub use protocol::{
     AccessKind, DataSource, DirHitKind, DirResponse, DirSlice, DirSliceStats, DirWhere,
-    Invalidation, InvalidationCause,
+    Invalidation, InvalidationCause, Invalidations,
 };
 pub use sharers::SharerSet;
 pub use state::Moesi;

@@ -1,7 +1,7 @@
 //! The directory-slice protocol: requests, responses, side effects, and the
 //! [`DirSlice`] trait every directory organization implements.
 
-use secdir_mem::{CoreId, LineAddr};
+use secdir_mem::{CoreId, InlineVec, LineAddr};
 use serde::{Deserialize, Serialize};
 
 use crate::SharerSet;
@@ -77,7 +77,7 @@ impl InvalidationCause {
 /// The machine consults its own per-line MOESI state to decide whether each
 /// removed copy needs a memory write-back; `llc_writeback` additionally
 /// signals that the directory dropped a dirty LLC copy of the line.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Invalidation {
     /// The line to remove.
     pub line: LineAddr,
@@ -89,15 +89,23 @@ pub struct Invalidation {
     pub cause: InvalidationCause,
 }
 
+/// The invalidation list carried by a [`DirResponse`] and returned by
+/// [`DirSlice::l2_evict`].
+///
+/// Almost every transaction produces zero or one invalidation, so the
+/// first four live inline ([`InlineVec`]) and the steady-state request
+/// path never touches the heap (see `tests/alloc_free.rs`).
+pub type Invalidations = InlineVec<Invalidation, 4>;
+
 /// The directory's answer to a [`DirSlice::request`].
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DirResponse {
     /// Where the data comes from.
     pub source: DataSource,
     /// Which structure the lookup hit in.
     pub hit: DirHitKind,
     /// Private-cache invalidations the machine must apply.
-    pub invalidations: Vec<Invalidation>,
+    pub invalidations: Invalidations,
     /// Whether the VD Empty-Bit array was consulted (adds 2 cycles).
     pub vd_eb_checked: bool,
     /// Whether any VD bank data array was actually probed (adds 5 cycles).
@@ -114,7 +122,7 @@ impl DirResponse {
         DirResponse {
             source,
             hit,
-            invalidations: Vec::new(),
+            invalidations: Invalidations::new(),
             vd_eb_checked: false,
             vd_array_probed: false,
             vd_batches: 0,
@@ -262,7 +270,7 @@ pub trait DirSlice {
     /// Handles the eviction of `line` from `core`'s private L2 (a victim
     /// write-back into the LLC). `dirty` is the evicted copy's MOESI
     /// dirtiness.
-    fn l2_evict(&mut self, line: LineAddr, core: CoreId, dirty: bool) -> Vec<Invalidation>;
+    fn l2_evict(&mut self, line: LineAddr, core: CoreId, dirty: bool) -> Invalidations;
 
     /// Where `line`'s entry currently lives, if anywhere (for invariant
     /// checks and tests).
@@ -273,6 +281,13 @@ pub trait DirSlice {
 
     /// This slice's event counters.
     fn stats(&self) -> &DirSliceStats;
+
+    /// Hints the host CPU to pull the metadata rows a future request for
+    /// `line` would probe into its cache. Purely a performance hint with
+    /// no simulated effect; the default does nothing.
+    fn prefetch(&self, line: LineAddr) {
+        let _ = line;
+    }
 }
 
 #[cfg(test)]

@@ -28,11 +28,13 @@ impl SharerSet {
     pub const MAX_CORES: usize = 64;
 
     /// The empty set.
+    #[inline]
     pub fn empty() -> Self {
         SharerSet(0)
     }
 
     /// A set holding exactly one core.
+    #[inline]
     pub fn single(core: CoreId) -> Self {
         let mut s = SharerSet::empty();
         s.insert(core);
@@ -44,12 +46,14 @@ impl SharerSet {
     /// # Panics
     ///
     /// Panics if `core.0 >= 64`.
+    #[inline]
     pub fn insert(&mut self, core: CoreId) {
         assert!(core.0 < Self::MAX_CORES, "core id out of range");
         self.0 |= 1 << core.0;
     }
 
     /// Removes `core` from the set; returns whether it was present.
+    #[inline]
     pub fn remove(&mut self, core: CoreId) -> bool {
         let was = self.contains(core);
         self.0 &= !(1u64 << core.0);
@@ -57,22 +61,26 @@ impl SharerSet {
     }
 
     /// Whether `core` is in the set.
+    #[inline]
     pub fn contains(&self, core: CoreId) -> bool {
         core.0 < Self::MAX_CORES && self.0 & (1 << core.0) != 0
     }
 
     /// Number of sharers.
+    #[inline]
     pub fn count(&self) -> usize {
         self.0.count_ones() as usize
     }
 
     /// Whether no core holds the line.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.0 == 0
     }
 
     /// An arbitrary (lowest-numbered) sharer, if any — the core the protocol
     /// forwards a read request to.
+    #[inline]
     pub fn any(&self) -> Option<CoreId> {
         if self.0 == 0 {
             None
@@ -82,6 +90,7 @@ impl SharerSet {
     }
 
     /// The set minus `core`.
+    #[inline]
     pub fn without(mut self, core: CoreId) -> Self {
         self.remove(core);
         self
@@ -94,6 +103,7 @@ impl SharerSet {
     }
 
     /// The raw presence bit vector.
+    #[inline]
     pub fn bits(&self) -> u64 {
         self.0
     }

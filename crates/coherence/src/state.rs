@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(!Moesi::Shared.is_dirty());
 /// assert!(Moesi::Exclusive.can_write_silently());
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Moesi {
     /// Dirty, exclusive copy.
     Modified,
@@ -29,27 +29,32 @@ pub enum Moesi {
     /// Clean (possibly shared) copy.
     Shared,
     /// No valid copy.
+    #[default]
     Invalid,
 }
 
 impl Moesi {
     /// Whether this copy holds data newer than memory.
+    #[inline]
     pub fn is_dirty(self) -> bool {
         matches!(self, Moesi::Modified | Moesi::Owned)
     }
 
     /// Whether a store can complete without a directory transaction.
+    #[inline]
     pub fn can_write_silently(self) -> bool {
         matches!(self, Moesi::Modified | Moesi::Exclusive)
     }
 
     /// Whether the copy is valid at all.
+    #[inline]
     pub fn is_valid(self) -> bool {
         self != Moesi::Invalid
     }
 
     /// The state this copy downgrades to when another core reads the line
     /// (MOESI: a Modified owner keeps dirty data in Owned state).
+    #[inline]
     pub fn after_remote_read(self) -> Moesi {
         match self {
             Moesi::Modified | Moesi::Owned => Moesi::Owned,

@@ -12,12 +12,12 @@
 //! core's effective directory — and LLC share — shrinks to a sliver, and
 //! the design cannot support more cores than ways at all.
 
-use secdir_cache::{Evicted, Geometry, ReplacementPolicy, SetAssoc};
+use secdir_cache::{Evicted, Geometry, ReplacementPolicy, SetAssoc, WayRef};
 use secdir_mem::{CoreId, LineAddr};
 
 use crate::{
     AccessKind, BaselineDirConfig, DataSource, DirHitKind, DirResponse, DirSlice, DirSliceStats,
-    DirWhere, EdEntry, Invalidation, InvalidationCause, SharerSet, TdEntry,
+    DirWhere, EdEntry, Invalidation, InvalidationCause, Invalidations, SharerSet, TdEntry,
 };
 
 /// One slice of a statically way-partitioned directory.
@@ -85,30 +85,33 @@ impl WayPartitionedSlice {
         }
     }
 
-    fn find_ed(&self, line: LineAddr) -> Option<usize> {
-        self.ed.iter().position(|p| p.contains(line))
+    /// Locates `line`'s ED entry across partitions: one probe per
+    /// partition, handle returned so the hit needs no re-scan.
+    fn lookup_ed(&self, line: LineAddr) -> Option<(usize, WayRef)> {
+        self.ed
+            .iter()
+            .enumerate()
+            .find_map(|(part, p)| p.lookup(line).map(|way| (part, way)))
     }
 
-    fn find_td(&self, line: LineAddr) -> Option<usize> {
-        self.td.iter().position(|p| p.contains(line))
+    /// Locates `line`'s TD entry across partitions (single probe each).
+    fn lookup_td(&self, line: LineAddr) -> Option<(usize, WayRef)> {
+        self.td
+            .iter()
+            .enumerate()
+            .find_map(|(part, p)| p.lookup(line).map(|way| (part, way)))
     }
 
     /// Inserts into `owner`'s TD partition; a conflict (necessarily a
     /// self-conflict) discards the victim, baseline-style.
-    fn insert_td(
-        &mut self,
-        owner: usize,
-        line: LineAddr,
-        entry: TdEntry,
-        out: &mut Vec<Invalidation>,
-    ) {
+    fn insert_td(&mut self, owner: usize, line: LineAddr, entry: TdEntry, out: &mut Invalidations) {
         if entry.has_data {
             self.stats.llc_data_fills += 1;
         }
         if let Some(Evicted {
             line: vline,
             payload: victim,
-        }) = self.td[owner].insert(line, entry)
+        }) = self.td[owner].insert_new(line, entry)
         {
             self.stats.td_conflict_discards += 1;
             if victim.has_data && victim.llc_dirty {
@@ -123,8 +126,8 @@ impl WayPartitionedSlice {
         }
     }
 
-    fn allocate_ed(&mut self, line: LineAddr, core: CoreId, out: &mut Vec<Invalidation>) {
-        let evicted = self.ed[core.0].insert(
+    fn allocate_ed(&mut self, line: LineAddr, core: CoreId, out: &mut Invalidations) {
+        let evicted = self.ed[core.0].insert_new(
             line,
             EdEntry {
                 sharers: SharerSet::single(core),
@@ -156,17 +159,19 @@ impl WayPartitionedSlice {
 impl DirSlice for WayPartitionedSlice {
     fn request(&mut self, line: LineAddr, core: CoreId, kind: AccessKind) -> DirResponse {
         self.stats.requests += 1;
-        if let Some(part) = self.find_ed(line) {
+        if let Some((part, way)) = self.lookup_ed(line) {
             self.stats.ed_hits += 1;
             match kind {
                 AccessKind::Read => {
-                    let entry = self.ed[part].access(line).expect("ED entry present");
+                    self.ed[part].touch(way);
+                    let entry = self.ed[part].payload_mut(way);
                     let owner = entry.sharers.any().expect("ED entry has a sharer");
                     entry.sharers.insert(core);
                     return DirResponse::new(DataSource::L2Cache(owner), DirHitKind::Ed);
                 }
                 AccessKind::Write => {
-                    let entry = self.ed[part].access(line).expect("ED entry present");
+                    self.ed[part].touch(way);
+                    let entry = self.ed[part].payload_mut(way);
                     let had_copy = entry.sharers.contains(core);
                     let others = entry.sharers.without(core);
                     entry.sharers = SharerSet::single(core);
@@ -186,12 +191,12 @@ impl DirSlice for WayPartitionedSlice {
                     }
                     // Ownership moves to the writer's partition.
                     if part != core.0 {
-                        let e = self.ed[part].remove(line).expect("entry present");
-                        let mut out = Vec::new();
+                        let e = self.ed[part].take(way);
+                        let mut out = Invalidations::new();
                         if let Some(Evicted {
                             line: vline,
                             payload,
-                        }) = self.ed[core.0].insert(line, e)
+                        }) = self.ed[core.0].insert_new(line, e)
                         {
                             self.stats.ed_to_td_migrations += 1;
                             self.insert_td(
@@ -211,11 +216,12 @@ impl DirSlice for WayPartitionedSlice {
                 }
             }
         }
-        if let Some(part) = self.find_td(line) {
+        if let Some((part, way)) = self.lookup_td(line) {
             self.stats.td_hits += 1;
             match kind {
                 AccessKind::Read => {
-                    let entry = self.td[part].access(line).expect("TD entry present");
+                    self.td[part].touch(way);
+                    let entry = self.td[part].payload_mut(way);
                     let source = if entry.has_data {
                         DataSource::Llc
                     } else {
@@ -232,7 +238,7 @@ impl DirSlice for WayPartitionedSlice {
                 }
                 AccessKind::Write => {
                     self.stats.td_to_ed_migrations += 1;
-                    let entry = self.td[part].remove(line).expect("TD entry present");
+                    let entry = self.td[part].take(way);
                     let had_copy = entry.sharers.contains(core);
                     let others = entry.sharers.without(core);
                     let source = if had_copy {
@@ -262,10 +268,10 @@ impl DirSlice for WayPartitionedSlice {
         resp
     }
 
-    fn l2_evict(&mut self, line: LineAddr, core: CoreId, dirty: bool) -> Vec<Invalidation> {
-        let mut out = Vec::new();
-        if let Some(part) = self.find_ed(line) {
-            let entry = self.ed[part].remove(line).expect("entry present");
+    fn l2_evict(&mut self, line: LineAddr, core: CoreId, dirty: bool) -> Invalidations {
+        let mut out = Invalidations::new();
+        if let Some((part, way)) = self.lookup_ed(line) {
+            let entry = self.ed[part].take(way);
             self.stats.ed_to_td_migrations += 1;
             self.insert_td(
                 part,
@@ -279,8 +285,8 @@ impl DirSlice for WayPartitionedSlice {
             );
             return out;
         }
-        if let Some(part) = self.find_td(line) {
-            let entry = self.td[part].get_mut(line).expect("entry present");
+        if let Some((part, way)) = self.lookup_td(line) {
+            let entry = self.td[part].payload_mut(way);
             entry.sharers.remove(core);
             let fills = !entry.has_data;
             entry.has_data = true;
@@ -295,11 +301,11 @@ impl DirSlice for WayPartitionedSlice {
     }
 
     fn locate(&self, line: LineAddr) -> Option<DirWhere> {
-        if let Some(p) = self.find_ed(line) {
-            return Some(DirWhere::Ed(self.ed[p].get(line).expect("present").sharers));
+        if let Some((part, way)) = self.lookup_ed(line) {
+            return Some(DirWhere::Ed(self.ed[part].payload(way).sharers));
         }
-        self.find_td(line).map(|p| {
-            let e = self.td[p].get(line).expect("present");
+        self.lookup_td(line).map(|(part, way)| {
+            let e = self.td[part].payload(way);
             DirWhere::Td {
                 sharers: e.sharers,
                 has_data: e.has_data,
@@ -308,8 +314,8 @@ impl DirSlice for WayPartitionedSlice {
     }
 
     fn llc_has_data(&self, line: LineAddr) -> bool {
-        self.find_td(line)
-            .is_some_and(|p| self.td[p].get(line).expect("present").has_data)
+        self.lookup_td(line)
+            .is_some_and(|(part, way)| self.td[part].payload(way).has_data)
     }
 
     fn stats(&self) -> &DirSliceStats {

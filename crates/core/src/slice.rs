@@ -3,7 +3,7 @@
 use secdir_cache::{Evicted, ReplacementPolicy, SetAssoc};
 use secdir_coherence::{
     AccessKind, DataSource, DirHitKind, DirResponse, DirSlice, DirSliceStats, DirWhere, EdEntry,
-    Invalidation, InvalidationCause, SharerSet, TdEntry,
+    Invalidation, InvalidationCause, Invalidations, SharerSet, TdEntry,
 };
 use secdir_mem::{CoreId, LineAddr};
 
@@ -41,6 +41,10 @@ pub struct SecDirSlice {
 impl SecDirSlice {
     /// Creates an empty slice with `config.num_banks` VD banks.
     pub fn new(config: SecDirConfig, seed: u64) -> Self {
+        assert!(
+            config.num_banks <= 64,
+            "VD bank candidates are tracked in a u64 bitmask"
+        );
         SecDirSlice {
             ed: SetAssoc::new(config.ed, ReplacementPolicy::Random, seed),
             td: SetAssoc::new(config.td, ReplacementPolicy::Random, seed ^ 1),
@@ -83,16 +87,27 @@ impl SecDirSlice {
     fn vd_query(&mut self, line: LineAddr, early_exit: bool) -> (SharerSet, bool, u32) {
         self.stats.vd_lookups += 1;
         self.stats.vd_bank_probes_without_eb += self.vds.len() as u64;
-        let candidates: Vec<usize> = (0..self.vds.len())
-            .filter(|&i| !self.vds[i].eb_filters_out(line))
-            .collect();
+        // Candidate banks (those the Empty Bit cannot rule out) are a u64
+        // bitmask — no per-request allocation on this path.
+        let mut remaining = 0u64;
+        for (i, bank) in self.vds.iter().enumerate() {
+            if !bank.eb_filters_out(line) {
+                remaining |= 1 << i;
+            }
+        }
+        let any_candidates = remaining != 0;
         let batch = self.search_batch.unwrap_or(self.vds.len().max(1));
         let mut matched = SharerSet::empty();
         let mut batches = 0u32;
-        for chunk in candidates.chunks(batch) {
+        while remaining != 0 {
             batches += 1;
             let mut chunk_matched = false;
-            for &i in chunk {
+            for _ in 0..batch {
+                if remaining == 0 {
+                    break;
+                }
+                let i = remaining.trailing_zeros() as usize;
+                remaining &= remaining - 1;
                 self.stats.vd_bank_probes += 1;
                 if self.vds[i].contains(line) {
                     matched.insert(CoreId(i));
@@ -103,12 +118,12 @@ impl SecDirSlice {
                 break;
             }
         }
-        (matched, !candidates.is_empty(), batches)
+        (matched, any_candidates, batches)
     }
 
     /// Inserts `line` into `core`'s VD bank, reporting any self-conflict
     /// eviction (transition ⑤) as an invalidation of that core's own copy.
-    fn vd_insert(&mut self, line: LineAddr, core: CoreId, out: &mut Vec<Invalidation>) {
+    fn vd_insert(&mut self, line: LineAddr, core: CoreId, out: &mut Invalidations) {
         let r = self.vds[core.0].insert(line);
         self.stats.vd_inserts += 1;
         self.stats.cuckoo_relocations += u64::from(r.relocations);
@@ -126,14 +141,14 @@ impl SecDirSlice {
     /// Inserts into the TD, resolving a conflict per Figure 3(b):
     /// transition ② (no sharers: discard, write back dirty LLC data) or
     /// transition ③ (sharers exist: migrate into each sharer's VD bank).
-    fn insert_td(&mut self, line: LineAddr, entry: TdEntry, out: &mut Vec<Invalidation>) {
+    fn insert_td(&mut self, line: LineAddr, entry: TdEntry, out: &mut Invalidations) {
         if entry.has_data {
             self.stats.llc_data_fills += 1;
         }
         if let Some(Evicted {
             line: vline,
             payload: victim,
-        }) = self.td.insert(line, entry)
+        }) = self.td.insert_new(line, entry)
         {
             if victim.has_data && victim.llc_dirty {
                 self.stats.llc_writebacks += 1;
@@ -157,8 +172,8 @@ impl SecDirSlice {
 
     /// Allocates an ED entry, migrating any ED victim into the TD
     /// (data-less: SecDir always uses the Appendix-A fix).
-    fn allocate_ed(&mut self, line: LineAddr, core: CoreId, out: &mut Vec<Invalidation>) {
-        let evicted = self.ed.insert(
+    fn allocate_ed(&mut self, line: LineAddr, core: CoreId, out: &mut Invalidations) {
+        let evicted = self.ed.insert_new(
             line,
             EdEntry {
                 sharers: SharerSet::single(core),
@@ -183,9 +198,9 @@ impl SecDirSlice {
     }
 
     fn serve_read(&mut self, line: LineAddr, core: CoreId) -> DirResponse {
-        if self.ed.contains(line) {
+        if let Some(way) = self.ed.lookup_touch(line) {
             self.stats.ed_hits += 1;
-            let entry = self.ed.access(line).expect("ED entry present");
+            let entry = self.ed.payload_mut(way);
             let owner = entry
                 .sharers
                 .any()
@@ -193,9 +208,9 @@ impl SecDirSlice {
             entry.sharers.insert(core);
             return DirResponse::new(DataSource::L2Cache(owner), DirHitKind::Ed);
         }
-        if self.td.contains(line) {
+        if let Some(way) = self.td.lookup_touch(line) {
             self.stats.td_hits += 1;
-            let entry = self.td.access(line).expect("TD entry present");
+            let entry = self.td.payload_mut(way);
             let source = if entry.has_data {
                 DataSource::Llc
             } else {
@@ -237,9 +252,9 @@ impl SecDirSlice {
     }
 
     fn serve_write(&mut self, line: LineAddr, core: CoreId) -> DirResponse {
-        if self.ed.contains(line) {
+        if let Some(way) = self.ed.lookup_touch(line) {
             self.stats.ed_hits += 1;
-            let entry = self.ed.access(line).expect("ED entry present");
+            let entry = self.ed.payload_mut(way);
             let had_copy = entry.sharers.contains(core);
             let others = entry.sharers.without(core);
             entry.sharers = SharerSet::single(core);
@@ -263,10 +278,10 @@ impl SecDirSlice {
             }
             return resp;
         }
-        if self.td.contains(line) {
+        if let Some(way) = self.td.lookup(line) {
             self.stats.td_hits += 1;
             self.stats.td_to_ed_migrations += 1;
-            let entry = self.td.remove(line).expect("TD entry present");
+            let entry = self.td.take(way);
             let had_copy = entry.sharers.contains(core);
             let others = entry.sharers.without(core);
             let source = if had_copy {
@@ -340,9 +355,15 @@ impl DirSlice for SecDirSlice {
         }
     }
 
-    fn l2_evict(&mut self, line: LineAddr, core: CoreId, dirty: bool) -> Vec<Invalidation> {
-        let mut out = Vec::new();
-        if let Some(entry) = self.ed.remove(line) {
+    fn prefetch(&self, line: LineAddr) {
+        self.ed.prefetch(line);
+        self.td.prefetch(line);
+    }
+
+    fn l2_evict(&mut self, line: LineAddr, core: CoreId, dirty: bool) -> Invalidations {
+        let mut out = Invalidations::new();
+        if let Some(way) = self.ed.lookup(line) {
+            let entry = self.ed.take(way);
             self.stats.ed_to_td_migrations += 1;
             self.insert_td(
                 line,
@@ -355,7 +376,8 @@ impl DirSlice for SecDirSlice {
             );
             return out;
         }
-        if let Some(entry) = self.td.get_mut(line) {
+        if let Some(way) = self.td.lookup(line) {
+            let entry = self.td.payload_mut(way);
             entry.sharers.remove(core);
             let fills = !entry.has_data;
             entry.has_data = true;
@@ -390,10 +412,11 @@ impl DirSlice for SecDirSlice {
     }
 
     fn locate(&self, line: LineAddr) -> Option<DirWhere> {
-        if let Some(e) = self.ed.get(line) {
-            return Some(DirWhere::Ed(e.sharers));
+        if let Some(way) = self.ed.lookup(line) {
+            return Some(DirWhere::Ed(self.ed.payload(way).sharers));
         }
-        if let Some(e) = self.td.get(line) {
+        if let Some(way) = self.td.lookup(line) {
+            let e = self.td.payload(way);
             return Some(DirWhere::Td {
                 sharers: e.sharers,
                 has_data: e.has_data,
@@ -404,7 +427,9 @@ impl DirSlice for SecDirSlice {
     }
 
     fn llc_has_data(&self, line: LineAddr) -> bool {
-        self.td.get(line).is_some_and(|e| e.has_data)
+        self.td
+            .lookup(line)
+            .is_some_and(|way| self.td.payload(way).has_data)
     }
 
     fn stats(&self) -> &DirSliceStats {

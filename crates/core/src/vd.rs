@@ -24,6 +24,9 @@ struct VdSlot {
     hash_fn: u8,
 }
 
+/// A (set, way) handle into the bank's flat arrays.
+type SetWay = (usize, usize);
+
 /// One bank of a core's distributed Victim Directory.
 ///
 /// A bank is indexed by two Seznec–Bodin skewing hash functions `h1`/`h2`
@@ -32,6 +35,12 @@ struct VdSlot {
 /// function, up to `NumRelocations` times (paper §5.2.1, Appendix B).
 /// An Empty Bit per set answers "is this set empty?" without touching the
 /// data array (§5.2.2).
+///
+/// Entries live in flat contiguous arrays (`tags` / `hash_fns`, indexed by
+/// `set * ways + way`) with a per-set `u64` occupancy bitmask, mirroring
+/// the hot-path layout of `secdir_cache::SetAssoc`: the Empty-Bit check is
+/// a single mask load, and a lookup touches only the occupied ways of the
+/// candidate sets.
 ///
 /// # Examples
 ///
@@ -56,7 +65,15 @@ pub struct VdBank {
     hashing: VdHashing,
     empty_bit: bool,
     hashes: [SkewHash; 2],
-    sets: Vec<Vec<Option<VdSlot>>>,
+    /// Line tags, indexed by `set * ways + way`; only slots whose bit is
+    /// set in `valid` are meaningful.
+    tags: Vec<LineAddr>,
+    /// The hash function that placed each entry (the "Cuckoo bit").
+    hash_fns: Vec<u8>,
+    /// One occupancy bitmask per set; bit `w` set ⇔ way `w` holds an entry.
+    /// This doubles as the Empty-Bit hardware: `valid[set] == 0` answers
+    /// the EB query without touching the tag array.
+    valid: Vec<u64>,
     len: usize,
     rng: SplitMix64,
 }
@@ -64,6 +81,7 @@ pub struct VdBank {
 impl VdBank {
     /// Creates an empty bank. `seed` feeds the random victim selection.
     pub fn new(geometry: Geometry, hashing: VdHashing, empty_bit: bool, seed: u64) -> Self {
+        let lines = geometry.sets() * geometry.ways();
         VdBank {
             geometry,
             hashing,
@@ -72,9 +90,9 @@ impl VdBank {
                 SkewHash::new(0, geometry.sets()),
                 SkewHash::new(1, geometry.sets()),
             ],
-            sets: (0..geometry.sets())
-                .map(|_| vec![None; geometry.ways()])
-                .collect(),
+            tags: vec![LineAddr::new(0); lines],
+            hash_fns: vec![0; lines],
+            valid: vec![0; geometry.sets()],
             len: 0,
             rng: SplitMix64::new(seed),
         }
@@ -95,6 +113,7 @@ impl VdBank {
         self.len == 0
     }
 
+    #[inline]
     fn index(&self, hash_fn: u8, line: LineAddr) -> usize {
         self.hashes[usize::from(hash_fn)].index(line)
     }
@@ -107,45 +126,90 @@ impl VdBank {
         }
     }
 
-    fn find(&self, line: LineAddr) -> Option<(usize, usize)> {
+    /// All-ways-occupied mask for one set.
+    #[inline]
+    fn row_mask(&self) -> u64 {
+        let ways = self.geometry.ways();
+        if ways == 64 {
+            u64::MAX
+        } else {
+            (1u64 << ways) - 1
+        }
+    }
+
+    /// Scans `set` for `line`, touching only occupied ways.
+    #[inline]
+    fn find_in_set(&self, set: usize, line: LineAddr) -> Option<SetWay> {
+        let mut mask = self.valid[set];
+        while mask != 0 {
+            let way = mask.trailing_zeros() as usize;
+            if self.tags[set * self.geometry.ways() + way] == line {
+                return Some((set, way));
+            }
+            mask &= mask - 1;
+        }
+        None
+    }
+
+    #[inline]
+    fn find(&self, line: LineAddr) -> Option<SetWay> {
         for &k in self.active_hashes() {
             let set = self.index(k, line);
-            if let Some(way) = self.sets[set]
-                .iter()
-                .position(|s| s.is_some_and(|s| s.line == line))
-            {
-                return Some((set, way));
+            if let Some(hit) = self.find_in_set(set, line) {
+                return Some(hit);
             }
         }
         None
     }
 
     /// Whether the bank holds an entry for `line`.
+    #[inline]
     pub fn contains(&self, line: LineAddr) -> bool {
         self.find(line).is_some()
     }
 
     /// Empty-Bit filter: `true` when the bit arrays prove the lookup must
-    /// miss, so the bank's data array need not be probed at all.
+    /// miss, so the bank's data array need not be probed at all. O(1): the
+    /// per-set occupancy mask *is* the Empty-Bit array.
     ///
     /// Returns `false` when the bank has no Empty Bit hardware — every
     /// lookup then probes the array.
+    #[inline]
     pub fn eb_filters_out(&self, line: LineAddr) -> bool {
         self.empty_bit
             && self
                 .active_hashes()
                 .iter()
-                .all(|&k| self.sets[self.index(k, line)].iter().all(Option::is_none))
+                .all(|&k| self.valid[self.index(k, line)] == 0)
     }
 
     fn place(&mut self, set: usize, way: usize, slot: VdSlot) {
-        debug_assert!(self.sets[set][way].is_none());
-        self.sets[set][way] = Some(slot);
+        debug_assert!(self.valid[set] & (1 << way) == 0);
+        self.valid[set] |= 1 << way;
+        self.tags[set * self.geometry.ways() + way] = slot.line;
+        self.hash_fns[set * self.geometry.ways() + way] = slot.hash_fn;
         self.len += 1;
     }
 
+    /// Lowest-numbered unoccupied way (matches the old
+    /// `position(Option::is_none)` scan over boxed slots).
     fn free_way(&self, set: usize) -> Option<usize> {
-        self.sets[set].iter().position(Option::is_none)
+        let free = !self.valid[set] & self.row_mask();
+        (free != 0).then(|| free.trailing_zeros() as usize)
+    }
+
+    /// Reads the occupied slot at `(set, way)` and overwrites it in place
+    /// (occupancy bit stays set).
+    fn replace(&mut self, set: usize, way: usize, slot: VdSlot) -> VdSlot {
+        debug_assert!(self.valid[set] & (1 << way) != 0);
+        let idx = set * self.geometry.ways() + way;
+        let old = VdSlot {
+            line: self.tags[idx],
+            hash_fn: self.hash_fns[idx],
+        };
+        self.tags[idx] = slot.line;
+        self.hash_fns[idx] = slot.hash_fn;
+        old
     }
 
     /// Inserts an entry for `line` (idempotent if already present).
@@ -156,31 +220,44 @@ impl VdBank {
     /// [`VdInsert::displaced`]. With plain hashing a full set immediately
     /// displaces a random resident.
     pub fn insert(&mut self, line: LineAddr) -> VdInsert {
-        if self.contains(line) {
-            return VdInsert::default();
-        }
+        // Each candidate set is probed exactly once: the idempotence check
+        // and the free-way search share the same visit.
         match self.hashing {
             VdHashing::Plain => {
                 let set = self.index(0, line);
+                if self.find_in_set(set, line).is_some() {
+                    return VdInsert::default();
+                }
                 if let Some(way) = self.free_way(set) {
                     self.place(set, way, VdSlot { line, hash_fn: 0 });
                     return VdInsert::default();
                 }
                 let way = self.rng.next_below(self.geometry.ways() as u64) as usize;
-                let old = self.sets[set][way]
-                    .replace(VdSlot { line, hash_fn: 0 })
-                    .expect("full set has occupied ways");
+                let old = self.replace(set, way, VdSlot { line, hash_fn: 0 });
                 VdInsert {
                     relocations: 0,
                     displaced: Some(old.line),
                 }
             }
             VdHashing::Cuckoo { num_relocations } => {
+                let candidates = [self.index(0, line), self.index(1, line)];
+                if candidates
+                    .iter()
+                    .any(|&set| self.find_in_set(set, line).is_some())
+                {
+                    return VdInsert::default();
+                }
                 // Fast path: either candidate set has a free slot.
-                for k in 0..2u8 {
-                    let set = self.index(k, line);
+                for (k, &set) in candidates.iter().enumerate() {
                     if let Some(way) = self.free_way(set) {
-                        self.place(set, way, VdSlot { line, hash_fn: k });
+                        self.place(
+                            set,
+                            way,
+                            VdSlot {
+                                line,
+                                hash_fn: k as u8,
+                            },
+                        );
                         return VdInsert::default();
                     }
                 }
@@ -199,17 +276,17 @@ impl VdBank {
                 loop {
                     let set = self.index(incoming.hash_fn, incoming.line);
                     let way = self.rng.next_below(self.geometry.ways() as u64) as usize;
-                    let displaced = self.sets[set][way]
-                        .replace(incoming)
-                        .expect("relocation target set is full");
+                    let displaced = self.replace(set, way, incoming);
                     relocations += 1;
                     let alt = 1 - displaced.hash_fn;
                     let alt_set = self.index(alt, displaced.line);
                     if let Some(free) = self.free_way(alt_set) {
-                        self.sets[alt_set][free] = Some(VdSlot {
-                            line: displaced.line,
-                            hash_fn: alt,
-                        });
+                        // Direct slot write: the chain's entry was already
+                        // counted in `len` when it entered the bank.
+                        self.valid[alt_set] |= 1 << free;
+                        let idx = alt_set * self.geometry.ways() + free;
+                        self.tags[idx] = displaced.line;
+                        self.hash_fns[idx] = alt;
                         return VdInsert {
                             relocations,
                             displaced: None,
@@ -236,7 +313,7 @@ impl VdBank {
     /// Removes the entry for `line`; returns whether it was present.
     pub fn remove(&mut self, line: LineAddr) -> bool {
         if let Some((set, way)) = self.find(line) {
-            self.sets[set][way] = None;
+            self.valid[set] &= !(1 << way);
             self.len -= 1;
             true
         } else {
@@ -246,10 +323,12 @@ impl VdBank {
 
     /// Iterates over all resident lines (test/diagnostic use).
     pub fn iter(&self) -> impl Iterator<Item = LineAddr> + '_ {
-        self.sets
-            .iter()
-            .flatten()
-            .filter_map(|s| s.as_ref().map(|s| s.line))
+        self.valid.iter().enumerate().flat_map(move |(set, &mask)| {
+            let ways = self.geometry.ways();
+            (0..ways)
+                .filter(move |w| mask & (1 << w) != 0)
+                .map(move |w| self.tags[set * ways + w])
+        })
     }
 }
 

@@ -7,7 +7,7 @@
 
 use secdir_coherence::{
     AccessKind, DataSource, DirHitKind, DirResponse, DirSlice, DirSliceStats, DirWhere,
-    Invalidation, InvalidationCause, SharerSet,
+    Invalidation, InvalidationCause, Invalidations, SharerSet,
 };
 use secdir_mem::{CoreId, LineAddr};
 
@@ -77,7 +77,7 @@ impl VdOnlySlice {
         matched
     }
 
-    fn vd_insert(&mut self, line: LineAddr, core: CoreId, out: &mut Vec<Invalidation>) {
+    fn vd_insert(&mut self, line: LineAddr, core: CoreId, out: &mut Invalidations) {
         let r = self.vds[core.0].insert(line);
         self.stats.vd_inserts += 1;
         self.stats.cuckoo_relocations += u64::from(r.relocations);
@@ -150,10 +150,10 @@ impl DirSlice for VdOnlySlice {
         }
     }
 
-    fn l2_evict(&mut self, line: LineAddr, core: CoreId, _dirty: bool) -> Vec<Invalidation> {
+    fn l2_evict(&mut self, line: LineAddr, core: CoreId, _dirty: bool) -> Invalidations {
         // No TD to consolidate into: the evicting core's entry is dropped.
         self.vds[core.0].remove(line);
-        Vec::new()
+        Invalidations::new()
     }
 
     fn locate(&self, line: LineAddr) -> Option<DirWhere> {

@@ -40,6 +40,17 @@ impl PrivateCaches {
         }
     }
 
+    /// Hints the host CPU to pull the L2 rows a future access of `line`
+    /// will probe into its cache. Purely a performance hint — no
+    /// replacement update, no simulated effect. The L1 arrays are a few
+    /// KiB and effectively always host-resident, so only the L2 (whose
+    /// tag and replacement arrays run to hundreds of KiB per core) is
+    /// worth hinting.
+    #[inline]
+    pub fn prefetch(&self, line: LineAddr) {
+        self.l2.prefetch(line);
+    }
+
     /// Whether the L1 holds `line`.
     pub fn l1_contains(&self, line: LineAddr) -> bool {
         self.l1.contains(line)
@@ -74,19 +85,44 @@ impl PrivateCaches {
         self.l2.access(line).copied()
     }
 
+    /// An L2 access returning the state by mutable reference: one probe
+    /// serves both the hit check and an in-place state change.
+    pub fn l2_access_mut(&mut self, line: LineAddr) -> Option<&mut Moesi> {
+        self.l2.access(line)
+    }
+
+    /// One-probe silent store: if `line` is resident in a state that
+    /// allows a silent write (Exclusive/Modified), sets it to
+    /// [`Moesi::Modified`] and returns `true`; otherwise leaves the cache
+    /// untouched and returns `false` (the caller must upgrade through the
+    /// directory).
+    pub fn silent_write(&mut self, line: LineAddr) -> bool {
+        match self.l2.get_mut(line) {
+            Some(s) if s.can_write_silently() => {
+                *s = Moesi::Modified;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Brings `line` into L1 (after an L1 miss that hit the L2, or a fill).
     /// L1 capacity victims are dropped silently — they remain in L2.
+    ///
+    /// Every call follows an L1 miss, so the match scan is skipped
+    /// ([`SetAssoc::insert_new`]).
     pub fn fill_l1(&mut self, line: LineAddr) {
         debug_assert!(self.l2.contains(line), "L1 fill of a line not in L2");
-        self.l1.insert(line, ());
+        self.l1.insert_new(line, ());
     }
 
     /// Fills `line` into L2 (and L1) in `state`. Returns the L2 victim, if
     /// the fill displaced one: the caller must notify the directory.
+    /// Fills only happen after an L2 miss, so the match scan is skipped.
     pub fn fill(&mut self, line: LineAddr, state: Moesi) -> Option<(LineAddr, Moesi)> {
         let victim = self
             .l2
-            .insert(line, state)
+            .insert_new(line, state)
             .map(|Evicted { line, payload }| {
                 // Enforce L1 ⊆ L2.
                 self.l1.remove(line);

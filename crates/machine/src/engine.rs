@@ -8,6 +8,7 @@
 //! directory conflicts — are modeled faithfully at transaction granularity.
 
 use std::cmp::Reverse;
+use std::collections::binary_heap::PeekMut;
 use std::collections::BinaryHeap;
 
 use secdir_mem::{CoreId, LineAddr};
@@ -207,18 +208,68 @@ pub fn run_workload_with(
         Scheduler::Heap => {
             // One entry per active core; a core re-enqueues itself with its
             // new ready time, so the queue never holds stale entries.
+            //
+            // Each core's next reference is pulled one ahead of its
+            // simulation so the machine can prefetch the metadata rows it
+            // will probe while the other cores run (≈ n accesses of host
+            // memory latency hidden). Exactness is preserved: streams are
+            // per-core independent and still consumed in the same per-core
+            // order and count — a reference is only pulled once its
+            // predecessor has been counted below the access cap, matching
+            // the lazy scheduler's pull-at-pop discipline.
+            enum Pulled {
+                /// No reference buffered; ask the stream at the next pop.
+                Not,
+                /// The core's next reference, already prefetched.
+                Ready(Access),
+                /// The stream returned `None`; the core finishes at its
+                /// next pop, at the same cycle the lazy pull would have
+                /// discovered the exhaustion.
+                Exhausted,
+            }
+            let mut pulled: Vec<Pulled> = (0..n).map(|_| Pulled::Not).collect();
             let mut queue: BinaryHeap<Reverse<(u64, usize)>> =
                 (0..n).map(|i| Reverse((0, i))).collect();
-            while let Some(Reverse((ready, core))) = queue.pop() {
-                if let Some(next) = advance_core(
-                    machine,
-                    streams,
-                    &mut runs,
-                    core,
-                    ready,
-                    max_accesses_per_core,
-                ) {
-                    queue.push(Reverse((next, core)));
+            // An advancing core rewrites the top entry in place (one
+            // sift-down via `PeekMut`) rather than pop + push (two sifts);
+            // the heap holds the same (time, core) keys either way, and
+            // keys are unique per core, so the pick order is unchanged.
+            while let Some(mut top) = queue.peek_mut() {
+                let Reverse((ready, core)) = *top;
+                if runs[core].accesses >= max_accesses_per_core {
+                    runs[core].finish_time = ready;
+                    PeekMut::pop(top);
+                    continue;
+                }
+                let acc = match std::mem::replace(&mut pulled[core], Pulled::Not) {
+                    Pulled::Ready(acc) => acc,
+                    Pulled::Not => match streams[core].next_access() {
+                        Some(acc) => acc,
+                        None => {
+                            runs[core].finish_time = ready;
+                            PeekMut::pop(top);
+                            continue;
+                        }
+                    },
+                    Pulled::Exhausted => {
+                        runs[core].finish_time = ready;
+                        PeekMut::pop(top);
+                        continue;
+                    }
+                };
+                let outcome = machine.access(CoreId(core), acc.line, acc.write);
+                runs[core].instructions += u64::from(acc.gap) + 1;
+                runs[core].accesses += 1;
+                *top = Reverse((ready + u64::from(acc.gap) + outcome.latency, core));
+                drop(top);
+                if runs[core].accesses < max_accesses_per_core {
+                    pulled[core] = match streams[core].next_access() {
+                        Some(next) => {
+                            machine.prefetch(CoreId(core), next.line);
+                            Pulled::Ready(next)
+                        }
+                        None => Pulled::Exhausted,
+                    };
                 }
             }
         }

@@ -32,6 +32,7 @@ mod caches;
 mod config;
 mod engine;
 mod machine;
+pub mod perf;
 mod stats;
 pub mod sweep;
 

@@ -1,0 +1,325 @@
+//! Engine-throughput measurement (`secdir-sim perf`, `BENCH_throughput.json`).
+//!
+//! Every figure in this reproduction is statistics over `Machine::access`
+//! calls, so simulator throughput — accesses per wall-clock second —
+//! directly bounds how many sweep cells and attack trials a campaign can
+//! afford. This module measures that number per directory kind, two ways:
+//!
+//! * **serial**: one machine, one timed measured phase (the warm-up is
+//!   excluded from the clock and the count) — the per-cell speed of the
+//!   engine itself.
+//! * **sweep**: a seed-replicated cell matrix fanned out through
+//!   [`sweep`](crate::sweep::sweep) — the harness-level speed, warm-up
+//!   included in both the clock and the count.
+//!
+//! Results serialize to JSONL with a fixed field order (`schema`
+//! `secdir-bench-throughput/1`, documented in EXPERIMENTS.md) so
+//! `BENCH_throughput.json` diffs cleanly across PRs and the perf
+//! trajectory of the engine is tracked in-repo.
+
+use std::io::{self, Write};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::sweep::{sweep, CellSpec, StreamFactory};
+use crate::{run_workload, DirectoryKind, Machine, MachineConfig};
+
+/// What a throughput run measures: each listed directory kind, serial and
+/// sweep-parallel, on one named workload.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerfSpec {
+    /// Directory organizations to measure.
+    pub kinds: Vec<DirectoryKind>,
+    /// Workload name, resolved by the [`StreamFactory`].
+    pub workload: String,
+    /// Core count of every machine.
+    pub cores: usize,
+    /// Warm-up references per core (untimed in serial mode).
+    pub warmup: u64,
+    /// Measured references per core.
+    pub measure: u64,
+    /// Cells in the sweep phase (seeds `seed..seed + sweep_cells`).
+    pub sweep_cells: usize,
+    /// Worker threads for the sweep phase.
+    pub threads: usize,
+    /// Base workload seed.
+    pub seed: u64,
+    /// Timed repetitions of the serial measured phase; the fastest is
+    /// reported. Interference from the host (scheduler, other tenants)
+    /// only ever adds time, so the minimum over a few windows estimates
+    /// the engine's actual speed far better than any single window.
+    pub serial_reps: usize,
+}
+
+impl PerfSpec {
+    /// The reference configuration tracked in `BENCH_throughput.json`:
+    /// every directory kind on the 8-core Table-4 machine.
+    pub fn full() -> Self {
+        PerfSpec {
+            kinds: DirectoryKind::ALL.to_vec(),
+            workload: "mix0".to_string(),
+            cores: 8,
+            warmup: 20_000,
+            measure: 200_000,
+            sweep_cells: 8,
+            threads: std::thread::available_parallelism().map_or(1, usize::from),
+            seed: 0x5eed,
+            serial_reps: 5,
+        }
+    }
+
+    /// A CI-sized smoke run: same shape, ~10× fewer references.
+    pub fn quick() -> Self {
+        PerfSpec {
+            warmup: 2_000,
+            measure: 20_000,
+            sweep_cells: 4,
+            serial_reps: 3,
+            ..PerfSpec::full()
+        }
+    }
+}
+
+/// One timed measurement.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerfSample {
+    /// Directory organization measured.
+    pub directory: DirectoryKind,
+    /// `"serial"` or `"sweep"`.
+    pub mode: &'static str,
+    /// Machines run (1 for serial, `sweep_cells` for sweep).
+    pub cells: usize,
+    /// Worker threads used (1 for serial).
+    pub threads: usize,
+    /// Memory accesses simulated inside the timed window.
+    pub accesses: u64,
+    /// Wall-clock duration of the timed window, in nanoseconds.
+    pub nanos: u128,
+}
+
+impl PerfSample {
+    /// Simulated accesses per wall-clock second (0 if nothing was timed).
+    pub fn accesses_per_sec(&self) -> u64 {
+        if self.nanos == 0 {
+            return 0;
+        }
+        (self.accesses as u128 * 1_000_000_000 / self.nanos) as u64
+    }
+
+    /// One JSON object (one JSONL line, no trailing newline); fixed field
+    /// order, schema `secdir-bench-throughput/1` (see EXPERIMENTS.md).
+    pub fn to_json_line(&self, spec: &PerfSpec) -> String {
+        format!(
+            concat!(
+                "{{\"schema\":\"secdir-bench-throughput/1\",",
+                "\"workload\":\"{workload}\",\"directory\":\"{directory}\",",
+                "\"mode\":\"{mode}\",\"cores\":{cores},\"warmup\":{warmup},",
+                "\"measure\":{measure},\"serial_reps\":{reps},",
+                "\"cells\":{cells},\"threads\":{threads},",
+                "\"accesses\":{accesses},\"nanos\":{nanos},",
+                "\"accesses_per_sec\":{aps}}}"
+            ),
+            workload = spec.workload,
+            directory = self.directory.name(),
+            mode = self.mode,
+            cores = spec.cores,
+            warmup = spec.warmup,
+            measure = spec.measure,
+            reps = spec.serial_reps,
+            cells = self.cells,
+            threads = self.threads,
+            accesses = self.accesses,
+            nanos = self.nanos,
+            aps = self.accesses_per_sec(),
+        )
+    }
+}
+
+fn cell_for(spec: &PerfSpec, kind: DirectoryKind, seed: u64) -> CellSpec {
+    CellSpec {
+        workload: spec.workload.clone(),
+        kind,
+        seed,
+        cores: spec.cores,
+        warmup: spec.warmup,
+        measure: spec.measure,
+    }
+}
+
+/// Times the measured phase of one serial cell: the warm-up runs before
+/// the clock starts, and the measured phase repeats `spec.serial_reps`
+/// times on the same warm machine (the streams keep advancing, staying
+/// in steady state); the fastest window is reported, so the sample
+/// reflects steady-state engine speed rather than host scheduling noise.
+fn measure_serial<F: StreamFactory + ?Sized>(
+    spec: &PerfSpec,
+    kind: DirectoryKind,
+    factory: &F,
+) -> PerfSample {
+    let cell = cell_for(spec, kind, spec.seed);
+    let mut machine = Machine::new(MachineConfig::skylake_x(cell.cores, cell.kind));
+    let mut streams = factory.streams(&cell);
+    run_workload(&mut machine, &mut streams, cell.warmup);
+    let mut best: Option<(u64, u128)> = None;
+    for _ in 0..spec.serial_reps.max(1) {
+        let start = Instant::now();
+        let summary = run_workload(&mut machine, &mut streams, cell.measure);
+        let nanos = start.elapsed().as_nanos();
+        let accesses: u64 = summary.cores.iter().map(|c| c.accesses).sum();
+        if best.is_none_or(|(_, n)| nanos < n) {
+            best = Some((accesses, nanos));
+        }
+    }
+    let (accesses, nanos) = best.expect("at least one rep");
+    PerfSample {
+        directory: kind,
+        mode: "serial",
+        cells: 1,
+        threads: 1,
+        accesses,
+        nanos,
+    }
+}
+
+/// Times a whole seed-replicated sweep (warm-up inside the clock, so the
+/// count includes it too): harness-level throughput at `spec.threads`.
+fn measure_sweep<F: StreamFactory + ?Sized>(
+    spec: &PerfSpec,
+    kind: DirectoryKind,
+    factory: &F,
+) -> PerfSample {
+    let cells: Vec<CellSpec> = (0..spec.sweep_cells as u64)
+        .map(|i| cell_for(spec, kind, spec.seed + i))
+        .collect();
+    let start = Instant::now();
+    let results = sweep(&cells, factory, spec.threads.max(1));
+    let nanos = start.elapsed().as_nanos();
+    PerfSample {
+        directory: kind,
+        mode: "sweep",
+        cells: cells.len(),
+        threads: spec.threads.max(1),
+        accesses: results.iter().map(|r| r.stats.total_accesses()).sum(),
+        nanos,
+    }
+}
+
+/// Runs the full measurement: for each kind in `spec.kinds`, one serial
+/// sample then one sweep sample, in spec order.
+pub fn measure<F: StreamFactory + ?Sized>(spec: &PerfSpec, factory: &F) -> Vec<PerfSample> {
+    let mut out = Vec::with_capacity(spec.kinds.len() * 2);
+    for &kind in &spec.kinds {
+        out.push(measure_serial(spec, kind, factory));
+        out.push(measure_sweep(spec, kind, factory));
+    }
+    out
+}
+
+/// Writes `samples` as JSONL (one [`PerfSample::to_json_line`] per line).
+///
+/// # Errors
+///
+/// Propagates the first I/O error from `out`.
+pub fn write_report<W: Write>(
+    mut out: W,
+    spec: &PerfSpec,
+    samples: &[PerfSample],
+) -> io::Result<()> {
+    for s in samples {
+        writeln!(out, "{}", s.to_json_line(spec))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Access, AccessStream};
+    use secdir_mem::LineAddr;
+
+    fn factory(cell: &CellSpec) -> Vec<Box<dyn AccessStream + 'static>> {
+        (0..cell.cores)
+            .map(|c| {
+                let base = (c as u64 + 1) << 20;
+                let seed = cell.seed;
+                Box::new((0..100_000u64).map(move |i| {
+                    Access::read(LineAddr::new(base + (i.wrapping_mul(seed | 1) % 512)))
+                })) as Box<dyn AccessStream>
+            })
+            .collect()
+    }
+
+    fn tiny_spec() -> PerfSpec {
+        PerfSpec {
+            kinds: vec![DirectoryKind::Baseline, DirectoryKind::SecDir],
+            workload: "stride".to_string(),
+            cores: 2,
+            warmup: 200,
+            measure: 1_000,
+            sweep_cells: 2,
+            threads: 2,
+            seed: 7,
+            serial_reps: 3,
+        }
+    }
+
+    #[test]
+    fn accesses_per_sec_is_rate() {
+        let s = PerfSample {
+            directory: DirectoryKind::Baseline,
+            mode: "serial",
+            cells: 1,
+            threads: 1,
+            accesses: 500,
+            nanos: 250_000_000, // 0.25 s
+        };
+        assert_eq!(s.accesses_per_sec(), 2_000);
+        let zero = PerfSample { nanos: 0, ..s };
+        assert_eq!(zero.accesses_per_sec(), 0);
+    }
+
+    #[test]
+    fn measure_counts_the_right_windows() {
+        let spec = tiny_spec();
+        let samples = measure(&spec, &factory);
+        assert_eq!(samples.len(), spec.kinds.len() * 2);
+        for pair in samples.chunks(2) {
+            let (serial, swept) = (&pair[0], &pair[1]);
+            assert_eq!(serial.mode, "serial");
+            assert_eq!(swept.mode, "sweep");
+            assert_eq!(serial.directory, swept.directory);
+            // Serial counts only the measured phase …
+            assert_eq!(serial.accesses, spec.measure * spec.cores as u64);
+            // … the sweep counts warm-up + measure over every cell.
+            assert_eq!(
+                swept.accesses,
+                (spec.warmup + spec.measure) * (spec.cores * spec.sweep_cells) as u64
+            );
+            assert!(serial.accesses_per_sec() > 0);
+            assert!(swept.accesses_per_sec() > 0);
+        }
+    }
+
+    #[test]
+    fn json_lines_have_the_documented_schema() {
+        let spec = tiny_spec();
+        let s = PerfSample {
+            directory: DirectoryKind::SecDir,
+            mode: "sweep",
+            cells: 2,
+            threads: 2,
+            accesses: 4_800,
+            nanos: 1_200_000,
+        };
+        let line = s.to_json_line(&spec);
+        assert!(line.starts_with("{\"schema\":\"secdir-bench-throughput/1\""));
+        assert!(line.contains("\"directory\":\"secdir\""));
+        assert!(line.contains("\"mode\":\"sweep\""));
+        assert!(line.contains("\"accesses\":4800"));
+        assert!(line.ends_with(&format!("\"accesses_per_sec\":{}}}", s.accesses_per_sec())));
+        let mut buf = Vec::new();
+        write_report(&mut buf, &spec, &[s]).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap().lines().count(), 1);
+    }
+}

@@ -32,21 +32,25 @@ impl PhysAddr {
     pub const BITS: u32 = 46;
 
     /// Creates a physical address, masking to [`PhysAddr::BITS`] bits.
+    #[inline]
     pub fn new(addr: u64) -> Self {
         PhysAddr(addr & ((1 << Self::BITS) - 1))
     }
 
     /// The raw address value.
+    #[inline]
     pub fn value(self) -> u64 {
         self.0
     }
 
     /// The cache-line address this byte address falls in.
+    #[inline]
     pub fn line(self) -> LineAddr {
         LineAddr(self.0 >> LINE_OFFSET_BITS)
     }
 
     /// The byte offset within the cache line.
+    #[inline]
     pub fn offset(self) -> u64 {
         self.0 & (LINE_BYTES - 1)
     }
@@ -91,11 +95,13 @@ impl LineAddr {
     pub const BITS: u32 = 40;
 
     /// Creates a line address, masking to [`LineAddr::BITS`] bits.
+    #[inline]
     pub fn new(line: u64) -> Self {
         LineAddr(line & ((1 << Self::BITS) - 1))
     }
 
     /// The raw 40-bit line number.
+    #[inline]
     pub fn value(self) -> u64 {
         self.0
     }
@@ -106,6 +112,7 @@ impl LineAddr {
     /// # Panics
     ///
     /// Panics if `num_sets` is not a power of two.
+    #[inline]
     pub fn set_index(self, num_sets: usize) -> usize {
         assert!(
             num_sets.is_power_of_two(),
@@ -116,6 +123,7 @@ impl LineAddr {
 
     /// Conventional tag for a structure with `num_sets` sets: the line
     /// address bits above the set index.
+    #[inline]
     pub fn tag(self, num_sets: usize) -> u64 {
         assert!(
             num_sets.is_power_of_two(),
@@ -125,6 +133,7 @@ impl LineAddr {
     }
 
     /// The line address `n` lines after this one (wrapping within 40 bits).
+    #[inline]
     pub fn offset_lines(self, n: u64) -> LineAddr {
         LineAddr::new(self.0.wrapping_add(n))
     }

@@ -57,6 +57,7 @@ impl SliceHash {
     }
 
     /// The slice that `line` maps to.
+    #[inline]
     pub fn slice_of(&self, line: LineAddr) -> SliceId {
         SliceId((mix64(line.value()) % self.num_slices as u64) as usize)
     }
@@ -85,6 +86,7 @@ impl SetIndexHash {
     }
 
     /// The set that `line` maps to.
+    #[inline]
     pub fn index(&self, line: LineAddr) -> usize {
         line.set_index(self.num_sets)
     }
@@ -162,6 +164,7 @@ impl SkewHash {
     }
 
     /// The set that `line` maps to under this skewing function.
+    #[inline]
     pub fn index(&self, line: LineAddr) -> usize {
         let n = self.index_bits;
         let mask = (1u64 << n) - 1;

@@ -1,0 +1,268 @@
+//! A small-vector that stores its first `N` elements inline.
+//!
+//! The simulator's transaction path returns invalidation lists on every
+//! directory response; almost all of them hold zero or one entry. A
+//! heap-backed `Vec` would allocate on every such response — millions of
+//! times per sweep cell — so [`InlineVec`] keeps the common case on the
+//! stack and falls back to a heap spill vector only past `N` elements.
+//!
+//! Hand-rolled and std-only: the offline-dependency policy (DESIGN.md §5)
+//! rules out `smallvec`/`arrayvec`, and the handful of operations the
+//! transaction path needs — push, iterate, index, extend — fits in a page
+//! of safe code. It lives here in `secdir-mem`, the root of the crate DAG,
+//! so every layer (cache, coherence, secdir, machine) can use it without a
+//! new dependency edge.
+
+/// A vector whose first `N` elements live inline (no heap allocation);
+/// elements past `N` spill to a heap `Vec`.
+///
+/// # Examples
+///
+/// ```
+/// use secdir_mem::InlineVec;
+///
+/// let mut v: InlineVec<u32, 2> = InlineVec::new();
+/// v.push(10);
+/// v.push(20);
+/// v.push(30); // spills
+/// assert_eq!(v.len(), 3);
+/// assert_eq!(v[2], 30);
+/// assert_eq!(v.iter().sum::<u32>(), 60);
+/// ```
+#[derive(Clone, Debug)]
+pub struct InlineVec<T, const N: usize> {
+    /// The first `min(len, N)` elements; `None` beyond that.
+    inline: [Option<T>; N],
+    /// Total element count, including the spill.
+    len: usize,
+    /// Elements `N..len`; empty (and unallocated) until the inline part
+    /// overflows.
+    spill: Vec<T>,
+}
+
+impl<T, const N: usize> InlineVec<T, N> {
+    /// Creates an empty vector. Does not allocate.
+    #[inline]
+    pub fn new() -> Self {
+        InlineVec {
+            inline: [(); N].map(|_| None),
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether elements have overflowed onto the heap.
+    pub fn spilled(&self) -> bool {
+        self.len > N
+    }
+
+    /// Appends `value`. Allocates only when the inline capacity `N` is
+    /// already full.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        if self.len < N {
+            self.inline[self.len] = Some(value);
+        } else {
+            self.spill.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// The element at `index`, if in bounds.
+    #[inline]
+    pub fn get(&self, index: usize) -> Option<&T> {
+        if index >= self.len {
+            None
+        } else if index < N {
+            self.inline[index].as_ref()
+        } else {
+            self.spill.get(index - N)
+        }
+    }
+
+    /// Iterates over the elements in insertion order. The iterator is a
+    /// concrete (non-boxed) type: iteration itself never allocates.
+    #[inline]
+    pub fn iter(&self) -> Iter<'_, T> {
+        self.inline
+            .iter()
+            .take(self.len.min(N))
+            .flatten()
+            .chain(self.spill.iter())
+    }
+
+    /// Removes every element (the spill keeps its heap buffer).
+    #[inline]
+    pub fn clear(&mut self) {
+        for slot in &mut self.inline {
+            *slot = None;
+        }
+        self.spill.clear();
+        self.len = 0;
+    }
+}
+
+impl<T, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, const N: usize> std::ops::Index<usize> for InlineVec<T, N> {
+    type Output = T;
+
+    fn index(&self, index: usize) -> &T {
+        self.get(index)
+            .unwrap_or_else(|| panic!("index {index} out of bounds (len {})", self.len))
+    }
+}
+
+impl<T, const N: usize> Extend<T> for InlineVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for value in iter {
+            self.push(value);
+        }
+    }
+}
+
+impl<T, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut out = Self::new();
+        out.extend(iter);
+        out
+    }
+}
+
+impl<T, const N: usize> IntoIterator for InlineVec<T, N> {
+    type Item = T;
+    type IntoIter = std::iter::Chain<
+        std::iter::Flatten<std::iter::Take<std::array::IntoIter<Option<T>, N>>>,
+        std::vec::IntoIter<T>,
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inline
+            .into_iter()
+            .take(self.len.min(N))
+            .flatten()
+            .chain(self.spill)
+    }
+}
+
+/// Borrowing iterator over an [`InlineVec`]: the occupied inline slots
+/// followed by the spill.
+pub type Iter<'a, T> = std::iter::Chain<
+    std::iter::Flatten<std::iter::Take<std::slice::Iter<'a, Option<T>>>>,
+    std::slice::Iter<'a, T>,
+>;
+
+impl<'a, T, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<T: Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let v: InlineVec<u8, 4> = InlineVec::new();
+        assert_eq!(v.len(), 0);
+        assert!(v.is_empty());
+        assert!(!v.spilled());
+        assert_eq!(v.iter().count(), 0);
+        assert_eq!(v.get(0), None);
+    }
+
+    #[test]
+    fn push_and_index_within_inline_capacity() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        for i in 0..4 {
+            v.push(i * 10);
+        }
+        assert_eq!(v.len(), 4);
+        assert!(!v.spilled());
+        assert_eq!(v[0], 0);
+        assert_eq!(v[3], 30);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn spills_past_inline_capacity_in_order() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 5);
+        assert!(v.spilled());
+        assert_eq!(v[1], 1);
+        assert_eq!(v[4], 4);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(v.into_iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn indexing_past_len_panics() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        v.push(1);
+        let _ = v[1];
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        let a: InlineVec<u32, 2> = (0..5).collect();
+        let b: InlineVec<u32, 2> = (0..5).collect();
+        let c: InlineVec<u32, 2> = (0..4).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn extend_and_clear() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        v.extend([1, 2, 3]);
+        assert_eq!(v.len(), 3);
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.iter().count(), 0);
+        v.push(9);
+        assert_eq!(v[0], 9);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn borrowing_iteration_via_for_loop() {
+        let v: InlineVec<u32, 2> = (0..4).collect();
+        let mut sum = 0;
+        for x in &v {
+            sum += *x;
+        }
+        assert_eq!(sum, 6);
+    }
+}

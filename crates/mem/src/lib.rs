@@ -19,8 +19,10 @@
 
 mod addr;
 mod hash;
+mod inline_vec;
 mod rng;
 
 pub use addr::{CoreId, LineAddr, PhysAddr, SliceId, LINE_BYTES, LINE_OFFSET_BITS};
 pub use hash::{SetIndexHash, SkewHash, SliceHash};
+pub use inline_vec::InlineVec;
 pub use rng::SplitMix64;

@@ -10,6 +10,8 @@
 //! secdir-sim trace   --replay FILE [--directory KIND]   (replay)
 //! secdir-sim sweep   [--workloads LIST] [--directories LIST] [--seeds LIST]
 //!                    [--threads N] [--out FILE]
+//! secdir-sim perf    [--quick] [--directories LIST] [--workload NAME]
+//!                    [--threads N] [--out FILE]
 //! ```
 //!
 //! Directory kinds: `baseline`, `baseline-fixed`, `secdir` (default),
@@ -21,6 +23,7 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use secdir_attack::{evict_reload_attack, evict_time_attack, prime_probe_attack, AttackConfig};
+use secdir_machine::perf::{self, PerfSpec};
 use secdir_machine::sweep::{sweep, write_jsonl, SweepMatrix};
 use secdir_machine::{run_workload, AccessStream, DirectoryKind, Machine, MachineConfig, ServedBy};
 use secdir_mem::{CoreId, LineAddr};
@@ -465,8 +468,118 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+const PERF_USAGE: &str = "\
+usage: secdir-sim perf [--quick] [--directories LIST] [--workload NAME]
+                       [--cores N] [--warmup N] [--measure N] [--reps N]
+                       [--cells N] [--threads N] [--seed N] [--out FILE]
+  --quick        CI-sized smoke run (~10x fewer references)
+  --directories  comma list of kinds (default: all seven)
+  --workload     workload name (default mix0)
+  --cores        cores per machine (default 8)
+  --warmup       warm-up refs/core, untimed in serial mode (default 20000)
+  --measure      measured refs/core (default 200000)
+  --reps         timed serial windows; fastest reported (default 5)
+  --cells        sweep-phase cells, seeded seed..seed+N (default 8)
+  --threads      sweep-phase worker threads (default: all CPUs)
+  --seed         base workload seed (default 0x5eed as 24301)
+  --out          JSONL output file (default BENCH_throughput.json)
+Measures engine throughput (accesses/sec) per directory kind, serial and
+sweep-parallel, and writes one JSON object per sample; errors if any
+sample measures zero accesses/sec.";
+
+fn cmd_perf(args: &[String]) -> Result<(), String> {
+    let quick = args.iter().any(|a| a == "--quick");
+    let rest: Vec<String> = args.iter().filter(|a| *a != "--quick").cloned().collect();
+    let Some(flags) = parse_flags(
+        &rest,
+        &[
+            "directories",
+            "workload",
+            "cores",
+            "warmup",
+            "measure",
+            "reps",
+            "cells",
+            "threads",
+            "seed",
+            "out",
+        ],
+        PERF_USAGE,
+    )?
+    else {
+        return Ok(());
+    };
+    let mut spec = if quick {
+        PerfSpec::quick()
+    } else {
+        PerfSpec::full()
+    };
+    if let Some(list) = flags.get("directories") {
+        spec.kinds = split_list(list)
+            .iter()
+            .map(|s| DirectoryKind::parse(s))
+            .collect::<Result<Vec<_>, _>>()?;
+    }
+    if spec.kinds.is_empty() {
+        return Err("need at least one directory kind".into());
+    }
+    if let Some(w) = flags.get("workload") {
+        if registry::streams_by_name(w, 1, 0).is_none() {
+            return Err(format!(
+                "unknown workload `{w}` (see `secdir-sim perf --help`)"
+            ));
+        }
+        spec.workload = w.clone();
+    }
+    spec.cores = get_parsed(&flags, "cores", spec.cores)?;
+    spec.warmup = get_parsed(&flags, "warmup", spec.warmup)?;
+    spec.measure = get_parsed(&flags, "measure", spec.measure)?;
+    spec.serial_reps = get_parsed(&flags, "reps", spec.serial_reps)?.max(1);
+    spec.sweep_cells = get_parsed(&flags, "cells", spec.sweep_cells)?.max(1);
+    spec.threads = get_parsed(&flags, "threads", spec.threads)?.max(1);
+    spec.seed = get_parsed(&flags, "seed", spec.seed)?;
+    let out_path = flags
+        .get("out")
+        .map_or("BENCH_throughput.json", String::as_str);
+
+    let samples = perf::measure(&spec, &registry::factory);
+    let file = std::fs::File::create(out_path).map_err(|e| format!("create {out_path}: {e}"))?;
+    perf::write_report(std::io::BufWriter::new(file), &spec, &samples)
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "workload {} on {} cores, warmup {} + measure {} refs/core",
+        spec.workload, spec.cores, spec.warmup, spec.measure
+    );
+    println!(
+        "{:>16} {:>7} {:>6} {:>8} {:>12} {:>9} {:>14}",
+        "directory", "mode", "cells", "threads", "accesses", "secs", "accesses/sec"
+    );
+    for s in &samples {
+        println!(
+            "{:>16} {:>7} {:>6} {:>8} {:>12} {:>9.3} {:>14}",
+            s.directory.name(),
+            s.mode,
+            s.cells,
+            s.threads,
+            s.accesses,
+            s.nanos as f64 / 1e9,
+            s.accesses_per_sec(),
+        );
+    }
+    println!("wrote {out_path}");
+    if let Some(bad) = samples.iter().find(|s| s.accesses_per_sec() == 0) {
+        return Err(format!(
+            "{} {} sample measured zero accesses/sec",
+            bad.directory.name(),
+            bad.mode
+        ));
+    }
+    Ok(())
+}
+
 fn usage() -> &'static str {
-    "usage: secdir-sim <attack|spec|parsec|aes|design|trace|sweep> [--flags...]\n\
+    "usage: secdir-sim <attack|spec|parsec|aes|design|trace|sweep|perf> [--flags...]\n\
      run `secdir-sim <command> --help` for that command's flags; see the\n\
      module docs (`cargo doc`) or README.md for the full index."
 }
@@ -485,6 +598,7 @@ fn main() -> ExitCode {
         "design" => cmd_design(rest),
         "trace" => cmd_trace(rest),
         "sweep" => cmd_sweep(rest),
+        "perf" => cmd_perf(rest),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             return ExitCode::SUCCESS;

@@ -1,0 +1,76 @@
+//! Proves the steady-state access path performs no heap allocation.
+//!
+//! The hot path — L1/L2 probe, directory request, invalidation delivery,
+//! L2-victim handling — works entirely in preallocated flat arrays and
+//! `InlineVec`-backed invalidation lists. This test wraps the global
+//! allocator in a counter and drives a warmed-up machine, asserting that
+//! the allocation count does not move.
+//!
+//! `InlineVec` spills to the heap only when a single directory response
+//! carries more than 4 invalidations, which none of the kinds hits on
+//! this workload (and the assertion would catch it if one did).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use secdir_machine::{DirectoryKind, Machine, MachineConfig};
+use secdir_mem::{CoreId, LineAddr, SplitMix64};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// One deterministic access; same recipe as the golden-stats workload.
+fn step(machine: &mut Machine, rng: &mut SplitMix64) {
+    let core = CoreId(rng.next_below(4) as usize);
+    let line = LineAddr::new(rng.next_below(1024));
+    let write = rng.chance(0.3);
+    machine.access(core, line, write);
+}
+
+#[test]
+fn steady_state_accesses_do_not_allocate() {
+    // One test function (not one per kind): the counter is process-global
+    // and concurrent test threads would see each other's allocations.
+    for kind in DirectoryKind::ALL {
+        let mut machine = Machine::new(MachineConfig::small(4, kind));
+        let mut rng = SplitMix64::new(0xa110_c8ed);
+        for _ in 0..20_000 {
+            step(&mut machine, &mut rng);
+        }
+        let before = allocations();
+        for _ in 0..10_000 {
+            step(&mut machine, &mut rng);
+        }
+        let delta = allocations() - before;
+        assert_eq!(
+            delta,
+            0,
+            "{}: {delta} heap allocations in 10k steady-state accesses",
+            kind.name()
+        );
+    }
+}
