@@ -14,6 +14,8 @@
 //!   reproducibility contract the simulator itself keeps (DESIGN.md §5).
 //! * **No shrinking.** A failing case panics with its inputs via the
 //!   `prop_assert*` message instead of searching for a minimal one.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 /// Test-runner types (`ProptestConfig`, the RNG driving generation).
 pub mod test_runner {

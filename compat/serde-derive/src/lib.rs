@@ -6,6 +6,8 @@
 //! `secdir_machine::sweep::jsonl`) — so expanding to nothing is sound. The
 //! `serde` helper-attribute registration keeps `#[serde(...)]` field
 //! attributes compiling should they ever appear.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use proc_macro::TokenStream;
 

@@ -8,6 +8,8 @@
 //! provides the two marker traits and no-op derive macros under the same
 //! import paths, keeping every `use serde::{Deserialize, Serialize};` line
 //! source-compatible with the real crate.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use serde_derive::{Deserialize, Serialize};
 

@@ -23,6 +23,7 @@
 //! assert_eq!(sec.total_kb(), 249.75);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod area;

@@ -31,6 +31,7 @@
 //! assert_eq!(set.len(), 8);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod evict_reload;

@@ -9,6 +9,7 @@
 //! bench-facing conveniences (per-workload wrappers, figure matrices,
 //! formatting).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use secdir_machine::sweep::{

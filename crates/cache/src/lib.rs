@@ -22,6 +22,7 @@
 //! assert_eq!(l2.get(line), Some(&7));
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod geometry;

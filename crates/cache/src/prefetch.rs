@@ -6,6 +6,13 @@
 //! misses the host's own L1/L2; the engine knows each core's next access
 //! well before it is simulated, so hinting the rows ahead of time hides
 //! that latency behind the other cores' work.
+//!
+//! This module is the crate's **sole documented exemption** from
+//! `#![deny(unsafe_code)]`: `_mm_prefetch` is an intrinsic with no
+//! architectural effect (it cannot fault even on an invalid address), so
+//! the two `#[allow(unsafe_code)]` wrappers below are sound and keep every
+//! caller safe-only.
+#![allow(unsafe_code)]
 
 /// Hints the CPU to load the cache line holding `p`. A no-op on
 /// non-x86_64 targets and free of architectural effects everywhere, so

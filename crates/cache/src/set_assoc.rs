@@ -99,7 +99,7 @@ impl<T: Default> SetAssoc<T> {
     #[inline]
     pub fn take(&mut self, way_ref: WayRef) -> T {
         let WayRef { set, way } = way_ref;
-        debug_assert!(self.valid[set] & (1 << way) != 0, "stale WayRef");
+        debug_assert!(self.way_occupied(way_ref), "stale WayRef");
         self.valid[set] &= !(1 << way);
         self.tags[set * self.geometry.ways() + way] = LineAddr::new(TAG_INVALID);
         self.replacer.clear(set, way);
@@ -214,31 +214,103 @@ impl<T> SetAssoc<T> {
     /// plain [`SetAssoc::lookup`] that the access is architectural.
     #[inline]
     pub fn touch(&mut self, way_ref: WayRef) {
-        debug_assert!(
-            self.valid[way_ref.set] & (1 << way_ref.way) != 0,
-            "stale WayRef"
-        );
+        debug_assert!(self.way_occupied(way_ref), "stale WayRef");
         self.replacer.touch(way_ref.set, way_ref.way);
     }
 
     /// The payload at `way_ref` (from a prior lookup on this array).
     #[inline]
     pub fn payload(&self, way_ref: WayRef) -> &T {
-        debug_assert!(
-            self.valid[way_ref.set] & (1 << way_ref.way) != 0,
-            "stale WayRef"
-        );
+        debug_assert!(self.way_occupied(way_ref), "stale WayRef");
         &self.payloads[way_ref.set * self.geometry.ways() + way_ref.way]
     }
 
     /// Mutable payload at `way_ref` (from a prior lookup on this array).
     #[inline]
     pub fn payload_mut(&mut self, way_ref: WayRef) -> &mut T {
-        debug_assert!(
-            self.valid[way_ref.set] & (1 << way_ref.way) != 0,
-            "stale WayRef"
-        );
+        debug_assert!(self.way_occupied(way_ref), "stale WayRef");
         &mut self.payloads[way_ref.set * self.geometry.ways() + way_ref.way]
+    }
+
+    /// Named invariant behind the `WayRef` debug asserts: a handle is only
+    /// valid while the way it points at still holds an entry. Shared by the
+    /// hot-path `debug_assert!`s and the `secdir-machine` `check`-feature
+    /// oracle.
+    #[inline]
+    pub fn way_occupied(&self, way_ref: WayRef) -> bool {
+        self.valid[way_ref.set] & (1 << way_ref.way) != 0
+    }
+
+    /// Deep-validates the flat-storage invariants this array relies on:
+    ///
+    /// * every `valid` bit lies within the geometry's way mask,
+    /// * bit `way` of `valid[set]` is set **iff** the tag slot holds a real
+    ///   line address (unoccupied ways keep the [`TAG_INVALID`] sentinel —
+    ///   the agreement that lets [`SetAssoc::find`] skip the mask),
+    /// * tags are unique within each set, and
+    /// * `len` equals the total occupancy popcount.
+    ///
+    /// Cold diagnostic path (periodic oracle walks and tests), allocating
+    /// only on failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn check_storage(&self) -> Result<(), String> {
+        let ways = self.geometry.ways();
+        // `LineAddr::new` masks to its 40 address bits, so the sentinel as
+        // stored is the masked form of [`TAG_INVALID`].
+        let sentinel = LineAddr::new(TAG_INVALID);
+        let mut total = 0usize;
+        for set in 0..self.geometry.sets() {
+            let mask = self.valid[set];
+            if mask & !self.row_mask() != 0 {
+                return Err(format!(
+                    "set {set}: valid mask {mask:#x} has bits beyond {ways} ways"
+                ));
+            }
+            total += mask.count_ones() as usize;
+            for way in 0..ways {
+                let tag = self.tags[set * ways + way];
+                let occupied = mask & (1 << way) != 0;
+                if occupied && tag == sentinel {
+                    return Err(format!(
+                        "set {set} way {way}: occupied but tag is the invalid sentinel"
+                    ));
+                }
+                if !occupied && tag != sentinel {
+                    return Err(format!(
+                        "set {set} way {way}: unoccupied but tag {tag} is not the sentinel"
+                    ));
+                }
+                if occupied && self.set_of(tag) != set {
+                    return Err(format!(
+                        "set {set} way {way}: tag {tag} indexes set {}",
+                        self.set_of(tag)
+                    ));
+                }
+            }
+            for way in 0..ways {
+                for other in way + 1..ways {
+                    if mask & (1 << way) != 0
+                        && mask & (1 << other) != 0
+                        && self.tags[set * ways + way] == self.tags[set * ways + other]
+                    {
+                        return Err(format!(
+                            "set {set}: duplicate tag {} in ways {way} and {other}",
+                            self.tags[set * ways + way]
+                        ));
+                    }
+                }
+            }
+        }
+        if total != self.len {
+            return Err(format!(
+                "len {} disagrees with occupancy popcount {total}",
+                self.len
+            ));
+        }
+        Ok(())
     }
 
     /// Whether an entry for `line` is present.

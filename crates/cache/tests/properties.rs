@@ -83,6 +83,55 @@ proptest! {
         prop_assert!(sut.len() <= geometry.lines());
     }
 
+    /// The flat-storage invariants hold after every mutation: the valid
+    /// bitmask and the `TAG_INVALID` sentinel agree way-for-way, tags sit
+    /// in the set they hash to, no set holds a duplicate tag, and `len`
+    /// equals the mask popcount (all via `check_storage`).
+    #[test]
+    fn storage_stays_consistent(ops in ops(), policy in policies(), seed in any::<u64>()) {
+        let mut sut: SetAssoc<u32> = SetAssoc::new(Geometry::new(8, 2), policy, seed);
+        prop_assert_eq!(sut.check_storage(), Ok(()));
+        for op in ops {
+            match op {
+                Op::Insert(l, p) => { sut.insert(LineAddr::new(l), p); }
+                Op::Remove(l) => { sut.remove(LineAddr::new(l)); }
+                Op::Access(l) => { sut.access(LineAddr::new(l)); }
+            }
+            prop_assert_eq!(sut.check_storage(), Ok(()));
+        }
+    }
+
+    /// `lookup` → `take` round-trips the payload, frees the way (the
+    /// bitmask and sentinel agree afterwards), and leaves the line absent.
+    #[test]
+    fn lookup_take_round_trip(fill in prop::collection::vec((0u64..64, any::<u32>()), 1..40),
+                              victim in 0usize..40,
+                              policy in policies()) {
+        let mut sut: SetAssoc<u32> = SetAssoc::new(Geometry::new(4, 4), policy, 7);
+        let mut last = None;
+        for &(l, p) in &fill {
+            sut.insert(LineAddr::new(l), p);
+            last = Some(l);
+        }
+        // Pick a resident line (fall back to the last inserted one).
+        let resident: Vec<u64> = sut.iter().map(|(l, _)| l.value()).collect();
+        let target = LineAddr::new(*resident.get(victim % resident.len())
+            .unwrap_or(&last.unwrap()));
+        let expected = sut.get(target).copied();
+        let way = sut.lookup(target);
+        prop_assert_eq!(way.is_some(), expected.is_some());
+        if let Some(way) = way {
+            prop_assert!(sut.way_occupied(way));
+            let before = sut.len();
+            let payload = sut.take(way);
+            prop_assert_eq!(Some(payload), expected);
+            prop_assert!(!sut.way_occupied(way), "taken way must free its valid bit");
+            prop_assert_eq!(sut.len(), before - 1);
+            prop_assert_eq!(sut.lookup(target), None);
+            prop_assert_eq!(sut.check_storage(), Ok(()));
+        }
+    }
+
     /// LRU evicts the least recently *touched* entry of the set.
     #[test]
     fn lru_eviction_order(fill in prop::collection::vec(0u64..64, 3..20)) {

@@ -4,6 +4,7 @@ use secdir_cache::{Evicted, Geometry, ReplacementPolicy, SetAssoc};
 use secdir_mem::{CoreId, LineAddr};
 use serde::{Deserialize, Serialize};
 
+use crate::step::{self, TdConflict};
 use crate::{
     AccessKind, DataSource, DirHitKind, DirResponse, DirSlice, DirSliceStats, DirWhere,
     Invalidation, InvalidationCause, Invalidations, SharerSet,
@@ -14,7 +15,7 @@ use crate::{
 /// Per the paper's §7 accounting an ED entry carries the address tag, the
 /// presence bit vector, and a Valid bit; dirtiness is tracked by the MOESI
 /// state of the L2 copies.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct EdEntry {
     /// Cores whose L2s hold the line.
     pub sharers: SharerSet,
@@ -22,7 +23,7 @@ pub struct EdEntry {
 
 /// A Traditional Directory entry, coupled to an LLC data way
 /// (paper Figure 2: the TD has a Data column).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TdEntry {
     /// Cores whose L2s hold the line.
     pub sharers: SharerSet,
@@ -35,7 +36,7 @@ pub struct TdEntry {
 
 /// Whether the directory reproduces the Skylake-X Appendix-A implementation
 /// quirk or the paper's proposed fix.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AppendixA {
     /// Stock Skylake-X: every TD entry must hold LLC data, so an ED→TD
     /// migration of an exclusively-held line invalidates the private copy —
@@ -134,48 +135,38 @@ impl BaselineSlice {
         }) = self.td.insert_new(line, entry)
         {
             self.stats.td_conflict_discards += 1;
+            let TdConflict::Discard {
+                invalidate,
+                llc_writeback,
+            } = step::td_conflict(victim, false)
+            else {
+                unreachable!("a TD conflict without a VD always discards");
+            };
             out.push(Invalidation {
                 line: vline,
-                cores: victim.sharers,
-                llc_writeback: victim.has_data && victim.llc_dirty,
+                cores: invalidate,
+                llc_writeback,
                 cause: InvalidationCause::TdConflict,
             });
         }
     }
 
-    /// Migrates an ED victim to the TD (ED set conflict path).
+    /// Migrates an ED victim to the TD (ED set conflict path). Under the
+    /// Appendix-A quirk this is where the exploitable inclusion victim
+    /// arises; see [`step::ed_victim_to_td`].
     fn ed_conflict_to_td(&mut self, line: LineAddr, entry: EdEntry, out: &mut Invalidations) {
         self.stats.ed_to_td_migrations += 1;
-        let td_entry = match self.appendix_a {
-            AppendixA::SkylakeQuirk => {
-                // The TD entry must hold data, so the line is copied into
-                // the LLC. A single private copy (E/M) cannot coexist with
-                // LLC data and is invalidated — the Appendix-A inclusion
-                // victim. Multiple (Shared) copies may remain.
-                let mut sharers = entry.sharers;
-                if sharers.count() == 1 {
-                    self.stats.quirk_invalidations += 1;
-                    out.push(Invalidation {
-                        line,
-                        cores: sharers,
-                        llc_writeback: false,
-                        cause: InvalidationCause::EdToTdQuirk,
-                    });
-                    sharers = SharerSet::empty();
-                }
-                TdEntry {
-                    sharers,
-                    has_data: true,
-                    llc_dirty: false,
-                }
-            }
-            AppendixA::Fixed => TdEntry {
-                sharers: entry.sharers,
-                has_data: false,
-                llc_dirty: false,
-            },
-        };
-        self.insert_td(line, td_entry, out);
+        let m = step::ed_victim_to_td(entry, self.appendix_a);
+        if !m.quirk_invalidate.is_empty() {
+            self.stats.quirk_invalidations += 1;
+            out.push(Invalidation {
+                line,
+                cores: m.quirk_invalidate,
+                llc_writeback: false,
+                cause: InvalidationCause::EdToTdQuirk,
+            });
+        }
+        self.insert_td(line, m.entry, out);
     }
 
     /// Allocates an ED entry for a newly fetched line, migrating any ED
@@ -199,34 +190,21 @@ impl BaselineSlice {
     fn serve_read(&mut self, line: LineAddr, core: CoreId) -> DirResponse {
         if let Some(way) = self.ed.lookup_touch(line) {
             self.stats.ed_hits += 1;
-            let entry = self.ed.payload_mut(way);
+            let slot = self.ed.payload_mut(way);
             debug_assert!(
-                !entry.sharers.contains(core),
+                !slot.sharers.contains(core),
                 "read miss by a core the ED already lists as sharer"
             );
-            let owner = entry
-                .sharers
-                .any()
-                .expect("ED entry has at least one sharer");
-            entry.sharers.insert(core);
-            return DirResponse::new(DataSource::L2Cache(owner), DirHitKind::Ed);
+            let r = step::ed_read_hit(*slot, core);
+            *slot = r.entry;
+            return DirResponse::new(r.source, DirHitKind::Ed);
         }
         if let Some(way) = self.td.lookup_touch(line) {
             self.stats.td_hits += 1;
-            let entry = self.td.payload_mut(way);
-            let source = if entry.has_data {
-                DataSource::Llc
-            } else {
-                DataSource::L2Cache(
-                    entry
-                        .sharers
-                        .without(core)
-                        .any()
-                        .expect("data-less TD entry must have another sharer"),
-                )
-            };
-            entry.sharers.insert(core);
-            return DirResponse::new(source, DirHitKind::Td);
+            let slot = self.td.payload_mut(way);
+            let r = step::td_read_hit(*slot, core);
+            *slot = r.entry;
+            return DirResponse::new(r.source, DirHitKind::Td);
         }
         self.stats.misses += 1;
         let mut resp = DirResponse::new(DataSource::Memory, DirHitKind::Miss);
@@ -237,24 +215,14 @@ impl BaselineSlice {
     fn serve_write(&mut self, line: LineAddr, core: CoreId) -> DirResponse {
         if let Some(way) = self.ed.lookup_touch(line) {
             self.stats.ed_hits += 1;
-            let entry = self.ed.payload_mut(way);
-            let had_copy = entry.sharers.contains(core);
-            let others = entry.sharers.without(core);
-            entry.sharers = SharerSet::single(core);
-            let source = if had_copy {
-                DataSource::None
-            } else {
-                DataSource::L2Cache(
-                    others
-                        .any()
-                        .expect("write miss hit an ED entry with no sharer"),
-                )
-            };
-            let mut resp = DirResponse::new(source, DirHitKind::Ed);
-            if !others.is_empty() {
+            let slot = self.ed.payload_mut(way);
+            let r = step::ed_write_hit(*slot, core);
+            *slot = r.entry;
+            let mut resp = DirResponse::new(r.source, DirHitKind::Ed);
+            if !r.invalidate.is_empty() {
                 resp.invalidations.push(Invalidation {
                     line,
-                    cores: others,
+                    cores: r.invalidate,
                     llc_writeback: false,
                     cause: InvalidationCause::Coherence,
                 });
@@ -265,22 +233,12 @@ impl BaselineSlice {
             self.stats.td_hits += 1;
             self.stats.td_to_ed_migrations += 1;
             let entry = self.td.take(way);
-            let had_copy = entry.sharers.contains(core);
-            let others = entry.sharers.without(core);
-            // The LLC data copy (dirty or not) is dropped: the writer's M
-            // copy becomes the only — and newest — version.
-            let source = if had_copy {
-                DataSource::None
-            } else if entry.has_data {
-                DataSource::Llc
-            } else {
-                DataSource::L2Cache(others.any().expect("data-less TD entry must have sharers"))
-            };
-            let mut resp = DirResponse::new(source, DirHitKind::Td);
-            if !others.is_empty() {
+            let r = step::td_write_hit(entry, core);
+            let mut resp = DirResponse::new(r.source, DirHitKind::Td);
+            if !r.invalidate.is_empty() {
                 resp.invalidations.push(Invalidation {
                     line,
-                    cores: others,
+                    cores: r.invalidate,
                     llc_writeback: false,
                     cause: InvalidationCause::Coherence,
                 });
@@ -314,21 +272,10 @@ impl DirSlice for BaselineSlice {
         if let Some(entry) = self.ed.remove(line) {
             // L2 write-back: the line moves into the LLC, its entry ED→TD.
             self.stats.ed_to_td_migrations += 1;
-            let sharers = entry.sharers.without(core);
-            self.insert_td(
-                line,
-                TdEntry {
-                    sharers,
-                    has_data: true,
-                    llc_dirty: dirty,
-                },
-                &mut out,
-            );
-        } else if let Some(entry) = self.td.get_mut(line) {
-            entry.sharers.remove(core);
-            let fills = !entry.has_data;
-            entry.has_data = true;
-            entry.llc_dirty |= dirty;
+            self.insert_td(line, step::l2_evict_ed(entry, core, dirty), &mut out);
+        } else if let Some(slot) = self.td.get_mut(line) {
+            let (entry, fills) = step::l2_evict_td(*slot, core, dirty);
+            *slot = entry;
             if fills {
                 self.stats.llc_data_fills += 1;
             }
@@ -354,6 +301,36 @@ impl DirSlice for BaselineSlice {
 
     fn stats(&self) -> &DirSliceStats {
         &self.stats
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        self.ed
+            .check_storage()
+            .map_err(|e| format!("baseline ED storage: {e}"))?;
+        self.td
+            .check_storage()
+            .map_err(|e| format!("baseline TD storage: {e}"))?;
+        for (line, entry) in self.ed.iter() {
+            if entry.sharers.is_empty() {
+                return Err(format!("ED entry {line} tracks no sharers"));
+            }
+            if self.td.get(line).is_some() {
+                return Err(format!("line {line} resident in both ED and TD"));
+            }
+        }
+        for (line, entry) in self.td.iter() {
+            if self.appendix_a == AppendixA::SkylakeQuirk && !entry.has_data {
+                return Err(format!(
+                    "TD entry {line} is data-less under the Skylake quirk"
+                ));
+            }
+            if !entry.has_data && entry.sharers.is_empty() {
+                return Err(format!(
+                    "TD entry {line} has neither LLC data nor sharers — it should not exist"
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

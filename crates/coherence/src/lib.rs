@@ -26,12 +26,14 @@
 //! assert!(resp.invalidations.is_empty()); // empty directory: clean miss
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod baseline;
 mod protocol;
 mod sharers;
 mod state;
+pub mod step;
 mod way_partitioned;
 
 pub use baseline::{AppendixA, BaselineDirConfig, BaselineSlice, EdEntry, TdEntry};

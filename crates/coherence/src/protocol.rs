@@ -288,6 +288,24 @@ pub trait DirSlice {
     fn prefetch(&self, line: LineAddr) {
         let _ = line;
     }
+
+    /// Deep-validates the slice's internal invariants: storage-layer
+    /// consistency of every backing structure, per-entry protocol
+    /// invariants (e.g. no tracked entry with an empty sharer set where one
+    /// is required), and cross-structure mutual exclusion (a line lives in
+    /// at most one of TD/ED/VD).
+    ///
+    /// Cold diagnostic path — the `secdir-machine` `check`-feature oracle
+    /// walks it periodically; allocation is fine on failure, forbidden on
+    /// the simulation path (this is never called from there). The default
+    /// checks nothing so trivial slices need no boilerplate.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    fn validate(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,497 @@
+//! The pure MOESI/directory step relation.
+//!
+//! Every directory organization — [`BaselineSlice`](crate::BaselineSlice),
+//! [`WayPartitionedSlice`](crate::WayPartitionedSlice), and the SecDir
+//! slices in the `secdir` crate — resolves a request in two phases: *locate*
+//! the line's entry in its storage structures (ED, TD, VD banks), then
+//! *transition* the entry and the requester per the MOESI protocol of paper
+//! §2.1/Figure 3. The locate phase differs per organization; the transition
+//! phase does not. This module factors the transition phase into pure,
+//! side-effect-free functions of `(entry, requester) → (entry', outcome)`,
+//! so that
+//!
+//! 1. every slice implementation shares one copy of the protocol logic, and
+//! 2. the exhaustive model checker in `secdir-verif` explores the *same*
+//!    transition functions the production simulator runs — a checker bug
+//!    hunt over the real code, not a re-implementation of it.
+//!
+//! None of these functions touch replacement state, statistics, or storage;
+//! callers remain responsible for probing/updating their arrays and for
+//! materializing the returned sharer sets as
+//! [`Invalidation`](crate::Invalidation)s.
+
+use secdir_mem::CoreId;
+
+use crate::{AccessKind, AppendixA, DataSource, EdEntry, Moesi, SharerSet, TdEntry};
+
+/// Picks the core that forwards data for a cache-to-cache transfer.
+///
+/// This names the protocol invariant behind the former inline
+/// `.expect("entry has at least one sharer")` calls: a directory entry
+/// consulted for a forward *must* track at least one private copy, or the
+/// directory has lost coherence state.
+///
+/// # Panics
+///
+/// Panics — with the violated invariant — if `sharers` is empty.
+#[inline]
+#[track_caller]
+pub fn forwarding_sharer(sharers: SharerSet) -> CoreId {
+    match sharers.any() {
+        Some(core) => core,
+        None => panic!(
+            "protocol invariant violated: directory entry consulted for a forward has no sharer"
+        ),
+    }
+}
+
+/// Outcome of a read that hit an ED entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdReadHit {
+    /// The updated entry (reader joins the sharer vector).
+    pub entry: EdEntry,
+    /// Cache-to-cache forward from one existing sharer.
+    pub source: DataSource,
+}
+
+/// A read request hits an ED entry: the reader joins the sharers and the
+/// data is forwarded from any existing L2 copy (the ED tracks lines that
+/// live *only* in private caches, so the LLC cannot serve them).
+#[inline]
+pub fn ed_read_hit(entry: EdEntry, reader: CoreId) -> EdReadHit {
+    let owner = forwarding_sharer(entry.sharers);
+    let mut entry = entry;
+    entry.sharers.insert(reader);
+    EdReadHit {
+        entry,
+        source: DataSource::L2Cache(owner),
+    }
+}
+
+/// Outcome of a write that hit an ED entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdWriteHit {
+    /// The updated entry (writer becomes the sole sharer).
+    pub entry: EdEntry,
+    /// Where the writer's data comes from ([`DataSource::None`] on an
+    /// upgrade by a core that already holds a copy).
+    pub source: DataSource,
+    /// The other sharers, whose copies must be invalidated (empty on an
+    /// upgrade with no other sharers).
+    pub invalidate: SharerSet,
+}
+
+/// A write request hits an ED entry: every other sharer is invalidated and
+/// the writer becomes the sole (Modified) owner. An upgrading writer that
+/// already holds a copy needs no data movement.
+#[inline]
+pub fn ed_write_hit(entry: EdEntry, writer: CoreId) -> EdWriteHit {
+    let had_copy = entry.sharers.contains(writer);
+    let others = entry.sharers.without(writer);
+    let source = if had_copy {
+        DataSource::None
+    } else {
+        DataSource::L2Cache(forwarding_sharer(others))
+    };
+    EdWriteHit {
+        entry: EdEntry {
+            sharers: SharerSet::single(writer),
+        },
+        source,
+        invalidate: others,
+    }
+}
+
+/// Outcome of a read that hit a TD entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TdReadHit {
+    /// The updated entry (reader joins the sharer vector).
+    pub entry: TdEntry,
+    /// LLC if the coupled data way holds the line; otherwise a
+    /// cache-to-cache forward from another sharer.
+    pub source: DataSource,
+}
+
+/// A read request hits a TD entry: served from the LLC data way when
+/// present, else forwarded from another sharer's L2 (a data-less TD entry —
+/// Appendix-A fix — must have one).
+#[inline]
+pub fn td_read_hit(entry: TdEntry, reader: CoreId) -> TdReadHit {
+    let source = if entry.has_data {
+        DataSource::Llc
+    } else {
+        DataSource::L2Cache(forwarding_sharer(entry.sharers.without(reader)))
+    };
+    let mut entry = entry;
+    entry.sharers.insert(reader);
+    TdReadHit { entry, source }
+}
+
+/// Outcome of a write that hit a TD entry.
+///
+/// The TD entry itself is consumed: the caller removes it and allocates a
+/// fresh ED entry for the writer (TD→ED migration), since after the write
+/// the line lives only in the writer's private cache. Any LLC data copy —
+/// dirty or not — is dropped: the writer's Modified copy becomes the only,
+/// and newest, version.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TdWriteHit {
+    /// Where the writer's data comes from.
+    pub source: DataSource,
+    /// The other sharers, whose copies must be invalidated.
+    pub invalidate: SharerSet,
+}
+
+/// A write request hits a TD entry (see [`TdWriteHit`] for the migration
+/// contract).
+#[inline]
+pub fn td_write_hit(entry: TdEntry, writer: CoreId) -> TdWriteHit {
+    let had_copy = entry.sharers.contains(writer);
+    let others = entry.sharers.without(writer);
+    let source = if had_copy {
+        DataSource::None
+    } else if entry.has_data {
+        DataSource::Llc
+    } else {
+        DataSource::L2Cache(forwarding_sharer(others))
+    };
+    TdWriteHit {
+        source,
+        invalidate: others,
+    }
+}
+
+/// Outcome of migrating an ED victim into the TD.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdVictimMigration {
+    /// The TD entry the victim becomes.
+    pub entry: TdEntry,
+    /// Sharers invalidated by the Skylake-X Appendix-A quirk (the inclusion
+    /// victim of [Yan et al., S&P'19]); empty under the Fixed behaviour.
+    pub quirk_invalidate: SharerSet,
+}
+
+/// An ED set conflict displaces `victim` into the TD.
+///
+/// Under [`AppendixA::SkylakeQuirk`] the TD entry must hold LLC data, and a
+/// single private (E/M) copy cannot coexist with it — it is invalidated,
+/// the Appendix-A inclusion victim. Multiple (Shared) copies may remain.
+/// Under [`AppendixA::Fixed`] the entry migrates data-less and no private
+/// copy is touched.
+#[inline]
+pub fn ed_victim_to_td(victim: EdEntry, appendix_a: AppendixA) -> EdVictimMigration {
+    match appendix_a {
+        AppendixA::SkylakeQuirk => {
+            let mut sharers = victim.sharers;
+            let mut quirk_invalidate = SharerSet::empty();
+            if sharers.count() == 1 {
+                quirk_invalidate = sharers;
+                sharers = SharerSet::empty();
+            }
+            EdVictimMigration {
+                entry: TdEntry {
+                    sharers,
+                    has_data: true,
+                    llc_dirty: false,
+                },
+                quirk_invalidate,
+            }
+        }
+        AppendixA::Fixed => EdVictimMigration {
+            entry: TdEntry {
+                sharers: victim.sharers,
+                has_data: false,
+                llc_dirty: false,
+            },
+            quirk_invalidate: SharerSet::empty(),
+        },
+    }
+}
+
+/// How a TD set conflict disposes of its victim (paper Figure 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TdConflict {
+    /// Transition ②: the victim entry is discarded; every private copy is
+    /// invalidated (the inclusion victim a conflict-based attacker creates)
+    /// and a dirty LLC data copy is written back to memory.
+    Discard {
+        /// Cores whose private copies are lost.
+        invalidate: SharerSet,
+        /// A dirty LLC copy must be written back.
+        llc_writeback: bool,
+    },
+    /// Transition ③ (SecDir only): the victim still has sharers, so its
+    /// directory state migrates into each sharer's private VD bank — no
+    /// coherence transaction, no private-cache change.
+    MigrateToVd {
+        /// The sharers whose VD banks receive the entry.
+        sharers: SharerSet,
+        /// A dirty LLC data copy must still be written back (the VD tracks
+        /// sharers, not data).
+        llc_writeback: bool,
+    },
+}
+
+/// Resolves a TD set conflict on `victim`. `vd_available` is true only for
+/// SecDir slices, whose Victim Directory can absorb entries that still have
+/// sharers; without a VD (baseline, way-partitioned) every conflict
+/// discards.
+#[inline]
+pub fn td_conflict(victim: TdEntry, vd_available: bool) -> TdConflict {
+    let llc_writeback = victim.has_data && victim.llc_dirty;
+    if vd_available && !victim.sharers.is_empty() {
+        TdConflict::MigrateToVd {
+            sharers: victim.sharers,
+            llc_writeback,
+        }
+    } else {
+        TdConflict::Discard {
+            invalidate: victim.sharers,
+            llc_writeback,
+        }
+    }
+}
+
+/// An L2 eviction of a line whose entry is in the ED: the victim data moves
+/// into the LLC, so the entry migrates ED→TD with data, the evictor leaving
+/// the sharer vector.
+#[inline]
+pub fn l2_evict_ed(entry: EdEntry, evictor: CoreId, dirty: bool) -> TdEntry {
+    TdEntry {
+        sharers: entry.sharers.without(evictor),
+        has_data: true,
+        llc_dirty: dirty,
+    }
+}
+
+/// An L2 eviction of a line whose entry is already in the TD: the evictor
+/// leaves the sharer vector and its data lands in the LLC way. Returns the
+/// updated entry and whether the LLC data way was freshly filled.
+#[inline]
+pub fn l2_evict_td(entry: TdEntry, evictor: CoreId, dirty: bool) -> (TdEntry, bool) {
+    let fills = !entry.has_data;
+    let mut entry = entry;
+    entry.sharers.remove(evictor);
+    entry.has_data = true;
+    entry.llc_dirty |= dirty;
+    (entry, fills)
+}
+
+/// The MOESI state a private cache fills a line in after an L2 miss:
+/// Modified for a write, Exclusive for an unshared fetch from memory,
+/// Shared otherwise (LLC or cache-to-cache — another copy may exist).
+#[inline]
+pub fn fill_state(kind: AccessKind, source: DataSource) -> Moesi {
+    match kind {
+        AccessKind::Write => Moesi::Modified,
+        AccessKind::Read if source == DataSource::Memory => Moesi::Exclusive,
+        AccessKind::Read => Moesi::Shared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(cores: &[usize]) -> SharerSet {
+        let mut s = SharerSet::empty();
+        for &c in cores {
+            s.insert(CoreId(c));
+        }
+        s
+    }
+
+    #[test]
+    fn ed_read_hit_adds_reader_and_forwards() {
+        let r = ed_read_hit(EdEntry { sharers: set(&[1]) }, CoreId(0));
+        assert_eq!(r.source, DataSource::L2Cache(CoreId(1)));
+        assert_eq!(r.entry.sharers, set(&[0, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol invariant violated")]
+    fn ed_read_hit_without_sharers_is_a_protocol_violation() {
+        ed_read_hit(EdEntry::default(), CoreId(0));
+    }
+
+    #[test]
+    fn ed_write_upgrade_needs_no_data() {
+        let r = ed_write_hit(
+            EdEntry {
+                sharers: set(&[0, 2]),
+            },
+            CoreId(0),
+        );
+        assert_eq!(r.source, DataSource::None);
+        assert_eq!(r.invalidate, set(&[2]));
+        assert_eq!(r.entry.sharers, set(&[0]));
+    }
+
+    #[test]
+    fn ed_write_miss_forwards_from_a_sharer() {
+        let r = ed_write_hit(EdEntry { sharers: set(&[3]) }, CoreId(0));
+        assert_eq!(r.source, DataSource::L2Cache(CoreId(3)));
+        assert_eq!(r.invalidate, set(&[3]));
+    }
+
+    #[test]
+    fn td_read_prefers_llc_data() {
+        let r = td_read_hit(
+            TdEntry {
+                sharers: set(&[]),
+                has_data: true,
+                llc_dirty: false,
+            },
+            CoreId(1),
+        );
+        assert_eq!(r.source, DataSource::Llc);
+        assert_eq!(r.entry.sharers, set(&[1]));
+    }
+
+    #[test]
+    fn td_read_of_dataless_entry_forwards() {
+        let r = td_read_hit(
+            TdEntry {
+                sharers: set(&[2]),
+                has_data: false,
+                llc_dirty: false,
+            },
+            CoreId(1),
+        );
+        assert_eq!(r.source, DataSource::L2Cache(CoreId(2)));
+    }
+
+    #[test]
+    fn td_write_drops_llc_copy_and_invalidates() {
+        let r = td_write_hit(
+            TdEntry {
+                sharers: set(&[1, 2]),
+                has_data: true,
+                llc_dirty: true,
+            },
+            CoreId(0),
+        );
+        assert_eq!(r.source, DataSource::Llc);
+        assert_eq!(r.invalidate, set(&[1, 2]));
+    }
+
+    #[test]
+    fn quirk_invalidates_single_private_copy() {
+        let m = ed_victim_to_td(EdEntry { sharers: set(&[4]) }, AppendixA::SkylakeQuirk);
+        assert_eq!(m.quirk_invalidate, set(&[4]));
+        assert!(m.entry.has_data);
+        assert!(m.entry.sharers.is_empty());
+    }
+
+    #[test]
+    fn quirk_keeps_multiple_shared_copies() {
+        let m = ed_victim_to_td(
+            EdEntry {
+                sharers: set(&[1, 2]),
+            },
+            AppendixA::SkylakeQuirk,
+        );
+        assert!(m.quirk_invalidate.is_empty());
+        assert_eq!(m.entry.sharers, set(&[1, 2]));
+    }
+
+    #[test]
+    fn fixed_migration_is_dataless_and_harmless() {
+        let m = ed_victim_to_td(EdEntry { sharers: set(&[4]) }, AppendixA::Fixed);
+        assert!(m.quirk_invalidate.is_empty());
+        assert!(!m.entry.has_data);
+        assert_eq!(m.entry.sharers, set(&[4]));
+    }
+
+    #[test]
+    fn td_conflict_without_vd_discards() {
+        let c = td_conflict(
+            TdEntry {
+                sharers: set(&[1]),
+                has_data: true,
+                llc_dirty: true,
+            },
+            false,
+        );
+        assert_eq!(
+            c,
+            TdConflict::Discard {
+                invalidate: set(&[1]),
+                llc_writeback: true
+            }
+        );
+    }
+
+    #[test]
+    fn td_conflict_with_vd_and_sharers_migrates() {
+        let c = td_conflict(
+            TdEntry {
+                sharers: set(&[1, 3]),
+                has_data: false,
+                llc_dirty: false,
+            },
+            true,
+        );
+        assert_eq!(
+            c,
+            TdConflict::MigrateToVd {
+                sharers: set(&[1, 3]),
+                llc_writeback: false
+            }
+        );
+    }
+
+    #[test]
+    fn td_conflict_with_vd_but_no_sharers_discards() {
+        let c = td_conflict(
+            TdEntry {
+                sharers: set(&[]),
+                has_data: true,
+                llc_dirty: false,
+            },
+            true,
+        );
+        assert_eq!(
+            c,
+            TdConflict::Discard {
+                invalidate: set(&[]),
+                llc_writeback: false
+            }
+        );
+    }
+
+    #[test]
+    fn l2_evictions_move_data_into_llc() {
+        let td = l2_evict_ed(
+            EdEntry {
+                sharers: set(&[0, 1]),
+            },
+            CoreId(0),
+            true,
+        );
+        assert_eq!(td.sharers, set(&[1]));
+        assert!(td.has_data && td.llc_dirty);
+
+        let (td2, fills) = l2_evict_td(td, CoreId(1), false);
+        assert!(td2.sharers.is_empty());
+        assert!(!fills, "data way was already full");
+        assert!(td2.llc_dirty, "dirtiness is sticky");
+    }
+
+    #[test]
+    fn fill_states_follow_moesi() {
+        assert_eq!(
+            fill_state(AccessKind::Write, DataSource::Memory),
+            Moesi::Modified
+        );
+        assert_eq!(
+            fill_state(AccessKind::Read, DataSource::Memory),
+            Moesi::Exclusive
+        );
+        assert_eq!(fill_state(AccessKind::Read, DataSource::Llc), Moesi::Shared);
+        assert_eq!(
+            fill_state(AccessKind::Read, DataSource::L2Cache(CoreId(1))),
+            Moesi::Shared
+        );
+    }
+}

@@ -15,9 +15,11 @@
 use secdir_cache::{Evicted, Geometry, ReplacementPolicy, SetAssoc, WayRef};
 use secdir_mem::{CoreId, LineAddr};
 
+use crate::step::{self, TdConflict};
 use crate::{
-    AccessKind, BaselineDirConfig, DataSource, DirHitKind, DirResponse, DirSlice, DirSliceStats,
-    DirWhere, EdEntry, Invalidation, InvalidationCause, Invalidations, SharerSet, TdEntry,
+    AccessKind, AppendixA, BaselineDirConfig, DataSource, DirHitKind, DirResponse, DirSlice,
+    DirSliceStats, DirWhere, EdEntry, Invalidation, InvalidationCause, Invalidations, SharerSet,
+    TdEntry,
 };
 
 /// One slice of a statically way-partitioned directory.
@@ -114,13 +116,20 @@ impl WayPartitionedSlice {
         }) = self.td[owner].insert_new(line, entry)
         {
             self.stats.td_conflict_discards += 1;
-            if victim.has_data && victim.llc_dirty {
+            let TdConflict::Discard {
+                invalidate,
+                llc_writeback,
+            } = step::td_conflict(victim, false)
+            else {
+                unreachable!("a TD conflict without a VD always discards");
+            };
+            if llc_writeback {
                 self.stats.llc_writebacks += 1;
             }
             out.push(Invalidation {
                 line: vline,
-                cores: victim.sharers,
-                llc_writeback: victim.has_data && victim.llc_dirty,
+                cores: invalidate,
+                llc_writeback,
                 cause: InvalidationCause::TdConflict,
             });
         }
@@ -142,16 +151,8 @@ impl WayPartitionedSlice {
             // (data-less; the partitioned design has no reason to keep the
             // Appendix-A quirk).
             self.stats.ed_to_td_migrations += 1;
-            self.insert_td(
-                core.0,
-                vline,
-                TdEntry {
-                    sharers: payload.sharers,
-                    has_data: false,
-                    llc_dirty: false,
-                },
-                out,
-            );
+            let m = step::ed_victim_to_td(payload, AppendixA::Fixed);
+            self.insert_td(core.0, vline, m.entry, out);
         }
     }
 }
@@ -164,27 +165,21 @@ impl DirSlice for WayPartitionedSlice {
             match kind {
                 AccessKind::Read => {
                     self.ed[part].touch(way);
-                    let entry = self.ed[part].payload_mut(way);
-                    let owner = entry.sharers.any().expect("ED entry has a sharer");
-                    entry.sharers.insert(core);
-                    return DirResponse::new(DataSource::L2Cache(owner), DirHitKind::Ed);
+                    let slot = self.ed[part].payload_mut(way);
+                    let r = step::ed_read_hit(*slot, core);
+                    *slot = r.entry;
+                    return DirResponse::new(r.source, DirHitKind::Ed);
                 }
                 AccessKind::Write => {
                     self.ed[part].touch(way);
-                    let entry = self.ed[part].payload_mut(way);
-                    let had_copy = entry.sharers.contains(core);
-                    let others = entry.sharers.without(core);
-                    entry.sharers = SharerSet::single(core);
-                    let source = if had_copy {
-                        DataSource::None
-                    } else {
-                        DataSource::L2Cache(others.any().expect("write hit has a sharer"))
-                    };
-                    let mut resp = DirResponse::new(source, DirHitKind::Ed);
-                    if !others.is_empty() {
+                    let slot = self.ed[part].payload_mut(way);
+                    let r = step::ed_write_hit(*slot, core);
+                    *slot = r.entry;
+                    let mut resp = DirResponse::new(r.source, DirHitKind::Ed);
+                    if !r.invalidate.is_empty() {
                         resp.invalidations.push(Invalidation {
                             line,
-                            cores: others,
+                            cores: r.invalidate,
                             llc_writeback: false,
                             cause: InvalidationCause::Coherence,
                         });
@@ -199,16 +194,8 @@ impl DirSlice for WayPartitionedSlice {
                         }) = self.ed[core.0].insert_new(line, e)
                         {
                             self.stats.ed_to_td_migrations += 1;
-                            self.insert_td(
-                                core.0,
-                                vline,
-                                TdEntry {
-                                    sharers: payload.sharers,
-                                    has_data: false,
-                                    llc_dirty: false,
-                                },
-                                &mut out,
-                            );
+                            let m = step::ed_victim_to_td(payload, AppendixA::Fixed);
+                            self.insert_td(core.0, vline, m.entry, &mut out);
                         }
                         resp.invalidations.extend(out);
                     }
@@ -221,38 +208,20 @@ impl DirSlice for WayPartitionedSlice {
             match kind {
                 AccessKind::Read => {
                     self.td[part].touch(way);
-                    let entry = self.td[part].payload_mut(way);
-                    let source = if entry.has_data {
-                        DataSource::Llc
-                    } else {
-                        DataSource::L2Cache(
-                            entry
-                                .sharers
-                                .without(core)
-                                .any()
-                                .expect("data-less TD entry has another sharer"),
-                        )
-                    };
-                    entry.sharers.insert(core);
-                    return DirResponse::new(source, DirHitKind::Td);
+                    let slot = self.td[part].payload_mut(way);
+                    let r = step::td_read_hit(*slot, core);
+                    *slot = r.entry;
+                    return DirResponse::new(r.source, DirHitKind::Td);
                 }
                 AccessKind::Write => {
                     self.stats.td_to_ed_migrations += 1;
                     let entry = self.td[part].take(way);
-                    let had_copy = entry.sharers.contains(core);
-                    let others = entry.sharers.without(core);
-                    let source = if had_copy {
-                        DataSource::None
-                    } else if entry.has_data {
-                        DataSource::Llc
-                    } else {
-                        DataSource::L2Cache(others.any().expect("data-less entry has sharers"))
-                    };
-                    let mut resp = DirResponse::new(source, DirHitKind::Td);
-                    if !others.is_empty() {
+                    let r = step::td_write_hit(entry, core);
+                    let mut resp = DirResponse::new(r.source, DirHitKind::Td);
+                    if !r.invalidate.is_empty() {
                         resp.invalidations.push(Invalidation {
                             line,
-                            cores: others,
+                            cores: r.invalidate,
                             llc_writeback: false,
                             cause: InvalidationCause::Coherence,
                         });
@@ -273,24 +242,13 @@ impl DirSlice for WayPartitionedSlice {
         if let Some((part, way)) = self.lookup_ed(line) {
             let entry = self.ed[part].take(way);
             self.stats.ed_to_td_migrations += 1;
-            self.insert_td(
-                part,
-                line,
-                TdEntry {
-                    sharers: entry.sharers.without(core),
-                    has_data: true,
-                    llc_dirty: dirty,
-                },
-                &mut out,
-            );
+            self.insert_td(part, line, step::l2_evict_ed(entry, core, dirty), &mut out);
             return out;
         }
         if let Some((part, way)) = self.lookup_td(line) {
-            let entry = self.td[part].payload_mut(way);
-            entry.sharers.remove(core);
-            let fills = !entry.has_data;
-            entry.has_data = true;
-            entry.llc_dirty |= dirty;
+            let slot = self.td[part].payload_mut(way);
+            let (entry, fills) = step::l2_evict_td(*slot, core, dirty);
+            *slot = entry;
             if fills {
                 self.stats.llc_data_fills += 1;
             }
@@ -320,6 +278,56 @@ impl DirSlice for WayPartitionedSlice {
 
     fn stats(&self) -> &DirSliceStats {
         &self.stats
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        for (part, p) in self.ed.iter().enumerate() {
+            p.check_storage()
+                .map_err(|e| format!("ED partition {part} storage: {e}"))?;
+        }
+        for (part, p) in self.td.iter().enumerate() {
+            p.check_storage()
+                .map_err(|e| format!("TD partition {part} storage: {e}"))?;
+        }
+        // A line must have exactly one entry across every partition of both
+        // structures: partitions are private slices of one shared address
+        // space, not independent directories.
+        for (part, p) in self.ed.iter().enumerate() {
+            for (line, entry) in p.iter() {
+                if entry.sharers.is_empty() {
+                    return Err(format!(
+                        "ED partition {part} entry {line} tracks no sharers"
+                    ));
+                }
+                for (other, q) in self.ed.iter().enumerate() {
+                    if other != part && q.get(line).is_some() {
+                        return Err(format!(
+                            "line {line} resident in ED partitions {part} and {other}"
+                        ));
+                    }
+                }
+                if self.lookup_td(line).is_some() {
+                    return Err(format!("line {line} resident in both ED and TD"));
+                }
+            }
+        }
+        for (part, p) in self.td.iter().enumerate() {
+            for (line, entry) in p.iter() {
+                if !entry.has_data && entry.sharers.is_empty() {
+                    return Err(format!(
+                        "TD partition {part} entry {line} has neither LLC data nor sharers"
+                    ));
+                }
+                for (other, q) in self.td.iter().enumerate() {
+                    if other != part && q.get(line).is_some() {
+                        return Err(format!(
+                            "line {line} resident in TD partitions {part} and {other}"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 

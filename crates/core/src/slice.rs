@@ -1,9 +1,10 @@
 //! The full SecDir directory slice: ED + TD + per-core VD banks.
 
 use secdir_cache::{Evicted, ReplacementPolicy, SetAssoc};
+use secdir_coherence::step::{self, TdConflict};
 use secdir_coherence::{
-    AccessKind, DataSource, DirHitKind, DirResponse, DirSlice, DirSliceStats, DirWhere, EdEntry,
-    Invalidation, InvalidationCause, Invalidations, SharerSet, TdEntry,
+    AccessKind, AppendixA, DataSource, DirHitKind, DirResponse, DirSlice, DirSliceStats, DirWhere,
+    EdEntry, Invalidation, InvalidationCause, Invalidations, SharerSet, TdEntry,
 };
 use secdir_mem::{CoreId, LineAddr};
 
@@ -150,21 +151,30 @@ impl SecDirSlice {
             payload: victim,
         }) = self.td.insert_new(line, entry)
         {
-            if victim.has_data && victim.llc_dirty {
-                self.stats.llc_writebacks += 1;
-            }
-            if victim.sharers.is_empty() {
+            match step::td_conflict(victim, true) {
                 // ②: the line lived only in the LLC; the victim process
                 // itself had already evicted it from its L2 (self-conflict),
                 // so discarding leaks nothing.
-                self.stats.td_conflict_discards += 1;
-            } else {
+                TdConflict::Discard { llc_writeback, .. } => {
+                    if llc_writeback {
+                        self.stats.llc_writebacks += 1;
+                    }
+                    self.stats.td_conflict_discards += 1;
+                }
                 // ③: every sharer keeps its L2 copy; the directory state
                 // moves into the sharers' private VD banks. No coherence
                 // transaction, no L2 state change.
-                self.stats.td_to_vd_migrations += 1;
-                for core in victim.sharers.iter() {
-                    self.vd_insert(vline, core, out);
+                TdConflict::MigrateToVd {
+                    sharers,
+                    llc_writeback,
+                } => {
+                    if llc_writeback {
+                        self.stats.llc_writebacks += 1;
+                    }
+                    self.stats.td_to_vd_migrations += 1;
+                    for core in sharers.iter() {
+                        self.vd_insert(vline, core, out);
+                    }
                 }
             }
         }
@@ -185,45 +195,25 @@ impl SecDirSlice {
         }) = evicted
         {
             self.stats.ed_to_td_migrations += 1;
-            self.insert_td(
-                vline,
-                TdEntry {
-                    sharers: payload.sharers,
-                    has_data: false,
-                    llc_dirty: false,
-                },
-                out,
-            );
+            let m = step::ed_victim_to_td(payload, AppendixA::Fixed);
+            self.insert_td(vline, m.entry, out);
         }
     }
 
     fn serve_read(&mut self, line: LineAddr, core: CoreId) -> DirResponse {
         if let Some(way) = self.ed.lookup_touch(line) {
             self.stats.ed_hits += 1;
-            let entry = self.ed.payload_mut(way);
-            let owner = entry
-                .sharers
-                .any()
-                .expect("ED entry has at least one sharer");
-            entry.sharers.insert(core);
-            return DirResponse::new(DataSource::L2Cache(owner), DirHitKind::Ed);
+            let slot = self.ed.payload_mut(way);
+            let r = step::ed_read_hit(*slot, core);
+            *slot = r.entry;
+            return DirResponse::new(r.source, DirHitKind::Ed);
         }
         if let Some(way) = self.td.lookup_touch(line) {
             self.stats.td_hits += 1;
-            let entry = self.td.payload_mut(way);
-            let source = if entry.has_data {
-                DataSource::Llc
-            } else {
-                DataSource::L2Cache(
-                    entry
-                        .sharers
-                        .without(core)
-                        .any()
-                        .expect("data-less TD entry must have another sharer"),
-                )
-            };
-            entry.sharers.insert(core);
-            return DirResponse::new(source, DirHitKind::Td);
+            let slot = self.td.payload_mut(way);
+            let r = step::td_read_hit(*slot, core);
+            *slot = r.entry;
+            return DirResponse::new(r.source, DirHitKind::Td);
         }
         // ED/TD missed: the VD is consulted (after them, §4.1). A read
         // only needs one matching bank, so the batched search may stop
@@ -254,24 +244,14 @@ impl SecDirSlice {
     fn serve_write(&mut self, line: LineAddr, core: CoreId) -> DirResponse {
         if let Some(way) = self.ed.lookup_touch(line) {
             self.stats.ed_hits += 1;
-            let entry = self.ed.payload_mut(way);
-            let had_copy = entry.sharers.contains(core);
-            let others = entry.sharers.without(core);
-            entry.sharers = SharerSet::single(core);
-            let source = if had_copy {
-                DataSource::None
-            } else {
-                DataSource::L2Cache(
-                    others
-                        .any()
-                        .expect("write miss hit an ED entry with no sharer"),
-                )
-            };
-            let mut resp = DirResponse::new(source, DirHitKind::Ed);
-            if !others.is_empty() {
+            let slot = self.ed.payload_mut(way);
+            let r = step::ed_write_hit(*slot, core);
+            *slot = r.entry;
+            let mut resp = DirResponse::new(r.source, DirHitKind::Ed);
+            if !r.invalidate.is_empty() {
                 resp.invalidations.push(Invalidation {
                     line,
-                    cores: others,
+                    cores: r.invalidate,
                     llc_writeback: false,
                     cause: InvalidationCause::Coherence,
                 });
@@ -282,20 +262,12 @@ impl SecDirSlice {
             self.stats.td_hits += 1;
             self.stats.td_to_ed_migrations += 1;
             let entry = self.td.take(way);
-            let had_copy = entry.sharers.contains(core);
-            let others = entry.sharers.without(core);
-            let source = if had_copy {
-                DataSource::None
-            } else if entry.has_data {
-                DataSource::Llc
-            } else {
-                DataSource::L2Cache(others.any().expect("data-less TD entry must have sharers"))
-            };
-            let mut resp = DirResponse::new(source, DirHitKind::Td);
-            if !others.is_empty() {
+            let r = step::td_write_hit(entry, core);
+            let mut resp = DirResponse::new(r.source, DirHitKind::Td);
+            if !r.invalidate.is_empty() {
                 resp.invalidations.push(Invalidation {
                     line,
-                    cores: others,
+                    cores: r.invalidate,
                     llc_writeback: false,
                     cause: InvalidationCause::Coherence,
                 });
@@ -314,7 +286,7 @@ impl SecDirSlice {
             let source = if had_copy {
                 DataSource::None
             } else {
-                DataSource::L2Cache(others.any().expect("VD write hit must have a sharer"))
+                DataSource::L2Cache(step::forwarding_sharer(others))
             };
             let mut resp = DirResponse::new(source, DirHitKind::Vd);
             resp.vd_eb_checked = true;
@@ -365,23 +337,13 @@ impl DirSlice for SecDirSlice {
         if let Some(way) = self.ed.lookup(line) {
             let entry = self.ed.take(way);
             self.stats.ed_to_td_migrations += 1;
-            self.insert_td(
-                line,
-                TdEntry {
-                    sharers: entry.sharers.without(core),
-                    has_data: true,
-                    llc_dirty: dirty,
-                },
-                &mut out,
-            );
+            self.insert_td(line, step::l2_evict_ed(entry, core, dirty), &mut out);
             return out;
         }
         if let Some(way) = self.td.lookup(line) {
-            let entry = self.td.payload_mut(way);
-            entry.sharers.remove(core);
-            let fills = !entry.has_data;
-            entry.has_data = true;
-            entry.llc_dirty |= dirty;
+            let slot = self.td.payload_mut(way);
+            let (entry, fills) = step::l2_evict_td(*slot, core, dirty);
+            *slot = entry;
             if fills {
                 self.stats.llc_data_fills += 1;
             }
@@ -399,13 +361,11 @@ impl DirSlice for SecDirSlice {
         for c in matched.iter() {
             self.vds[c.0].remove(line);
         }
+        // The consolidated entry transitions exactly like an ED entry whose
+        // sharer vector is the VD residency.
         self.insert_td(
             line,
-            TdEntry {
-                sharers: matched.without(core),
-                has_data: true,
-                llc_dirty: dirty,
-            },
+            step::l2_evict_ed(EdEntry { sharers: matched }, core, dirty),
             &mut out,
         );
         out
@@ -434,6 +394,48 @@ impl DirSlice for SecDirSlice {
 
     fn stats(&self) -> &DirSliceStats {
         &self.stats
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        self.ed
+            .check_storage()
+            .map_err(|e| format!("secdir ED storage: {e}"))?;
+        self.td
+            .check_storage()
+            .map_err(|e| format!("secdir TD storage: {e}"))?;
+        for (core, bank) in self.vds.iter().enumerate() {
+            bank.check_storage()
+                .map_err(|e| format!("VD bank {core} storage: {e}"))?;
+        }
+        for (line, entry) in self.ed.iter() {
+            if entry.sharers.is_empty() {
+                return Err(format!("ED entry {line} tracks no sharers"));
+            }
+            if self.td.get(line).is_some() {
+                return Err(format!("line {line} resident in both ED and TD"));
+            }
+            // A VD entry records "core holds the line privately"; if the ED
+            // already tracks the line the VD copy is stale — reads would
+            // stop at the ED and never see (or clean up) the alias.
+            let vd = self.vd_sharers(line);
+            if !vd.is_empty() {
+                return Err(format!(
+                    "line {line} has a live ED entry but also VD entries (cores {vd:?})"
+                ));
+            }
+        }
+        for (line, entry) in self.td.iter() {
+            if !entry.has_data && entry.sharers.is_empty() {
+                return Err(format!("TD entry {line} has neither LLC data nor sharers"));
+            }
+            let vd = self.vd_sharers(line);
+            if !vd.is_empty() {
+                return Err(format!(
+                    "line {line} has a live TD entry but also VD entries (cores {vd:?})"
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -321,6 +321,84 @@ impl VdBank {
         }
     }
 
+    /// Deep-validates the bank's storage invariants:
+    ///
+    /// * every occupancy bit lies within the geometry's way mask (the mask
+    ///   doubles as the Empty-Bit array, so stray bits would defeat the EB
+    ///   filter),
+    /// * every resident entry sits in the set its recorded hash function
+    ///   (the Cuckoo bit) maps it to — the property the relocation chain
+    ///   relies on to find an entry's alternative home,
+    /// * no line is resident twice across its candidate sets, and
+    /// * `len` equals the total occupancy popcount.
+    ///
+    /// Cold diagnostic path (the `secdir-machine` `check`-feature oracle
+    /// and tests), allocating only on failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn check_storage(&self) -> Result<(), String> {
+        let ways = self.geometry.ways();
+        let mut total = 0usize;
+        for set in 0..self.geometry.sets() {
+            let mask = self.valid[set];
+            if mask & !self.row_mask() != 0 {
+                return Err(format!(
+                    "set {set}: occupancy mask {mask:#x} has bits beyond {ways} ways"
+                ));
+            }
+            total += mask.count_ones() as usize;
+            let mut m = mask;
+            while m != 0 {
+                let way = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let idx = set * ways + way;
+                let line = self.tags[idx];
+                let hash_fn = self.hash_fns[idx];
+                if !self.active_hashes().contains(&hash_fn) {
+                    return Err(format!(
+                        "set {set} way {way}: entry {line} recorded under inactive hash fn {hash_fn}"
+                    ));
+                }
+                if self.index(hash_fn, line) != set {
+                    return Err(format!(
+                        "set {set} way {way}: entry {line} under hash fn {hash_fn} belongs in set {}",
+                        self.index(hash_fn, line)
+                    ));
+                }
+                // Count residencies over the line's *distinct* candidate
+                // sets (h0 and h1 may collide on the same set).
+                let mut residencies = 0usize;
+                let mut seen = [usize::MAX; 2];
+                for (i, &k) in self.active_hashes().iter().enumerate() {
+                    let s = self.index(k, line);
+                    if seen[..i].contains(&s) {
+                        continue;
+                    }
+                    seen[i] = s;
+                    residencies += (0..ways)
+                        .filter(|&w| {
+                            self.valid[s] & (1 << w) != 0 && self.tags[s * ways + w] == line
+                        })
+                        .count();
+                }
+                if residencies > 1 {
+                    return Err(format!(
+                        "entry {line} is resident more than once across its candidate sets"
+                    ));
+                }
+            }
+        }
+        if total != self.len {
+            return Err(format!(
+                "len {} disagrees with occupancy popcount {total}",
+                self.len
+            ));
+        }
+        Ok(())
+    }
+
     /// Iterates over all resident lines (test/diagnostic use).
     pub fn iter(&self) -> impl Iterator<Item = LineAddr> + '_ {
         self.valid.iter().enumerate().flat_map(move |(set, &mask)| {

@@ -174,6 +174,14 @@ impl DirSlice for VdOnlySlice {
     fn stats(&self) -> &DirSliceStats {
         &self.stats
     }
+
+    fn validate(&self) -> Result<(), String> {
+        for (core, bank) in self.vds.iter().enumerate() {
+            bank.check_storage()
+                .map_err(|e| format!("VD bank {core} storage: {e}"))?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

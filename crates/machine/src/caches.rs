@@ -148,6 +148,36 @@ impl PrivateCaches {
     pub fn l2_iter(&self) -> impl Iterator<Item = (LineAddr, Moesi)> + '_ {
         self.l2.iter().map(|(l, &s)| (l, s))
     }
+
+    /// Deep-validates this cache pair: both arrays' storage invariants
+    /// ([`SetAssoc::check_storage`]), L1 ⊆ L2 inclusion, and that no L2
+    /// way stores [`Moesi::Invalid`] (absence is encoded by occupancy, not
+    /// by state).
+    ///
+    /// Cold diagnostic path (the `check`-feature oracle and tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn check_storage(&self) -> Result<(), String> {
+        self.l1
+            .check_storage()
+            .map_err(|e| format!("L1 storage: {e}"))?;
+        self.l2
+            .check_storage()
+            .map_err(|e| format!("L2 storage: {e}"))?;
+        for (line, ()) in self.l1.iter() {
+            if !self.l2.contains(line) {
+                return Err(format!("L1 holds {line} but L2 does not (inclusion)"));
+            }
+        }
+        for (line, &state) in self.l2.iter() {
+            if !state.is_valid() {
+                return Err(format!("L2 stores {line} in the Invalid state"));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -26,12 +26,14 @@
 //! assert!(hit.latency < miss.latency);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod caches;
 mod config;
 mod engine;
 mod machine;
+pub mod oracle;
 pub mod perf;
 mod stats;
 pub mod sweep;

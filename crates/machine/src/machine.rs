@@ -45,7 +45,7 @@ pub struct AccessOutcome {
     pub served: ServedBy,
 }
 
-enum SliceImpl {
+pub(crate) enum SliceImpl {
     Baseline(BaselineSlice),
     SecDir(SecDirSlice),
     VdOnly(VdOnlySlice),
@@ -62,7 +62,7 @@ impl SliceImpl {
         }
     }
 
-    fn as_dir_ref(&self) -> &dyn DirSlice {
+    pub(crate) fn as_dir_ref(&self) -> &dyn DirSlice {
         match self {
             SliceImpl::Baseline(s) => s,
             SliceImpl::SecDir(s) => s,
@@ -92,9 +92,11 @@ impl SliceImpl {
 pub struct Machine {
     config: MachineConfig,
     slice_hash: SliceHash,
-    cores: Vec<PrivateCaches>,
-    slices: Vec<SliceImpl>,
+    pub(crate) cores: Vec<PrivateCaches>,
+    pub(crate) slices: Vec<SliceImpl>,
     stats: MachineStats,
+    #[cfg(feature = "check")]
+    pub(crate) oracle: crate::oracle::OracleState,
 }
 
 impl Machine {
@@ -128,6 +130,8 @@ impl Machine {
             slices,
             stats: MachineStats::new(config.cores),
             config,
+            #[cfg(feature = "check")]
+            oracle: crate::oracle::OracleState::default(),
         }
     }
 
@@ -288,6 +292,8 @@ impl Machine {
     ///
     /// Panics if `core` is out of range.
     pub fn access(&mut self, core: CoreId, line: LineAddr, write: bool) -> AccessOutcome {
+        #[cfg(feature = "check")]
+        self.oracle_tick();
         let lat = self.config.latencies;
         let cs = &mut self.stats.cores[core.0];
         cs.accesses += 1;
@@ -388,13 +394,7 @@ impl Machine {
         self.apply_invalidations(&invs);
 
         // Fill the private caches and handle the L2 victim, if any.
-        let fill_state = if write {
-            Moesi::Modified
-        } else if resp.source == DataSource::Memory {
-            Moesi::Exclusive
-        } else {
-            Moesi::Shared
-        };
+        let fill_state = secdir_coherence::step::fill_state(kind, resp.source);
         if let Some((vline, vstate)) = self.cores[core.0].fill(line, fill_state) {
             if vstate.is_dirty() {
                 self.stats.cores[core.0].l2_writebacks += 1;
@@ -407,38 +407,6 @@ impl Machine {
         }
 
         AccessOutcome { latency, served }
-    }
-
-    /// Checks the directory-inclusion invariant: every valid L2 line of
-    /// every core is covered by a directory entry listing that core.
-    ///
-    /// # Errors
-    ///
-    /// Returns a description of the first violation found.
-    pub fn check_invariants(&self) -> Result<(), String> {
-        for (i, caches) in self.cores.iter().enumerate() {
-            let core = CoreId(i);
-            for (line, state) in caches.l2_iter() {
-                debug_assert!(state.is_valid());
-                let slice = self.slice_of(line);
-                match self.slice(slice).locate(line) {
-                    None => {
-                        return Err(format!(
-                            "{core} holds {line} ({state}) but {slice} has no directory entry"
-                        ))
-                    }
-                    Some(w) => {
-                        if !w.sharers().contains(core) {
-                            return Err(format!(
-                                "{core} holds {line} ({state}) but directory entry {w:?} \
-                                 does not list it"
-                            ));
-                        }
-                    }
-                }
-            }
-        }
-        Ok(())
     }
 }
 

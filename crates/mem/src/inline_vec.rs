@@ -103,6 +103,40 @@ impl<T, const N: usize> InlineVec<T, N> {
             .chain(self.spill.iter())
     }
 
+    /// Deep-validates the representation invariants:
+    ///
+    /// * the first `min(len, N)` inline slots are `Some` and the rest `None`,
+    /// * the spill holds exactly `len.saturating_sub(N)` elements (and is
+    ///   untouched while the inline part has room).
+    ///
+    /// Cold diagnostic path (the `secdir-machine` `check`-feature oracle and
+    /// tests), allocating only on failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn check_bounds(&self) -> Result<(), String> {
+        for (i, slot) in self.inline.iter().enumerate() {
+            let expect_some = i < self.len.min(N);
+            if slot.is_some() != expect_some {
+                return Err(format!(
+                    "inline slot {i} is {} but len is {} (inline capacity {N})",
+                    if slot.is_some() { "occupied" } else { "empty" },
+                    self.len
+                ));
+            }
+        }
+        let expect_spill = self.len.saturating_sub(N);
+        if self.spill.len() != expect_spill {
+            return Err(format!(
+                "spill holds {} elements but len {} over inline capacity {N} implies {expect_spill}",
+                self.spill.len(),
+                self.len
+            ));
+        }
+        Ok(())
+    }
+
     /// Removes every element (the spill keeps its heap buffer).
     #[inline]
     pub fn clear(&mut self) {
@@ -254,6 +288,20 @@ mod tests {
         v.push(9);
         assert_eq!(v[0], 9);
         assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn check_bounds_accepts_valid_and_rejects_corrupt_state() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        assert_eq!(v.check_bounds(), Ok(()));
+        for i in 0..5 {
+            v.push(i);
+            assert_eq!(v.check_bounds(), Ok(()));
+        }
+        // Corrupt the length counter and verify the checker notices.
+        v.len = 3;
+        let err = v.check_bounds().unwrap_err();
+        assert!(err.contains("spill"), "unexpected diagnostic: {err}");
     }
 
     #[test]

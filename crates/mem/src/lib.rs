@@ -15,6 +15,7 @@
 //! assert!(slice.0 < 8);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod addr;

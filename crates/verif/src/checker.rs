@@ -1,0 +1,268 @@
+//! Exhaustive breadth-first exploration of the model's reachable state
+//! space, checking the paper's safety invariants at every state and
+//! reconstructing a labeled counterexample trace on the first violation.
+
+use std::collections::HashMap;
+
+use secdir_coherence::Moesi;
+
+use crate::model::{DirKind, Label, Model, ModelConfig, ModelState};
+
+/// A labeled counterexample: the access sequence from the empty machine to
+/// a state violating `invariant`.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// Which invariant failed, with the offending line/cores interpolated.
+    pub invariant: String,
+    /// Transition labels from the initial state to the violating state.
+    pub trace: Vec<String>,
+    /// The violating state itself (for debugging / display).
+    pub state: ModelState,
+}
+
+/// The result of one exhaustive exploration.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// Directory kind explored.
+    pub kind: DirKind,
+    /// Distinct reachable states visited.
+    pub states: usize,
+    /// Transitions generated (including duplicates into seen states).
+    pub transitions: usize,
+    /// First violation found, if any; `None` means every reachable state
+    /// satisfies every invariant.
+    pub violation: Option<Counterexample>,
+}
+
+/// Explores the full reachable state space of `cfg` and checks every
+/// state. Exploration is breadth-first, so a returned counterexample is a
+/// shortest trace to a violation.
+///
+/// # Panics
+///
+/// Panics if `cfg` is out of the model's bounds (see [`Model::new`]).
+pub fn check(cfg: ModelConfig) -> CheckReport {
+    let model = Model::new(cfg);
+    let initial = ModelState::initial();
+
+    let mut states: Vec<ModelState> = vec![initial.clone()];
+    // Parent pointer + label that produced each state (None for initial).
+    let mut parent: Vec<Option<(usize, Label)>> = vec![None];
+    let mut index: HashMap<ModelState, usize> = HashMap::new();
+    index.insert(initial, 0);
+
+    let mut transitions = 0usize;
+    let mut frontier = 0usize;
+    while frontier < states.len() {
+        let id = frontier;
+        frontier += 1;
+
+        if let Some(invariant) = violated_invariant(&states[id], &cfg) {
+            let trace = rebuild_trace(&states, &parent, id);
+            return CheckReport {
+                kind: cfg.kind,
+                states: states.len(),
+                transitions,
+                violation: Some(Counterexample {
+                    invariant,
+                    trace,
+                    state: states[id].clone(),
+                }),
+            };
+        }
+
+        let current = states[id].clone();
+        for (label, next) in model.successors(&current) {
+            transitions += 1;
+            if let std::collections::hash_map::Entry::Vacant(slot) = index.entry(next) {
+                states.push(slot.key().clone());
+                parent.push(Some((id, label)));
+                slot.insert(states.len() - 1);
+            }
+        }
+    }
+
+    CheckReport {
+        kind: cfg.kind,
+        states: states.len(),
+        transitions,
+        violation: None,
+    }
+}
+
+/// Runs [`check`] over every directory kind at the quick configuration.
+pub fn check_all_quick() -> Vec<CheckReport> {
+    DirKind::ALL
+        .iter()
+        .map(|&kind| check(ModelConfig::quick(kind)))
+        .collect()
+}
+
+fn rebuild_trace(
+    states: &[ModelState],
+    parent: &[Option<(usize, Label)>],
+    mut id: usize,
+) -> Vec<String> {
+    let mut rev = Vec::new();
+    while let Some((pid, label)) = parent[id] {
+        rev.push(label.describe());
+        id = pid;
+    }
+    debug_assert!(
+        states[id] == ModelState::initial(),
+        "trace must root at init"
+    );
+    rev.reverse();
+    rev
+}
+
+/// Returns a description of the first violated invariant of `s`, or `None`
+/// if the state is clean. This is the model-side twin of the runtime
+/// oracle's `Machine::verify` — same invariants, abstract representation.
+pub fn violated_invariant(s: &ModelState, cfg: &ModelConfig) -> Option<String> {
+    for line in 0..cfg.lines {
+        // --- SWMR and no-M+S-coexistence across private caches. ---
+        for core in 0..cfg.cores {
+            let st = s.caches[core][line];
+            if matches!(st, Moesi::Modified | Moesi::Exclusive) {
+                for other in 0..cfg.cores {
+                    if other != core && s.caches[other][line].is_valid() {
+                        return Some(format!(
+                            "SWMR: core{core} holds line{line} {st:?} while core{other} holds \
+                             {:?}",
+                            s.caches[other][line]
+                        ));
+                    }
+                }
+            }
+            if st == Moesi::Owned {
+                for other in 0..cfg.cores {
+                    let peer = s.caches[other][line];
+                    if other != core && peer.is_valid() && peer != Moesi::Shared {
+                        return Some(format!(
+                            "owner coexistence: core{core} holds line{line} Owned while \
+                             core{other} holds {peer:?}"
+                        ));
+                    }
+                }
+            }
+        }
+
+        // --- Directory structure well-formedness. ---
+        let ed = s.ed[line];
+        let td = s.td[line];
+        let vd = s.vd[line];
+        if let Some((_, e)) = ed {
+            if e.sharers.is_empty() {
+                return Some(format!("ED entry for line{line} has an empty sharer set"));
+            }
+            if td.is_some() {
+                return Some(format!("line{line} resident in both ED and TD"));
+            }
+            if !vd.is_empty() {
+                return Some(format!(
+                    "VD aliasing: line{line} has a live ED entry and VD residency in bank \
+                     mask {:#b}",
+                    vd.bits()
+                ));
+            }
+        }
+        if let Some((_, t)) = td {
+            if !t.has_data && t.sharers.is_empty() {
+                return Some(format!(
+                    "TD entry for line{line} tracks neither data nor sharers"
+                ));
+            }
+            if let DirKind::Baseline(secdir_coherence::AppendixA::SkylakeQuirk) = cfg.kind {
+                if !t.has_data {
+                    return Some(format!(
+                        "quirk: data-less TD entry for line{line} under SkylakeQuirk"
+                    ));
+                }
+            }
+            if !vd.is_empty() {
+                return Some(format!(
+                    "VD aliasing: line{line} has a live TD entry and VD residency in bank \
+                     mask {:#b}",
+                    vd.bits()
+                ));
+            }
+        }
+
+        // --- Directory inclusion: every holder is tracked... ---
+        for core in 0..cfg.cores {
+            if !s.caches[core][line].is_valid() {
+                continue;
+            }
+            let c = secdir_mem::CoreId(core);
+            let tracked = ed.map(|(_, e)| e.sharers.contains(c)).unwrap_or(false)
+                || td.map(|(_, t)| t.sharers.contains(c)).unwrap_or(false)
+                || vd.contains(c);
+            if !tracked {
+                return Some(format!(
+                    "inclusion: core{core} holds line{line} {:?} but no directory entry \
+                     tracks it",
+                    s.caches[core][line]
+                ));
+            }
+        }
+
+        // --- ...and every tracked core is a holder (sharer soundness). ---
+        let mut listed = vd;
+        if let Some((_, e)) = ed {
+            for c in e.sharers.iter() {
+                listed.insert(c);
+            }
+        }
+        if let Some((_, t)) = td {
+            for c in t.sharers.iter() {
+                listed.insert(c);
+            }
+        }
+        for c in listed.iter() {
+            if c.0 >= cfg.cores || !s.caches[c.0][line].is_valid() {
+                return Some(format!(
+                    "stale sharer: directory lists core{} for line{line} but its cache \
+                     does not hold it",
+                    c.0
+                ));
+            }
+        }
+    }
+
+    // --- Capacity bounds (the model must respect its own geometry). ---
+    let parts = if cfg.kind == DirKind::WayPartitioned {
+        cfg.cores
+    } else {
+        1
+    };
+    for part in 0..parts {
+        let ed_count = (0..cfg.lines)
+            .filter(|&l| matches!(s.ed[l], Some((p, _)) if p as usize == part))
+            .count();
+        if ed_count > cfg.ed_capacity {
+            return Some(format!(
+                "capacity: {ed_count} ED entries in partition {part}"
+            ));
+        }
+        let td_count = (0..cfg.lines)
+            .filter(|&l| matches!(s.td[l], Some((p, _)) if p as usize == part))
+            .count();
+        if td_count > cfg.td_capacity {
+            return Some(format!(
+                "capacity: {td_count} TD entries in partition {part}"
+            ));
+        }
+    }
+    for core in 0..cfg.cores {
+        let resident = (0..cfg.lines)
+            .filter(|&l| s.vd[l].contains(secdir_mem::CoreId(core)))
+            .count();
+        if resident > cfg.vd_capacity {
+            return Some(format!(
+                "capacity: {resident} VD entries in core{core}'s bank"
+            ));
+        }
+    }
+    None
+}

@@ -1,0 +1,33 @@
+//! `secdir-verif`: verification tooling for the SecDir reproduction.
+//!
+//! Three cooperating analyses (DESIGN.md §8):
+//!
+//! 1. An **exhaustive protocol model checker** ([`model`], [`checker`]):
+//!    breadth-first exploration of every reachable state of a bounded
+//!    abstract machine built on the *production* step relation
+//!    (`secdir_coherence::step`), for each directory organization —
+//!    baseline (quirk and fixed), way-partitioned, SecDir, and VD-only —
+//!    checking SWMR, directory inclusion, sharer soundness, ED/TD/VD
+//!    mutual exclusion, and VD/ED aliasing, with shortest counterexample
+//!    traces on violation.
+//! 2. A **runtime invariant oracle** (in `secdir-machine` behind the
+//!    `check` feature): the same invariants walked over the concrete
+//!    simulator state every `ORACLE_INTERVAL` accesses.
+//! 3. A **workspace lint pass** ([`lint`]): std-only source scanning that
+//!    gates panics, hot-path allocation, wall-clock reads, and crate
+//!    hygiene attributes in CI.
+//!
+//! The `secdir-sim verif` and `secdir-sim lint` subcommands front-end the
+//! first and third; the second is armed by building with
+//! `--features check`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod lint;
+pub mod model;
+
+pub use checker::{check, check_all_quick, CheckReport, Counterexample};
+pub use lint::{lint_workspace, Diagnostic};
+pub use model::{DirKind, Fault, Model, ModelConfig, ModelState};

@@ -1,0 +1,662 @@
+//! A std-only source lint pass over the workspace.
+//!
+//! Four rules, each tuned to an invariant this codebase already promises:
+//!
+//! * **no-unwrap** — no `.unwrap()` / `.expect(` in production code. Panics
+//!   belong to tests and to `debug_assert!`-style named invariants.
+//! * **hot-alloc** — no allocating tokens (`Box::new`, `format!`, `vec!`,
+//!   `Vec::new`, `.to_string()`, …) in the per-access hot-path files; the
+//!   simulator's steady state is allocation-free (`tests/alloc_free.rs`)
+//!   and this rule keeps regressions from creeping in at review time.
+//! * **wall-clock** — `Instant::now` / `SystemTime::now` only inside
+//!   `perf.rs`; simulated time must never read host time.
+//! * **crate-hygiene** — every crate root carries
+//!   `#![forbid(unsafe_code)]` (or `deny`) and `#![warn(missing_docs)]`.
+//!
+//! The scanner strips comments and string literals with a small
+//! character-level state machine (block comments, raw strings, and char
+//! literals are handled across lines), tracks brace depth to skip
+//! `#[cfg(test)]` modules and `#[test]` functions, and exempts
+//! constructor/validator functions (`fn new*`, `fn with_*`, `fn check_*`,
+//! `fn validate`) from the hot-alloc rule — building a structure and
+//! formatting a violation report are allowed to allocate.
+//!
+//! One-off waivers: a line containing `lint: allow(<rule>)` in a comment
+//! suppresses that rule for that line (or, on a line of its own, for the
+//! following line).
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// File the finding is in, relative to the linted root.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (`no-unwrap`, `hot-alloc`, `wall-clock`,
+    /// `crate-hygiene`).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Files on the per-access simulation hot path, relative to the workspace
+/// root. The hot-alloc rule applies only to these.
+pub const HOT_PATH_FILES: &[&str] = &[
+    "crates/cache/src/set_assoc.rs",
+    "crates/cache/src/replacement.rs",
+    "crates/coherence/src/step.rs",
+    "crates/coherence/src/sharers.rs",
+    "crates/coherence/src/baseline.rs",
+    "crates/coherence/src/way_partitioned.rs",
+    "crates/core/src/slice.rs",
+    "crates/core/src/vd.rs",
+    "crates/core/src/vd_only.rs",
+    "crates/machine/src/machine.rs",
+    "crates/machine/src/caches.rs",
+    "crates/mem/src/inline_vec.rs",
+];
+
+/// Allocating tokens forbidden on the hot path.
+const ALLOC_TOKENS: &[&str] = &[
+    "Box::new(",
+    "Rc::new(",
+    "Arc::new(",
+    "format!(",
+    "vec![",
+    "Vec::new(",
+    "Vec::with_capacity(",
+    "Vec::push(",
+    "VecDeque::new(",
+    "String::new(",
+    "String::from(",
+    ".to_string(",
+    ".to_owned(",
+    ".to_vec(",
+    ".into_iter().collect(",
+];
+
+/// Wall-clock tokens forbidden outside `perf.rs`.
+const CLOCK_TOKENS: &[&str] = &["Instant::now(", "SystemTime::now("];
+
+/// Which rule families apply to a file.
+#[derive(Clone, Copy, Debug)]
+pub struct FileRules {
+    /// Apply the no-unwrap rule.
+    pub unwrap: bool,
+    /// Apply the hot-alloc rule.
+    pub hot_alloc: bool,
+    /// Apply the wall-clock rule.
+    pub wall_clock: bool,
+}
+
+impl FileRules {
+    /// The rule set for a production source file on the hot path.
+    pub fn hot() -> Self {
+        FileRules {
+            unwrap: true,
+            hot_alloc: true,
+            wall_clock: true,
+        }
+    }
+
+    /// The rule set for an ordinary production source file.
+    pub fn production() -> Self {
+        FileRules {
+            unwrap: true,
+            hot_alloc: false,
+            wall_clock: true,
+        }
+    }
+}
+
+/// Lints one source snippet. `file` is used only for diagnostics.
+pub fn lint_source(file: &Path, src: &str, rules: FileRules) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut stripper = Stripper::new();
+    let mut scopes = ScopeTracker::new();
+    let mut waive_next: Option<&str> = None;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let stripped = stripper.strip(raw);
+        let skip_code_rules = scopes.in_test();
+        let in_exempt_fn = scopes.in_exempt_fn();
+        scopes.observe(&stripped);
+
+        let waiver = |rule: &str| {
+            raw.contains(&format!("lint: allow({rule})"))
+                || waive_next == Some("*")
+                || waive_next.map(|w| w == rule).unwrap_or(false)
+        };
+
+        if !skip_code_rules {
+            if rules.unwrap && !waiver("no-unwrap") {
+                for token in [".unwrap()", ".expect("] {
+                    if let Some(col) = stripped.find(token) {
+                        // `.unwrap_or*` etc. are fine; `.unwrap()` is exact.
+                        let _ = col;
+                        out.push(Diagnostic {
+                            file: file.to_path_buf(),
+                            line: line_no,
+                            rule: "no-unwrap",
+                            message: format!(
+                                "`{token}` in production code; handle the error or use a \
+                                 named invariant (debug_assert!)"
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
+            if rules.hot_alloc && !in_exempt_fn && !waiver("hot-alloc") {
+                for token in ALLOC_TOKENS {
+                    if stripped.contains(token) {
+                        out.push(Diagnostic {
+                            file: file.to_path_buf(),
+                            line: line_no,
+                            rule: "hot-alloc",
+                            message: format!(
+                                "allocating token `{}` on the simulation hot path",
+                                token.trim_end_matches('(')
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+        if rules.wall_clock && !waiver("wall-clock") {
+            for token in CLOCK_TOKENS {
+                if stripped.contains(token) {
+                    out.push(Diagnostic {
+                        file: file.to_path_buf(),
+                        line: line_no,
+                        rule: "wall-clock",
+                        message: format!(
+                            "`{}` outside perf.rs; simulated time must not read host time",
+                            token.trim_end_matches('(')
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+
+        // A comment-only waiver line covers the following line.
+        let trimmed = raw.trim_start();
+        waive_next = if trimmed.starts_with("//") && trimmed.contains("lint: allow(") {
+            trimmed
+                .split("lint: allow(")
+                .nth(1)
+                .and_then(|rest| rest.split(')').next())
+                .and_then(|rule| {
+                    ["no-unwrap", "hot-alloc", "wall-clock", "*"]
+                        .into_iter()
+                        .find(|known| *known == rule)
+                })
+        } else {
+            None
+        };
+    }
+    out
+}
+
+/// Checks a crate root (`lib.rs` / `main.rs`) for the hygiene attributes.
+pub fn lint_crate_root(file: &Path, src: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let has_unsafe_gate =
+        src.contains("#![forbid(unsafe_code)]") || src.contains("#![deny(unsafe_code)]");
+    if !has_unsafe_gate {
+        out.push(Diagnostic {
+            file: file.to_path_buf(),
+            line: 1,
+            rule: "crate-hygiene",
+            message: "crate root lacks `#![forbid(unsafe_code)]` (or `deny`)".to_string(),
+        });
+    }
+    if !src.contains("#![warn(missing_docs)]") && !src.contains("#![deny(missing_docs)]") {
+        out.push(Diagnostic {
+            file: file.to_path_buf(),
+            line: 1,
+            rule: "crate-hygiene",
+            message: "crate root lacks `#![warn(missing_docs)]`".to_string(),
+        });
+    }
+    out
+}
+
+/// Lints the whole workspace rooted at `root`: every `.rs` file under
+/// `crates/*/src`, `compat/*/src`, `src/`, plus crate-root hygiene checks.
+/// Test and bench trees are exempt by construction (panicking and
+/// allocating there is fine).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    let mut src_dirs: Vec<PathBuf> = Vec::new();
+    for tree in ["crates", "compat"] {
+        let tree_dir = root.join(tree);
+        if let Ok(entries) = fs::read_dir(&tree_dir) {
+            for entry in entries {
+                let dir = entry?.path().join("src");
+                if dir.is_dir() {
+                    src_dirs.push(dir);
+                }
+            }
+        }
+    }
+    if root.join("src").is_dir() {
+        src_dirs.push(root.join("src"));
+    }
+    src_dirs.sort();
+
+    for dir in src_dirs {
+        let mut files = Vec::new();
+        collect_rs_files(&dir, &mut files)?;
+        files.sort();
+        for path in files {
+            let src = fs::read_to_string(&path)?;
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            let rel_str = rel.to_string_lossy().replace('\\', "/");
+            let is_perf = rel_str.ends_with("/perf.rs");
+            let rules = if HOT_PATH_FILES.contains(&rel_str.as_str()) {
+                FileRules::hot()
+            } else {
+                let mut r = FileRules::production();
+                r.wall_clock = !is_perf;
+                r
+            };
+            out.extend(lint_source(&rel, &src, rules));
+            let is_root = rel_str.ends_with("/lib.rs") && rel_str.matches("/src/").count() == 1
+                || rel_str == "src/lib.rs";
+            if is_root {
+                out.extend(lint_crate_root(&rel, &src));
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(out)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Comment / string stripping.
+
+/// Persistent lexical state across lines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Lex {
+    /// Ordinary code.
+    Code,
+    /// Inside `/* … */`, with nesting depth.
+    BlockComment(u32),
+    /// Inside a `"…"` string literal.
+    Str,
+    /// Inside a raw string literal with this many `#` marks.
+    RawStr(u32),
+}
+
+struct Stripper {
+    state: Lex,
+}
+
+impl Stripper {
+    fn new() -> Self {
+        Stripper { state: Lex::Code }
+    }
+
+    /// Returns `line` with comments and literal contents blanked out
+    /// (replaced by spaces, preserving columns).
+    fn strip(&mut self, line: &str) -> String {
+        let bytes: Vec<char> = line.chars().collect();
+        let mut out = String::with_capacity(line.len());
+        let mut i = 0;
+        while i < bytes.len() {
+            match self.state {
+                Lex::BlockComment(depth) => {
+                    if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                        self.state = if depth > 1 {
+                            Lex::BlockComment(depth - 1)
+                        } else {
+                            Lex::Code
+                        };
+                        out.push_str("  ");
+                        i += 2;
+                    } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                        self.state = Lex::BlockComment(depth + 1);
+                        out.push_str("  ");
+                        i += 2;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                Lex::Str => {
+                    if bytes[i] == '\\' {
+                        out.push(' ');
+                        if i + 1 < bytes.len() {
+                            out.push(' ');
+                        }
+                        i += 2;
+                    } else if bytes[i] == '"' {
+                        self.state = Lex::Code;
+                        out.push('"');
+                        i += 1;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                Lex::RawStr(hashes) => {
+                    if bytes[i] == '"' && closes_raw(&bytes, i, hashes) {
+                        self.state = Lex::Code;
+                        out.push('"');
+                        for _ in 0..hashes {
+                            out.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                Lex::Code => {
+                    let c = bytes[i];
+                    if c == '/' && bytes.get(i + 1) == Some(&'/') {
+                        // Line comment: drop the rest of the line.
+                        break;
+                    } else if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                        self.state = Lex::BlockComment(1);
+                        out.push_str("  ");
+                        i += 2;
+                    } else if c == '"' {
+                        self.state = Lex::Str;
+                        out.push('"');
+                        i += 1;
+                    } else if c == 'r' && is_raw_start(&bytes, i) {
+                        let mut hashes = 0;
+                        let mut j = i + 1;
+                        while bytes.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        self.state = Lex::RawStr(hashes);
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                    } else if c == '\'' {
+                        // Char literal or lifetime; consume a char literal
+                        // conservatively ('x', '\n', '\u{..}'); lifetimes
+                        // pass through.
+                        if let Some(len) = char_literal_len(&bytes, i) {
+                            for _ in 0..len {
+                                out.push(' ');
+                            }
+                            i += len;
+                        } else {
+                            out.push(c);
+                            i += 1;
+                        }
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn is_raw_start(bytes: &[char], i: usize) -> bool {
+    // `r"` or `r#…#"`, not part of an identifier like `for`.
+    if i > 0 {
+        let prev = bytes[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"')
+}
+
+fn closes_raw(bytes: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+fn char_literal_len(bytes: &[char], i: usize) -> Option<usize> {
+    // bytes[i] == '\''. A literal is 'x' (3), '\x' escapes (4+), '\u{…}'.
+    let next = *bytes.get(i + 1)?;
+    if next == '\\' {
+        let mut j = i + 2;
+        while j < bytes.len() && bytes[j] != '\'' {
+            j += 1;
+        }
+        (j < bytes.len()).then_some(j - i + 1)
+    } else if bytes.get(i + 2) == Some(&'\'') {
+        Some(3)
+    } else {
+        None // lifetime
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scope tracking (test modules, exempt functions).
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ScopeKind {
+    Test,
+    ExemptFn,
+}
+
+struct ScopeTracker {
+    depth: i64,
+    /// `(kind, depth at which the scope's `{` opened)`.
+    stack: Vec<(ScopeKind, i64)>,
+    pending: Option<ScopeKind>,
+}
+
+impl ScopeTracker {
+    fn new() -> Self {
+        ScopeTracker {
+            depth: 0,
+            stack: Vec::new(),
+            pending: None,
+        }
+    }
+
+    fn in_test(&self) -> bool {
+        self.stack.iter().any(|(k, _)| *k == ScopeKind::Test)
+    }
+
+    fn in_exempt_fn(&self) -> bool {
+        self.stack.iter().any(|(k, _)| *k == ScopeKind::ExemptFn)
+    }
+
+    /// Feeds one stripped line: updates brace depth and scope stack.
+    fn observe(&mut self, stripped: &str) {
+        if stripped.contains("#[cfg(test)]") || stripped.contains("#[test]") {
+            self.pending = Some(ScopeKind::Test);
+        } else if self.pending.is_none() {
+            if let Some(name) = fn_name(stripped) {
+                if is_exempt_fn(name) {
+                    self.pending = Some(ScopeKind::ExemptFn);
+                }
+            }
+        }
+        for c in stripped.chars() {
+            match c {
+                '{' => {
+                    if let Some(kind) = self.pending.take() {
+                        self.stack.push((kind, self.depth));
+                    }
+                    self.depth += 1;
+                }
+                '}' => {
+                    self.depth -= 1;
+                    if let Some(&(_, d)) = self.stack.last() {
+                        if self.depth <= d {
+                            self.stack.pop();
+                        }
+                    }
+                }
+                ';' => {
+                    // `#[cfg(test)] use …;` or a bodiless trait signature:
+                    // the pending attribute/function never opens a block.
+                    self.pending = None;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn fn_name(stripped: &str) -> Option<&str> {
+    let pos = stripped.find("fn ")?;
+    // Require a word boundary before `fn`.
+    if pos > 0 {
+        let prev = stripped.as_bytes()[pos - 1];
+        if prev.is_ascii_alphanumeric() || prev == b'_' {
+            return None;
+        }
+    }
+    let rest = &stripped[pos + 3..];
+    let end = rest
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    let name = &rest[..end];
+    (!name.is_empty()).then_some(name)
+}
+
+fn is_exempt_fn(name: &str) -> bool {
+    name == "new"
+        || name.starts_with("new_")
+        || name.starts_with("with_")
+        || name.starts_with("check_")
+        || name == "validate"
+        || name == "default"
+        || name == "fmt"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str, rules: FileRules) -> Vec<Diagnostic> {
+        lint_source(Path::new("test.rs"), src, rules)
+    }
+
+    #[test]
+    fn flags_unwrap_in_production_code() {
+        let d = lint("fn f() { x.unwrap(); }", FileRules::production());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-unwrap");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn ignores_unwrap_in_comments_and_strings() {
+        let src = "// x.unwrap()\nfn f() { let s = \".unwrap()\"; }\n/* .expect( */\n";
+        assert!(lint(src, FileRules::production()).is_empty());
+    }
+
+    #[test]
+    fn ignores_unwrap_in_test_modules() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); }\n}\n";
+        assert!(lint(src, FileRules::production()).is_empty());
+    }
+
+    #[test]
+    fn unwrap_after_test_module_is_flagged() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); }\n}\nfn g() { y.unwrap(); }\n";
+        let d = lint(src, FileRules::production());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 5);
+    }
+
+    #[test]
+    fn flags_alloc_tokens_only_on_hot_files() {
+        let src = "fn step() { let v = Vec::new(); }";
+        assert_eq!(lint(src, FileRules::hot()).len(), 1);
+        assert!(lint(src, FileRules::production()).is_empty());
+    }
+
+    #[test]
+    fn constructors_and_validators_may_allocate() {
+        let src = "fn new() -> S {\n    let v = Vec::with_capacity(4);\n}\nfn check_storage() {\n    format!(\"x\");\n}\n";
+        assert!(lint(src, FileRules::hot()).is_empty());
+    }
+
+    #[test]
+    fn alloc_after_constructor_is_flagged() {
+        let src = "fn new() -> S {\n    let v = Vec::new();\n}\nfn step() {\n    let v = Vec::new();\n}\n";
+        let d = lint(src, FileRules::hot());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 5);
+    }
+
+    #[test]
+    fn flags_wall_clock_reads() {
+        let d = lint(
+            "fn f() { let t = Instant::now(); }",
+            FileRules::production(),
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn waiver_comment_suppresses_rule() {
+        let same_line = "fn f() { x.unwrap(); } // lint: allow(no-unwrap)";
+        assert!(lint(same_line, FileRules::production()).is_empty());
+        let prev_line = "// lint: allow(no-unwrap)\nfn f() { x.unwrap(); }\n";
+        assert!(lint(prev_line, FileRules::production()).is_empty());
+    }
+
+    #[test]
+    fn hygiene_requires_both_attributes() {
+        let good = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n";
+        assert!(lint_crate_root(Path::new("lib.rs"), good).is_empty());
+        let missing = "#![forbid(unsafe_code)]\n";
+        let d = lint_crate_root(Path::new("lib.rs"), missing);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "crate-hygiene");
+    }
+
+    #[test]
+    fn raw_strings_are_stripped() {
+        let src = "fn f() { let s = r#\".unwrap() Instant::now(\"#; }";
+        assert!(lint(src, FileRules::production()).is_empty());
+    }
+}

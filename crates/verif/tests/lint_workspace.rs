@@ -1,0 +1,67 @@
+//! The lint gate, end to end: the workspace itself must scan clean, and an
+//! introduced violation must surface as a `file:line` diagnostic.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use secdir_verif::lint::lint_workspace;
+
+fn workspace_root() -> PathBuf {
+    // crates/verif -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_default()
+}
+
+#[test]
+fn the_workspace_lints_clean() {
+    let diags = lint_workspace(&workspace_root()).expect("scan succeeds");
+    assert!(
+        diags.is_empty(),
+        "lint findings on the tree:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn an_introduced_violation_fails_with_file_and_line() {
+    // Build a miniature workspace in a scratch directory: one crate whose
+    // lib.rs has the hygiene attributes but calls `.unwrap()` in
+    // production code on a known line.
+    let scratch = workspace_root()
+        .join("target")
+        .join("lint-scratch")
+        .join(format!("pid-{}", std::process::id()));
+    let src = scratch.join("crates").join("demo").join("src");
+    fs::create_dir_all(&src).expect("create scratch crate");
+    let bad = "#![forbid(unsafe_code)]\n\
+               #![warn(missing_docs)]\n\
+               //! Demo crate.\n\
+               /// Doc.\n\
+               pub fn f(x: Option<u32>) -> u32 {\n\
+                   x.unwrap()\n\
+               }\n";
+    fs::write(src.join("lib.rs"), bad).expect("write bad source");
+
+    let diags = lint_workspace(&scratch).expect("scan succeeds");
+    assert_eq!(diags.len(), 1, "exactly the seeded violation: {diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.rule, "no-unwrap");
+    assert_eq!(d.line, 6, "diagnostic must carry the offending line");
+    assert!(
+        d.file.ends_with("crates/demo/src/lib.rs"),
+        "diagnostic must carry the file: {}",
+        d.file.display()
+    );
+    // The rendered form is the `file:line: [rule] message` CI contract.
+    let rendered = d.to_string();
+    assert!(rendered.contains("lib.rs:6: [no-unwrap]"), "{rendered}");
+
+    fs::remove_dir_all(&scratch).ok();
+}

@@ -1,0 +1,169 @@
+//! Smoke tests of the exhaustive model checker: the clean protocol passes
+//! for every directory kind (with exact reachable-state counts pinned, so
+//! an accidental change to the step relation or the model is loud), and
+//! each seeded fault yields a counterexample trace.
+
+use secdir_coherence::AppendixA;
+use secdir_verif::checker::check;
+use secdir_verif::model::{DirKind, Fault, ModelConfig};
+
+/// The quick configuration reaches exactly this many states per kind.
+/// These counts are a fingerprint of the protocol: any behavioural change
+/// to `secdir_coherence::step` (or the model's mirroring of the slices)
+/// shifts them.
+const EXPECTED_STATES: &[(DirKind, usize)] = &[
+    (DirKind::Baseline(AppendixA::SkylakeQuirk), 562),
+    (DirKind::Baseline(AppendixA::Fixed), 856),
+    (DirKind::WayPartitioned, 8701),
+    (DirKind::SecDir, 7564),
+    (DirKind::VdOnly, 106),
+];
+
+#[test]
+fn clean_protocol_has_no_reachable_violations() {
+    for &(kind, expected) in EXPECTED_STATES {
+        let report = check(ModelConfig::quick(kind));
+        if let Some(v) = &report.violation {
+            panic!(
+                "{}: unexpected violation `{}`\ntrace:\n  {}",
+                kind.name(),
+                v.invariant,
+                v.trace.join("\n  ")
+            );
+        }
+        assert_eq!(
+            report.states,
+            expected,
+            "{}: reachable-state count drifted",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn all_kinds_are_explored() {
+    let reports = secdir_verif::check_all_quick();
+    assert_eq!(reports.len(), DirKind::ALL.len());
+    assert!(reports.iter().all(|r| r.violation.is_none()));
+}
+
+/// A lost write-invalidation breaks SWMR in every organization, and the
+/// checker hands back a shortest labeled trace (two accesses suffice:
+/// a fill followed by a remote write).
+#[test]
+fn skipped_write_invalidation_yields_swmr_counterexample() {
+    for kind in DirKind::ALL {
+        let cfg = ModelConfig {
+            fault: Fault::SkipWriteInvalidation,
+            ..ModelConfig::quick(kind)
+        };
+        let report = check(cfg);
+        let v = report
+            .violation
+            .unwrap_or_else(|| panic!("{}: fault not caught", kind.name()));
+        assert!(
+            v.invariant.contains("SWMR"),
+            "{}: wrong invariant: {}",
+            kind.name(),
+            v.invariant
+        );
+        assert_eq!(
+            v.trace.len(),
+            2,
+            "{}: BFS must find the 2-step trace",
+            kind.name()
+        );
+        assert!(
+            v.trace.iter().any(|step| step.contains("write")),
+            "{}: trace must contain the offending write: {:?}",
+            kind.name(),
+            v.trace
+        );
+    }
+}
+
+/// Leaking VD entries on the ④ consolidation is a SecDir-only bug: the
+/// other kinds never take that path, so only SecDir reports a violation —
+/// and it is exactly the TD/VD aliasing invariant.
+#[test]
+fn leaked_vd_on_consolidation_yields_aliasing_counterexample() {
+    for kind in DirKind::ALL {
+        let cfg = ModelConfig {
+            fault: Fault::LeakVdOnConsolidate,
+            ..ModelConfig::quick(kind)
+        };
+        let report = check(cfg);
+        if kind == DirKind::SecDir {
+            let v = report.violation.expect("secdir must catch the VD leak");
+            assert!(
+                v.invariant.contains("VD aliasing"),
+                "wrong invariant: {}",
+                v.invariant
+            );
+            assert!(!v.trace.is_empty());
+        } else {
+            assert!(
+                report.violation.is_none(),
+                "{}: fault path unreachable but violation reported",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// Dropping the Appendix-A quirk invalidation orphans the single sharer's
+/// copy — reachable only under the SkylakeQuirk baseline, and caught as a
+/// directory-inclusion violation.
+#[test]
+fn skipped_quirk_invalidation_yields_inclusion_counterexample() {
+    for kind in DirKind::ALL {
+        let cfg = ModelConfig {
+            fault: Fault::SkipQuirkInvalidation,
+            ..ModelConfig::quick(kind)
+        };
+        let report = check(cfg);
+        if kind == DirKind::Baseline(AppendixA::SkylakeQuirk) {
+            let v = report
+                .violation
+                .expect("quirk baseline must catch the fault");
+            assert!(
+                v.invariant.contains("inclusion"),
+                "wrong invariant: {}",
+                v.invariant
+            );
+        } else {
+            assert!(
+                report.violation.is_none(),
+                "{}: fault path unreachable but violation reported",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// A slightly larger geometry still explores cleanly for every kind —
+/// guards against invariants that only hold at the quick size.
+#[test]
+fn three_core_configuration_is_clean() {
+    for kind in DirKind::ALL {
+        let cfg = ModelConfig {
+            cores: 3,
+            lines: 3,
+            l2_capacity: 2,
+            ed_capacity: 2,
+            td_capacity: 1,
+            vd_capacity: 1,
+            kind,
+            fault: Fault::None,
+        };
+        let report = check(cfg);
+        if let Some(v) = &report.violation {
+            panic!(
+                "{}: violation at 3 cores: {}\ntrace:\n  {}",
+                kind.name(),
+                v.invariant,
+                v.trace.join("\n  ")
+            );
+        }
+    }
+}

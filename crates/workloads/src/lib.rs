@@ -30,6 +30,7 @@
 //! let _stream = SpecApp::GOBMK.stream(0x1000_0000, 42);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aes;

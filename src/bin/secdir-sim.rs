@@ -12,6 +12,9 @@
 //!                    [--threads N] [--out FILE]
 //! secdir-sim perf    [--quick] [--directories LIST] [--workload NAME]
 //!                    [--threads N] [--out FILE]
+//! secdir-sim verif   [--kinds LIST] [--cores N] [--lines N] [--l2 N]
+//!                    [--ed N] [--td N] [--vd N]
+//! secdir-sim lint    [--root PATH]
 //! ```
 //!
 //! Directory kinds: `baseline`, `baseline-fixed`, `secdir` (default),
@@ -234,7 +237,9 @@ fn cmd_aes(args: &[String]) -> Result<(), String> {
     let mut victim = AesVictim::new(*b"secdir-sim key!!", LineAddr::new(0xc8), seed);
     let (mut mem, mut private, mut dir) = (0u64, 0u64, 0u64);
     while victim.encryptions < encryptions {
-        let a = victim.next_access().expect("infinite stream");
+        // The AES victim is an infinite stream; a `None` would mean the
+        // generator broke, and stopping early is the graceful response.
+        let Some(a) = victim.next_access() else { break };
         match machine.access(CoreId(0), a.line, a.write).served {
             ServedBy::Memory => mem += 1,
             s if s.is_private_hit() => private += 1,
@@ -432,9 +437,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let threads = get_parsed(&flags, "threads", default_threads)?.clamp(1, cells.len());
     let out_path = flags.get("out").map_or("BENCH_sweep.json", String::as_str);
 
-    let started = std::time::Instant::now();
-    let results = sweep(&cells, &registry::factory, threads);
-    let elapsed = started.elapsed();
+    let (results, elapsed) = perf::time(|| sweep(&cells, &registry::factory, threads));
 
     let file = std::fs::File::create(out_path).map_err(|e| format!("create {out_path}: {e}"))?;
     write_jsonl(std::io::BufWriter::new(file), &results).map_err(|e| e.to_string())?;
@@ -578,8 +581,130 @@ fn cmd_perf(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+const VERIF_USAGE: &str = "\
+usage: secdir-sim verif [--kinds LIST] [--cores N] [--lines N] [--l2 N]
+                        [--ed N] [--td N] [--vd N]
+  --kinds   comma list of baseline | baseline-fixed | way-partitioned
+            | secdir | vd-only (default: all five)
+  --cores   model cores, 1..=4 (default 2)
+  --lines   distinct lines, 1..=4 (default 3)
+  --l2      per-core L2 capacity in lines (default 2)
+  --ed      ED entry capacity (per partition if way-partitioned; default 1)
+  --td      TD entry capacity (default 1)
+  --vd      per-core VD bank capacity (default 1)
+Exhaustively explores every reachable protocol state of the bounded model
+(built on the production step relation) per directory kind, checking SWMR,
+directory inclusion, sharer soundness, and ED/TD/VD exclusion; prints the
+reachable-state count per kind and exits nonzero with a shortest
+counterexample trace on the first violation.";
+
+fn parse_model_kind(name: &str) -> Result<secdir_verif::DirKind, String> {
+    use secdir_coherence::AppendixA;
+    use secdir_verif::DirKind;
+    match name {
+        "baseline" => Ok(DirKind::Baseline(AppendixA::SkylakeQuirk)),
+        "baseline-fixed" => Ok(DirKind::Baseline(AppendixA::Fixed)),
+        "way-partitioned" => Ok(DirKind::WayPartitioned),
+        "secdir" => Ok(DirKind::SecDir),
+        "vd-only" => Ok(DirKind::VdOnly),
+        other => Err(format!(
+            "unknown model kind `{other}` (allowed: baseline, baseline-fixed, \
+             way-partitioned, secdir, vd-only)"
+        )),
+    }
+}
+
+fn cmd_verif(args: &[String]) -> Result<(), String> {
+    use secdir_verif::model::{DirKind, ModelConfig};
+    let Some(flags) = parse_flags(
+        args,
+        &["kinds", "cores", "lines", "l2", "ed", "td", "vd"],
+        VERIF_USAGE,
+    )?
+    else {
+        return Ok(());
+    };
+    let kinds: Vec<secdir_verif::DirKind> = match flags.get("kinds") {
+        None => DirKind::ALL.to_vec(),
+        Some(list) => split_list(list)
+            .iter()
+            .map(|name| parse_model_kind(name))
+            .collect::<Result<_, _>>()?,
+    };
+    let base = ModelConfig::quick(DirKind::SecDir);
+    let mut violations = 0usize;
+    for kind in kinds {
+        let cfg = ModelConfig {
+            kind,
+            cores: get_parsed(&flags, "cores", base.cores)?,
+            lines: get_parsed(&flags, "lines", base.lines)?,
+            l2_capacity: get_parsed(&flags, "l2", base.l2_capacity)?,
+            ed_capacity: get_parsed(&flags, "ed", base.ed_capacity)?,
+            td_capacity: get_parsed(&flags, "td", base.td_capacity)?,
+            vd_capacity: get_parsed(&flags, "vd", base.vd_capacity)?,
+            ..base
+        };
+        let report = secdir_verif::check(cfg);
+        match &report.violation {
+            None => println!(
+                "{:>16}: {:>7} states, {:>8} transitions, all invariants hold",
+                kind.name(),
+                report.states,
+                report.transitions
+            ),
+            Some(v) => {
+                violations += 1;
+                println!(
+                    "{:>16}: VIOLATION after {} states: {}",
+                    kind.name(),
+                    report.states,
+                    v.invariant
+                );
+                println!("  counterexample ({} steps):", v.trace.len());
+                for (i, step) in v.trace.iter().enumerate() {
+                    println!("    {:>2}. {step}", i + 1);
+                }
+            }
+        }
+    }
+    if violations > 0 {
+        return Err(format!(
+            "{violations} directory kind(s) violate the protocol invariants"
+        ));
+    }
+    Ok(())
+}
+
+const LINT_USAGE: &str = "\
+usage: secdir-sim lint [--root PATH]
+  --root   workspace root to scan (default: current directory)
+Scans every production source file (crates/*/src, compat/*/src, src/) for
+panicking calls (.unwrap()/.expect()), allocating tokens on the hot-path
+files, wall-clock reads outside perf.rs, and missing crate-hygiene
+attributes; prints file:line diagnostics and exits nonzero on any finding.
+One-off waivers: a `lint: allow(<rule>)` comment on (or just above) the
+offending line.";
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let Some(flags) = parse_flags(args, &["root"], LINT_USAGE)? else {
+        return Ok(());
+    };
+    let root = flags.get("root").map_or(".", String::as_str);
+    let diags = secdir_verif::lint_workspace(std::path::Path::new(root))
+        .map_err(|e| format!("lint scan of `{root}`: {e}"))?;
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("lint: clean");
+        Ok(())
+    } else {
+        Err(format!("{} lint finding(s)", diags.len()))
+    }
+}
+
 fn usage() -> &'static str {
-    "usage: secdir-sim <attack|spec|parsec|aes|design|trace|sweep|perf> [--flags...]\n\
+    "usage: secdir-sim <attack|spec|parsec|aes|design|trace|sweep|perf|verif|lint> [--flags...]\n\
      run `secdir-sim <command> --help` for that command's flags; see the\n\
      module docs (`cargo doc`) or README.md for the full index."
 }
@@ -599,6 +724,8 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(rest),
         "sweep" => cmd_sweep(rest),
         "perf" => cmd_perf(rest),
+        "verif" => cmd_verif(rest),
+        "lint" => cmd_lint(rest),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             return ExitCode::SUCCESS;

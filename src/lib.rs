@@ -10,6 +10,8 @@
 //! * [`workloads`] — SPEC/PARSEC-like and victim workload generators,
 //! * [`attack`] — conflict-based directory attack toolkit,
 //! * [`area`] — storage/area models and design-space analytics.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use secdir as core;
 pub use secdir_area as area;
