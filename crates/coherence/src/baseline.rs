@@ -303,6 +303,27 @@ impl DirSlice for BaselineSlice {
         &self.stats
     }
 
+    fn for_each_entry(&self, f: &mut dyn FnMut(LineAddr, SharerSet)) {
+        for (line, entry) in self.ed.iter() {
+            f(line, entry.sharers);
+        }
+        for (line, entry) in self.td.iter() {
+            f(line, entry.sharers);
+        }
+    }
+
+    fn fault_flip_sharer(&mut self, line: LineAddr, core: CoreId) -> bool {
+        if let Some(entry) = self.ed.get_mut(line) {
+            entry.sharers.toggle(core);
+            return true;
+        }
+        if let Some(entry) = self.td.get_mut(line) {
+            entry.sharers.toggle(core);
+            return true;
+        }
+        false
+    }
+
     fn validate(&self) -> Result<(), String> {
         self.ed
             .check_storage()

@@ -306,6 +306,34 @@ pub trait DirSlice {
     fn validate(&self) -> Result<(), String> {
         Ok(())
     }
+
+    /// Visits every live directory entry of this slice as
+    /// `(line, tracked cores)` — one call per ED/TD entry, and one call per
+    /// VD bank residency (a singleton set naming the bank owner).
+    ///
+    /// Cold diagnostic path: the runtime oracle walks it to prove sharer
+    /// soundness (every tracked core actually holds the line); never called
+    /// from the simulation path.
+    fn for_each_entry(&self, f: &mut dyn FnMut(LineAddr, SharerSet));
+
+    /// Fault injection: corrupt the directory by toggling `core`'s presence
+    /// bit in `line`'s entry (or its VD residency). Returns `false` when the
+    /// slice holds no entry this fault can apply to — the injector then
+    /// retries on a later access. Test/diagnostic hook only; the default
+    /// refuses (structures without a mutable sharer representation).
+    fn fault_flip_sharer(&mut self, _line: LineAddr, _core: CoreId) -> bool {
+        false
+    }
+
+    /// Fault injection: leak a Victim-Directory entry for `line` into
+    /// `core`'s bank without clearing the line's ED/TD entry — the
+    /// consolidation bug of `secdir_verif::Fault::LeakVdOnConsolidate`,
+    /// replayed on the production structures. Returns `false` for slices
+    /// with no VD banks (the fault is inapplicable). Test/diagnostic hook
+    /// only.
+    fn fault_leak_vd(&mut self, _line: LineAddr, _core: CoreId) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -66,6 +66,19 @@ impl SharerSet {
         core.0 < Self::MAX_CORES && self.0 & (1 << core.0) != 0
     }
 
+    /// Flips `core`'s presence bit — the sharer-corruption primitive of the
+    /// fault-injection harness (`secdir_machine::inject`); not used by the
+    /// protocol itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core.0 >= 64`.
+    #[inline]
+    pub fn toggle(&mut self, core: CoreId) {
+        assert!(core.0 < Self::MAX_CORES, "core id out of range");
+        self.0 ^= 1 << core.0;
+    }
+
     /// Number of sharers.
     #[inline]
     pub fn count(&self) -> usize {
@@ -155,6 +168,15 @@ mod tests {
         assert!(s.remove(CoreId(0)));
         assert!(!s.remove(CoreId(0)));
         assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn toggle_flips_presence() {
+        let mut s = SharerSet::single(CoreId(3));
+        s.toggle(CoreId(3));
+        assert!(s.is_empty());
+        s.toggle(CoreId(5));
+        assert_eq!(s, SharerSet::single(CoreId(5)));
     }
 
     #[test]

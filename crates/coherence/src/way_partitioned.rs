@@ -280,6 +280,31 @@ impl DirSlice for WayPartitionedSlice {
         &self.stats
     }
 
+    fn for_each_entry(&self, f: &mut dyn FnMut(LineAddr, SharerSet)) {
+        for p in &self.ed {
+            for (line, entry) in p.iter() {
+                f(line, entry.sharers);
+            }
+        }
+        for p in &self.td {
+            for (line, entry) in p.iter() {
+                f(line, entry.sharers);
+            }
+        }
+    }
+
+    fn fault_flip_sharer(&mut self, line: LineAddr, core: CoreId) -> bool {
+        if let Some((part, way)) = self.lookup_ed(line) {
+            self.ed[part].payload_mut(way).sharers.toggle(core);
+            return true;
+        }
+        if let Some((part, way)) = self.lookup_td(line) {
+            self.td[part].payload_mut(way).sharers.toggle(core);
+            return true;
+        }
+        false
+    }
+
     fn validate(&self) -> Result<(), String> {
         for (part, p) in self.ed.iter().enumerate() {
             p.check_storage()

@@ -396,6 +396,44 @@ impl DirSlice for SecDirSlice {
         &self.stats
     }
 
+    fn for_each_entry(&self, f: &mut dyn FnMut(LineAddr, SharerSet)) {
+        for (line, entry) in self.ed.iter() {
+            f(line, entry.sharers);
+        }
+        for (line, entry) in self.td.iter() {
+            f(line, entry.sharers);
+        }
+        for (core, bank) in self.vds.iter().enumerate() {
+            for line in bank.iter() {
+                f(line, SharerSet::single(CoreId(core)));
+            }
+        }
+    }
+
+    fn fault_flip_sharer(&mut self, line: LineAddr, core: CoreId) -> bool {
+        if let Some(way) = self.ed.lookup(line) {
+            self.ed.payload_mut(way).sharers.toggle(core);
+            return true;
+        }
+        if let Some(way) = self.td.lookup(line) {
+            self.td.payload_mut(way).sharers.toggle(core);
+            return true;
+        }
+        false
+    }
+
+    fn fault_leak_vd(&mut self, line: LineAddr, core: CoreId) -> bool {
+        // Replay the LeakVdOnConsolidate protocol bug on the production
+        // structures: a raw bank insert that leaves the line's live ED/TD
+        // entry in place, creating the VD-aliasing state `validate` must
+        // flag. Only meaningful when such an entry exists.
+        if self.ed.lookup(line).is_none() && self.td.lookup(line).is_none() {
+            return false;
+        }
+        self.vds[core.0].insert(line);
+        true
+    }
+
     fn validate(&self) -> Result<(), String> {
         self.ed
             .check_storage()

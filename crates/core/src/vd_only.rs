@@ -175,6 +175,26 @@ impl DirSlice for VdOnlySlice {
         &self.stats
     }
 
+    fn for_each_entry(&self, f: &mut dyn FnMut(LineAddr, SharerSet)) {
+        for (core, bank) in self.vds.iter().enumerate() {
+            for line in bank.iter() {
+                f(line, SharerSet::single(CoreId(core)));
+            }
+        }
+    }
+
+    fn fault_flip_sharer(&mut self, line: LineAddr, core: CoreId) -> bool {
+        // The bank residency *is* the presence bit here: toggling means
+        // dropping a tracked line (inclusion violation) or fabricating a
+        // residency for an unheld one (stale sharer).
+        if self.vds[core.0].contains(line) {
+            self.vds[core.0].remove(line);
+        } else {
+            self.vds[core.0].insert(line);
+        }
+        true
+    }
+
     fn validate(&self) -> Result<(), String> {
         for (core, bank) in self.vds.iter().enumerate() {
             bank.check_storage()

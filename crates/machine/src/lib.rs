@@ -32,9 +32,11 @@
 mod caches;
 mod config;
 mod engine;
+pub mod inject;
 mod machine;
 pub mod oracle;
 pub mod perf;
+pub mod resume;
 mod stats;
 pub mod sweep;
 
@@ -43,5 +45,7 @@ pub use config::{DirectoryKind, Latencies, MachineConfig, TimingMitigation};
 pub use engine::{
     run_workload, run_workload_with, Access, AccessStream, CoreRun, RunSummary, Scheduler,
 };
+pub use inject::{FaultKind, FaultPlan, InjectOutcome};
 pub use machine::{AccessOutcome, Machine, ServedBy};
+pub use oracle::ORACLE_INTERVAL;
 pub use stats::{CoreStats, MachineStats};

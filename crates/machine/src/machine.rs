@@ -53,7 +53,7 @@ pub(crate) enum SliceImpl {
 }
 
 impl SliceImpl {
-    fn as_dir(&mut self) -> &mut dyn DirSlice {
+    pub(crate) fn as_dir(&mut self) -> &mut dyn DirSlice {
         match self {
             SliceImpl::Baseline(s) => s,
             SliceImpl::SecDir(s) => s,
@@ -95,6 +95,10 @@ pub struct Machine {
     pub(crate) cores: Vec<PrivateCaches>,
     pub(crate) slices: Vec<SliceImpl>,
     stats: MachineStats,
+    /// Armed fault-injection plan, if any (`secdir-sim inject`). Always
+    /// compiled: the disarmed cost on the hot path is one `is_some()`
+    /// branch per access.
+    pub(crate) fault: Option<crate::inject::FaultState>,
     #[cfg(feature = "check")]
     pub(crate) oracle: crate::oracle::OracleState,
 }
@@ -130,6 +134,7 @@ impl Machine {
             slices,
             stats: MachineStats::new(config.cores),
             config,
+            fault: None,
             #[cfg(feature = "check")]
             oracle: crate::oracle::OracleState::default(),
         }
@@ -189,6 +194,9 @@ impl Machine {
     }
 
     fn apply_invalidations(&mut self, invalidations: &Invalidations) {
+        if self.fault.is_some() && self.fault_drops_batch(invalidations) {
+            return; // Injected hardware bug: the batch is never delivered.
+        }
         for inv in invalidations {
             if inv.llc_writeback {
                 self.stats.memory_writebacks += 1;
@@ -294,6 +302,9 @@ impl Machine {
     pub fn access(&mut self, core: CoreId, line: LineAddr, write: bool) -> AccessOutcome {
         #[cfg(feature = "check")]
         self.oracle_tick();
+        if self.fault.is_some() {
+            self.fault_tick();
+        }
         let lat = self.config.latencies;
         let cs = &mut self.stats.cores[core.0];
         cs.accesses += 1;

@@ -11,6 +11,8 @@
 //! * MOESI single-writer / no-M+S-coexistence across private caches,
 //! * directory inclusion: every valid private L2 line is covered by a
 //!   directory entry that lists its core,
+//! * sharer soundness (the converse of inclusion): every core a directory
+//!   entry lists actually holds the line in its private L2,
 //! * per-slice protocol invariants (TD/ED/VD mutual exclusion, no
 //!   sharer-less ED entries) via [`DirSlice::validate`].
 //!
@@ -125,11 +127,47 @@ impl Machine {
         Ok(())
     }
 
+    /// Checks sharer soundness, the converse of directory inclusion: every
+    /// core a directory entry lists (or, for a VD, the bank's owning core)
+    /// must hold the line in its private L2. This is the check that
+    /// catches a *stale sharer* — a presence bit left set after the copy
+    /// is gone — which inclusion alone cannot see. The model checker
+    /// proves the same invariant on the abstract protocol
+    /// (`secdir_verif`); this is its runtime counterpart.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn check_sharer_soundness(&self) -> Result<(), String> {
+        let mut err: Option<String> = None;
+        for (s, slice) in self.slices.iter().enumerate() {
+            slice.as_dir_ref().for_each_entry(&mut |line, sharers| {
+                if err.is_some() {
+                    return;
+                }
+                for core in sharers.iter() {
+                    if core.0 >= self.cores.len() || !self.cores[core.0].l2_contains(line) {
+                        err = Some(format!(
+                            "stale sharer: slice {s} lists {core} for {line} \
+                             but its L2 holds no copy"
+                        ));
+                        return;
+                    }
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
     /// Runs the full invariant oracle: per-core cache storage checks
     /// ([`crate::PrivateCaches::check_storage`]), MOESI coexistence
     /// ([`Machine::check_coherence`]), per-slice protocol/storage
-    /// invariants (`DirSlice::validate`), and directory inclusion
-    /// ([`Machine::check_invariants`]).
+    /// invariants (`DirSlice::validate`), directory inclusion
+    /// ([`Machine::check_invariants`]), and sharer soundness
+    /// ([`Machine::check_sharer_soundness`]).
     ///
     /// Always compiled; the `check` feature merely calls this
     /// periodically from [`Machine::access`]. Allocation-free when all
@@ -151,7 +189,8 @@ impl Machine {
                 .validate()
                 .map_err(|e| format!("slice {s}: {e}"))?;
         }
-        self.check_invariants()
+        self.check_invariants()?;
+        self.check_sharer_soundness()
     }
 
     /// One periodic-oracle step, called from [`Machine::access`] when the

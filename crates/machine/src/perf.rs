@@ -229,7 +229,9 @@ pub fn measure<F: StreamFactory + ?Sized>(spec: &PerfSpec, factory: &F) -> Vec<P
     out
 }
 
-/// Writes `samples` as JSONL (one [`PerfSample::to_json_line`] per line).
+/// Writes `samples` as JSONL (one [`PerfSample::to_json_line`] per line),
+/// flushing after every record so an interrupted benchmark leaves at most
+/// one truncated line behind.
 ///
 /// # Errors
 ///
@@ -241,6 +243,7 @@ pub fn write_report<W: Write>(
 ) -> io::Result<()> {
     for s in samples {
         writeln!(out, "{}", s.to_json_line(spec))?;
+        out.flush()?;
     }
     Ok(())
 }

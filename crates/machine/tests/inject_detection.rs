@@ -1,0 +1,70 @@
+//! Pins the fault-injection detection table.
+//!
+//! Every applicable (directory kind, fault) pair must fire and be caught
+//! by the runtime invariant oracle within one `ORACLE_INTERVAL` of
+//! firing — and because the whole harness is deterministic, the exact
+//! firing and detection access counts are pinned too, in both default
+//! and `--features check` builds (the explicit per-access verify in the
+//! runner detects strictly before the periodic sweep could).
+
+use secdir_machine::inject::{run_inject_matrix, run_injection, FaultKind, DEFAULT_TRIGGER};
+use secdir_machine::DirectoryKind;
+
+#[test]
+fn detection_table_is_pinned() {
+    let expected: &[(&str, &str, u64, u64)] = &[
+        ("baseline", "drop-invalidation", 3000, 3000),
+        ("baseline", "skip-quirk-invalidation", 3771, 3771),
+        ("baseline", "flip-sharer-bit", 3000, 3000),
+        ("baseline-fixed", "drop-invalidation", 3000, 3000),
+        ("baseline-fixed", "flip-sharer-bit", 3000, 3000),
+        ("secdir", "drop-invalidation", 3000, 3000),
+        ("secdir", "leak-vd-on-consolidate", 3000, 3000),
+        ("secdir", "flip-sharer-bit", 3000, 3000),
+        ("secdir-plain-vd", "drop-invalidation", 3000, 3000),
+        ("secdir-plain-vd", "leak-vd-on-consolidate", 3000, 3000),
+        ("secdir-plain-vd", "flip-sharer-bit", 3000, 3000),
+        ("way-partitioned", "drop-invalidation", 3000, 3000),
+        ("way-partitioned", "flip-sharer-bit", 3000, 3000),
+        ("vd-only", "drop-invalidation", 3000, 3000),
+        ("vd-only", "flip-sharer-bit", 3000, 3000),
+        ("vd-only-plain", "drop-invalidation", 3000, 3000),
+        ("vd-only-plain", "flip-sharer-bit", 3000, 3000),
+    ];
+    let outcomes = run_inject_matrix(DEFAULT_TRIGGER);
+    let got: Vec<(&str, &str, u64, u64)> = outcomes
+        .iter()
+        .map(|o| {
+            assert!(
+                o.detected_in_time(),
+                "{} × {}: fired {:?}, detected {:?}",
+                o.kind.name(),
+                o.fault.name(),
+                o.fired_at,
+                o.detected_at
+            );
+            (
+                o.kind.name(),
+                o.fault.name(),
+                o.fired_at.expect("applicable fault must fire"),
+                o.detected_at.expect("fired fault must be detected"),
+            )
+        })
+        .collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn inapplicable_fault_never_fires() {
+    // The Appendix-A fix removes the quirk invalidation entirely, so
+    // there is no batch for the fault to eat: the machine runs clean to
+    // the end of the injection window.
+    assert!(!FaultKind::SkipQuirkInvalidation.applicable_to(DirectoryKind::BaselineFixed));
+    let o = run_injection(
+        DirectoryKind::BaselineFixed,
+        FaultKind::SkipQuirkInvalidation,
+        DEFAULT_TRIGGER,
+    );
+    assert_eq!(o.fired_at, None);
+    assert_eq!(o.detected_at, None);
+}

@@ -1,6 +1,12 @@
 //! Exhaustive breadth-first exploration of the model's reachable state
 //! space, checking the paper's safety invariants at every state and
 //! reconstructing a labeled counterexample trace on the first violation.
+//!
+//! Besides the safety invariants, the checker flags **deadlock**: a
+//! reachable state with no enabled transitions. The protocol model offers
+//! every core a read and a write to every invalid line, so a genuine
+//! deadlock means the transition relation itself collapsed — a modelling
+//! bug worth a counterexample trace, not a silent exploration end.
 
 use std::collections::HashMap;
 
@@ -36,13 +42,24 @@ pub struct CheckReport {
 
 /// Explores the full reachable state space of `cfg` and checks every
 /// state. Exploration is breadth-first, so a returned counterexample is a
-/// shortest trace to a violation.
+/// shortest trace to a violation (invariant breach or deadlock).
 ///
 /// # Panics
 ///
 /// Panics if `cfg` is out of the model's bounds (see [`Model::new`]).
 pub fn check(cfg: ModelConfig) -> CheckReport {
     let model = Model::new(cfg);
+    check_with(cfg, |s| model.successors(s))
+}
+
+/// The BFS core, parameterized over the successor relation so the
+/// deadlock path can be exercised with a stubbed transition function
+/// (the real model never produces an empty successor set — see the
+/// module docs).
+fn check_with(
+    cfg: ModelConfig,
+    mut successors: impl FnMut(&ModelState) -> Vec<(Label, ModelState)>,
+) -> CheckReport {
     let initial = ModelState::initial();
 
     let mut states: Vec<ModelState> = vec![initial.clone()];
@@ -72,7 +89,22 @@ pub fn check(cfg: ModelConfig) -> CheckReport {
         }
 
         let current = states[id].clone();
-        for (label, next) in model.successors(&current) {
+        let succs = successors(&current);
+        if succs.is_empty() {
+            let trace = rebuild_trace(&states, &parent, id);
+            return CheckReport {
+                kind: cfg.kind,
+                states: states.len(),
+                transitions,
+                violation: Some(Counterexample {
+                    invariant: "deadlock: no enabled transitions from this reachable state"
+                        .to_string(),
+                    trace,
+                    state: current,
+                }),
+            };
+        }
+        for (label, next) in succs {
             transitions += 1;
             if let std::collections::hash_map::Entry::Vacant(slot) = index.entry(next) {
                 states.push(slot.key().clone());
@@ -265,4 +297,42 @@ pub fn violated_invariant(s: &ModelState, cfg: &ModelConfig) -> Option<String> {
         }
     }
     None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlock_at_the_initial_state_is_reported() {
+        let cfg = ModelConfig::quick(DirKind::SecDir);
+        let report = check_with(cfg, |_| Vec::new());
+        let v = report.violation.expect("empty relation must deadlock");
+        assert!(v.invariant.starts_with("deadlock:"), "{}", v.invariant);
+        assert!(v.trace.is_empty(), "initial-state deadlock has no trace");
+        assert_eq!(report.states, 1);
+    }
+
+    #[test]
+    fn deadlock_one_step_in_carries_the_trace() {
+        let cfg = ModelConfig::quick(DirKind::SecDir);
+        let model = Model::new(cfg);
+        let (label, next) = model
+            .successors(&ModelState::initial())
+            .into_iter()
+            .next()
+            .expect("the real model always has enabled transitions");
+        let stuck = next.clone();
+        let report = check_with(cfg, move |s| {
+            if *s == ModelState::initial() {
+                vec![(label, next.clone())]
+            } else {
+                Vec::new()
+            }
+        });
+        let v = report.violation.expect("stuck successor must deadlock");
+        assert!(v.invariant.starts_with("deadlock:"), "{}", v.invariant);
+        assert_eq!(v.trace, vec![label.describe()]);
+        assert_eq!(v.state, stuck);
+    }
 }

@@ -1,6 +1,6 @@
 //! A std-only source lint pass over the workspace.
 //!
-//! Four rules, each tuned to an invariant this codebase already promises:
+//! Five rules, each tuned to an invariant this codebase already promises:
 //!
 //! * **no-unwrap** — no `.unwrap()` / `.expect(` in production code. Panics
 //!   belong to tests and to `debug_assert!`-style named invariants.
@@ -10,6 +10,11 @@
 //!   and this rule keeps regressions from creeping in at review time.
 //! * **wall-clock** — `Instant::now` / `SystemTime::now` only inside
 //!   `perf.rs`; simulated time must never read host time.
+//! * **jsonl-flush** — a line that writes a `to_json_line()` record must
+//!   be followed by a `.flush(` within the next three lines. Checkpoint
+//!   recovery (`secdir-sim sweep --resume`) assumes an interrupted run
+//!   leaves at most one truncated record behind; a buffered, unflushed
+//!   writer can lose whole records silently.
 //! * **crate-hygiene** — every crate root carries
 //!   `#![forbid(unsafe_code)]` (or `deny`) and `#![warn(missing_docs)]`.
 //!
@@ -38,7 +43,7 @@ pub struct Diagnostic {
     /// 1-based line number.
     pub line: usize,
     /// Rule identifier (`no-unwrap`, `hot-alloc`, `wall-clock`,
-    /// `crate-hygiene`).
+    /// `jsonl-flush`, `crate-hygiene`).
     pub rule: &'static str,
     /// Human-readable description of the violation.
     pub message: String,
@@ -105,6 +110,8 @@ pub struct FileRules {
     pub hot_alloc: bool,
     /// Apply the wall-clock rule.
     pub wall_clock: bool,
+    /// Apply the jsonl-flush rule.
+    pub jsonl_flush: bool,
 }
 
 impl FileRules {
@@ -114,6 +121,7 @@ impl FileRules {
             unwrap: true,
             hot_alloc: true,
             wall_clock: true,
+            jsonl_flush: true,
         }
     }
 
@@ -123,6 +131,7 @@ impl FileRules {
             unwrap: true,
             hot_alloc: false,
             wall_clock: true,
+            jsonl_flush: true,
         }
     }
 }
@@ -133,6 +142,10 @@ pub fn lint_source(file: &Path, src: &str, rules: FileRules) -> Vec<Diagnostic> 
     let mut stripper = Stripper::new();
     let mut scopes = ScopeTracker::new();
     let mut waive_next: Option<&str> = None;
+    // jsonl-flush needs lookahead, so record stripped lines and candidate
+    // write sites during the streaming pass and resolve them afterwards.
+    let mut stripped_lines: Vec<String> = Vec::new();
+    let mut jsonl_writes: Vec<usize> = Vec::new();
 
     for (idx, raw) in src.lines().enumerate() {
         let line_no = idx + 1;
@@ -182,6 +195,13 @@ pub fn lint_source(file: &Path, src: &str, rules: FileRules) -> Vec<Diagnostic> 
                     }
                 }
             }
+            if rules.jsonl_flush
+                && !waiver("jsonl-flush")
+                && stripped.contains("to_json_line")
+                && (stripped.contains("writeln!") || stripped.contains("write!"))
+            {
+                jsonl_writes.push(line_no);
+            }
         }
         if rules.wall_clock && !waiver("wall-clock") {
             for token in CLOCK_TOKENS {
@@ -208,14 +228,35 @@ pub fn lint_source(file: &Path, src: &str, rules: FileRules) -> Vec<Diagnostic> 
                 .nth(1)
                 .and_then(|rest| rest.split(')').next())
                 .and_then(|rule| {
-                    ["no-unwrap", "hot-alloc", "wall-clock", "*"]
+                    ["no-unwrap", "hot-alloc", "wall-clock", "jsonl-flush", "*"]
                         .into_iter()
                         .find(|known| *known == rule)
                 })
         } else {
             None
         };
+        stripped_lines.push(stripped);
     }
+
+    for &line_no in &jsonl_writes {
+        let end = (line_no + 3).min(stripped_lines.len());
+        if stripped_lines[line_no - 1..end]
+            .iter()
+            .any(|l| l.contains(".flush("))
+        {
+            continue;
+        }
+        out.push(Diagnostic {
+            file: file.to_path_buf(),
+            line: line_no,
+            rule: "jsonl-flush",
+            message: "JSONL record written without a `.flush()` within three lines; an \
+                      interrupted run could lose buffered records and break `--resume` \
+                      recovery"
+                .to_string(),
+        });
+    }
+    out.sort_by_key(|d| d.line);
     out
 }
 
@@ -652,6 +693,39 @@ mod tests {
         let d = lint_crate_root(Path::new("lib.rs"), missing);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, "crate-hygiene");
+    }
+
+    #[test]
+    fn flags_jsonl_write_without_flush() {
+        let src = "fn save() {\n    writeln!(out, \"{}\", r.to_json_line())?;\n}\n";
+        let d = lint(src, FileRules::production());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "jsonl-flush");
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn jsonl_write_with_nearby_flush_is_clean() {
+        let src =
+            "fn save() {\n    writeln!(out, \"{}\", r.to_json_line())?;\n    out.flush()?;\n}\n";
+        assert!(lint(src, FileRules::production()).is_empty());
+    }
+
+    #[test]
+    fn jsonl_flush_outside_window_is_flagged() {
+        let src = "fn save() {\n    writeln!(out, \"{}\", r.to_json_line())?;\n    a();\n    b();\n    c();\n    out.flush()?;\n}\n";
+        let d = lint(src, FileRules::production());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "jsonl-flush");
+    }
+
+    #[test]
+    fn jsonl_flush_waiver_and_test_scope_are_exempt() {
+        let waived =
+            "fn save() {\n    writeln!(out, \"{}\", r.to_json_line())?; // lint: allow(jsonl-flush)\n}\n";
+        assert!(lint(waived, FileRules::production()).is_empty());
+        let test_scope = "#[cfg(test)]\nmod tests {\n    fn f() { writeln!(out, \"{}\", r.to_json_line()); }\n}\n";
+        assert!(lint(test_scope, FileRules::production()).is_empty());
     }
 
     #[test]

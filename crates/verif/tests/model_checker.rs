@@ -1,7 +1,9 @@
 //! Smoke tests of the exhaustive model checker: the clean protocol passes
 //! for every directory kind (with exact reachable-state counts pinned, so
 //! an accidental change to the step relation or the model is loud), and
-//! each seeded fault yields a counterexample trace.
+//! each seeded fault yields a counterexample trace. "No violation" also
+//! certifies deadlock freedom: the checker reports any reachable state
+//! with no enabled transitions as a violation in its own right.
 
 use secdir_coherence::AppendixA;
 use secdir_verif::checker::check;

@@ -9,9 +9,12 @@
 //! secdir-sim trace   --mix NAME --out FILE [--refs N]   (capture)
 //! secdir-sim trace   --replay FILE [--directory KIND]   (replay)
 //! secdir-sim sweep   [--workloads LIST] [--directories LIST] [--seeds LIST]
-//!                    [--threads N] [--out FILE]
+//!                    [--threads N] [--out FILE] [--resume FILE]
+//!                    [--fail-fast] [--budget N]
 //! secdir-sim perf    [--quick] [--directories LIST] [--workload NAME]
 //!                    [--threads N] [--out FILE]
+//! secdir-sim inject  [--directories LIST] [--faults LIST] [--trigger N]
+//!                    [--out FILE]
 //! secdir-sim verif   [--kinds LIST] [--cores N] [--lines N] [--l2 N]
 //!                    [--ed N] [--td N] [--vd N]
 //! secdir-sim lint    [--root PATH]
@@ -26,8 +29,10 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use secdir_attack::{evict_reload_attack, evict_time_attack, prime_probe_attack, AttackConfig};
+use secdir_machine::inject::{self, FaultKind};
 use secdir_machine::perf::{self, PerfSpec};
-use secdir_machine::sweep::{sweep, write_jsonl, SweepMatrix};
+use secdir_machine::resume::plan_resume;
+use secdir_machine::sweep::{run_matrix, CellOutcome, CellSpec, SweepMatrix, SweepOptions};
 use secdir_machine::{run_workload, AccessStream, DirectoryKind, Machine, MachineConfig, ServedBy};
 use secdir_mem::{CoreId, LineAddr};
 use secdir_workloads::aes::AesVictim;
@@ -351,7 +356,7 @@ fn cmd_design(args: &[String]) -> Result<(), String> {
 const SWEEP_USAGE: &str = "\
 usage: secdir-sim sweep [--workloads LIST] [--directories LIST] [--seeds LIST]
                         [--cores N] [--warmup N] [--measure N] [--threads N]
-                        [--out FILE]
+                        [--out FILE] [--resume FILE] [--fail-fast] [--budget N]
   --workloads    comma-separated workload names, or the groups
                  spec (default; the 12 Table-5 mixes), parsec, all
   --directories  comma-separated directory kinds (default baseline,secdir)
@@ -360,9 +365,20 @@ usage: secdir-sim sweep [--workloads LIST] [--directories LIST] [--seeds LIST]
   --warmup       warm-up references per core (default 350000)
   --measure      measured references per core (default 200000)
   --threads      worker threads (default: available parallelism)
-  --out          JSONL output file (default BENCH_sweep.json)
+  --out          JSONL output file (default: the --resume file, else
+                 BENCH_sweep.json)
+  --resume       validate FILE as a checkpoint of this same matrix, keep
+                 its completed cells, and run only the missing/failed ones
+  --fail-fast    stop claiming new cells after the first failure (legacy
+                 all-or-nothing behaviour); unstarted cells are recorded
+                 as skipped
+  --budget       watchdog: max references per core per cell; over-budget
+                 cells are recorded as exhausted instead of spinning
 Runs the workload x directory x seed matrix in parallel and writes one
-JSON object per cell, in matrix order, bit-identical for any --threads.";
+JSON object per cell, in matrix order, bit-identical for any --threads
+(resumed runs included). A panicking cell becomes a {\"status\":
+\"panicked\"} record, the other cells still complete, and the exit code
+is nonzero.";
 
 /// Splits a comma-separated flag value, dropping empty segments.
 fn split_list(s: &str) -> Vec<String> {
@@ -373,8 +389,14 @@ fn split_list(s: &str) -> Vec<String> {
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let fail_fast = args.iter().any(|a| a == "--fail-fast");
+    let rest: Vec<String> = args
+        .iter()
+        .filter(|a| *a != "--fail-fast")
+        .cloned()
+        .collect();
     let Some(flags) = parse_flags(
-        args,
+        &rest,
         &[
             "workloads",
             "directories",
@@ -384,6 +406,8 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             "measure",
             "threads",
             "out",
+            "resume",
+            "budget",
         ],
         SWEEP_USAGE,
     )?
@@ -435,19 +459,62 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     }
     let default_threads = std::thread::available_parallelism().map_or(1, usize::from);
     let threads = get_parsed(&flags, "threads", default_threads)?.clamp(1, cells.len());
-    let out_path = flags.get("out").map_or("BENCH_sweep.json", String::as_str);
+    let resume_path = flags.get("resume").map(String::as_str);
+    let out_path = flags
+        .get("out")
+        .map(String::as_str)
+        .or(resume_path)
+        .unwrap_or("BENCH_sweep.json");
+    let budget: Option<u64> = flags
+        .get("budget")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("invalid value for --budget: `{v}`"))
+        })
+        .transpose()?;
 
-    let (results, elapsed) = perf::time(|| sweep(&cells, &registry::factory, threads));
+    // An absent checkpoint file is an empty checkpoint: everything runs.
+    let checkpoint = match resume_path {
+        None => String::new(),
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(format!("read {path}: {e}")),
+        },
+    };
+    let plan = plan_resume(&cells, &checkpoint)
+        .map_err(|e| format!("--resume {}: {e}", resume_path.unwrap_or("<none>")))?;
+    if plan.recovered_truncation {
+        println!("recovered a truncated final line in the checkpoint; its cell will re-run");
+    }
+    let kept = cells.len() - plan.rerun.len();
+    let to_run: Vec<CellSpec> = plan.rerun.iter().map(|&i| cells[i].clone()).collect();
 
+    let opts = SweepOptions {
+        threads: threads.clamp(1, to_run.len().max(1)),
+        fail_fast,
+        budget,
+    };
+    let (outcomes, elapsed) = perf::time(|| run_matrix(&to_run, &registry::factory, &opts));
+
+    let lines = plan.merge(&outcomes);
     let file = std::fs::File::create(out_path).map_err(|e| format!("create {out_path}: {e}"))?;
-    write_jsonl(std::io::BufWriter::new(file), &results).map_err(|e| e.to_string())?;
+    let mut w = std::io::BufWriter::new(file);
+    for line in &lines {
+        use std::io::Write as _;
+        writeln!(w, "{line}").map_err(|e| e.to_string())?;
+        w.flush().map_err(|e| e.to_string())?;
+    }
 
+    let failed = outcomes.iter().filter(|o| !o.is_done()).count();
     println!(
-        "{} cells ({} workloads x {} kinds x {} seeds) on {threads} threads in {:.2}s",
+        "{} cells ({} workloads x {} kinds x {} seeds): {kept} kept from checkpoint, \
+         {} ran ({failed} failed) on {threads} threads in {:.2}s",
         cells.len(),
         matrix.workloads.len(),
         matrix.kinds.len(),
         matrix.seeds.len(),
+        outcomes.len(),
         elapsed.as_secs_f64()
     );
     println!("wrote {out_path}");
@@ -456,18 +523,133 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         "{:>14} {:>16} {:>6} {:>10} {:>8} {:>10} {:>8}",
         "workload", "directory", "seed", "cycles", "ipc", "l2_misses", "vd_hits"
     );
-    for r in &results {
+    for o in &outcomes {
+        let cell = o.cell();
+        match o {
+            CellOutcome::Done(r) => println!(
+                "{:>14} {:>16} {:>6} {:>10} {:>8.3} {:>10} {:>8}",
+                cell.workload,
+                cell.kind.name(),
+                cell.seed,
+                r.run.cycles(),
+                r.run.ipc(),
+                r.run.breakdown.total(),
+                r.run.breakdown.vd,
+            ),
+            CellOutcome::Panicked { msg, .. } => println!(
+                "{:>14} {:>16} {:>6} panicked: {msg}",
+                cell.workload,
+                cell.kind.name(),
+                cell.seed,
+            ),
+            CellOutcome::Exhausted { budget, .. } => println!(
+                "{:>14} {:>16} {:>6} exhausted {budget}-access budget",
+                cell.workload,
+                cell.kind.name(),
+                cell.seed,
+            ),
+            CellOutcome::Skipped { .. } => println!(
+                "{:>14} {:>16} {:>6} skipped (fail-fast)",
+                cell.workload,
+                cell.kind.name(),
+                cell.seed,
+            ),
+        }
+    }
+    if failed > 0 {
+        return Err(format!(
+            "{failed} cell(s) failed; re-run with `--resume {out_path}` to retry them"
+        ));
+    }
+    Ok(())
+}
+
+const INJECT_USAGE: &str = "\
+usage: secdir-sim inject [--directories LIST] [--faults LIST] [--trigger N]
+                         [--out FILE]
+  --directories  comma list of directory kinds (default: all seven)
+  --faults       comma list of drop-invalidation | skip-quirk-invalidation
+                 | leak-vd-on-consolidate | flip-sharer-bit (default: all)
+  --trigger      access count at which each fault arms (default 3000)
+  --out          JSONL report file (default: table on stdout only)
+Arms one deterministic hardware bug per applicable (directory, fault)
+pair on a small machine, drives a fixed random workload, and checks the
+runtime invariant oracle flags the corruption within one oracle interval
+(8192 accesses) of the fault firing; exits nonzero if any fault escapes.";
+
+fn cmd_inject(args: &[String]) -> Result<(), String> {
+    let Some(flags) = parse_flags(
+        args,
+        &["directories", "faults", "trigger", "out"],
+        INJECT_USAGE,
+    )?
+    else {
+        return Ok(());
+    };
+    let kinds: Vec<DirectoryKind> = match flags.get("directories") {
+        None => DirectoryKind::ALL.to_vec(),
+        Some(list) => split_list(list)
+            .iter()
+            .map(|s| DirectoryKind::parse(s))
+            .collect::<Result<_, _>>()?,
+    };
+    let faults: Vec<FaultKind> = match flags.get("faults") {
+        None => FaultKind::ALL.to_vec(),
+        Some(list) => split_list(list)
+            .iter()
+            .map(|s| FaultKind::parse(s))
+            .collect::<Result<_, _>>()?,
+    };
+    let trigger: u64 = get_parsed(&flags, "trigger", inject::DEFAULT_TRIGGER)?;
+
+    let mut outcomes = Vec::new();
+    for &kind in &kinds {
+        for &fault in &faults {
+            if fault.applicable_to(kind) {
+                outcomes.push(inject::run_injection(kind, fault, trigger));
+            }
+        }
+    }
+    if outcomes.is_empty() {
+        return Err("no applicable (directory, fault) pair selected".into());
+    }
+
+    let fmt_opt = |v: Option<u64>| v.map_or("-".to_string(), |x| x.to_string());
+    println!(
+        "{:>16} {:>24} {:>9} {:>12} {:>8}",
+        "directory", "fault", "fired_at", "detected_at", "in_time"
+    );
+    for o in &outcomes {
         println!(
-            "{:>14} {:>16} {:>6} {:>10} {:>8.3} {:>10} {:>8}",
-            r.cell.workload,
-            r.cell.kind.name(),
-            r.cell.seed,
-            r.run.cycles(),
-            r.run.ipc(),
-            r.run.breakdown.total(),
-            r.run.breakdown.vd,
+            "{:>16} {:>24} {:>9} {:>12} {:>8}",
+            o.kind.name(),
+            o.fault.name(),
+            fmt_opt(o.fired_at),
+            fmt_opt(o.detected_at),
+            o.detected_in_time(),
         );
     }
+    if let Some(path) = flags.get("out") {
+        let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        let mut w = std::io::BufWriter::new(file);
+        for o in &outcomes {
+            use std::io::Write as _;
+            writeln!(w, "{}", o.to_json_line()).map_err(|e| e.to_string())?;
+            w.flush().map_err(|e| e.to_string())?;
+        }
+        println!("wrote {path}");
+    }
+    let missed = outcomes.iter().filter(|o| !o.detected_in_time()).count();
+    if missed > 0 {
+        return Err(format!(
+            "{missed} of {} injected fault(s) escaped the oracle",
+            outcomes.len()
+        ));
+    }
+    println!(
+        "all {} injected faults detected within one oracle interval",
+        outcomes.len()
+    );
     Ok(())
 }
 
@@ -704,7 +886,7 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> &'static str {
-    "usage: secdir-sim <attack|spec|parsec|aes|design|trace|sweep|perf|verif|lint> [--flags...]\n\
+    "usage: secdir-sim <attack|spec|parsec|aes|design|trace|sweep|perf|inject|verif|lint> [--flags...]\n\
      run `secdir-sim <command> --help` for that command's flags; see the\n\
      module docs (`cargo doc`) or README.md for the full index."
 }
@@ -724,6 +906,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(rest),
         "sweep" => cmd_sweep(rest),
         "perf" => cmd_perf(rest),
+        "inject" => cmd_inject(rest),
         "verif" => cmd_verif(rest),
         "lint" => cmd_lint(rest),
         "--help" | "-h" | "help" => {

@@ -5,7 +5,8 @@
 //! sweep harness trustworthy: every cell runs on its own machine, so
 //! fan-out must never change a single counter.
 
-use secdir_machine::sweep::{run_cell, sweep, CellSpec, SweepMatrix};
+use secdir_machine::resume::plan_resume;
+use secdir_machine::sweep::{run_cell, run_matrix, sweep, CellSpec, SweepMatrix, SweepOptions};
 use secdir_machine::{run_workload_with, DirectoryKind, Machine, MachineConfig, Scheduler};
 use secdir_workloads::registry;
 
@@ -41,6 +42,32 @@ fn sweep_is_bit_identical_to_serial_at_any_thread_count() {
     for threads in [1, 4, 8] {
         let parallel = sweep(&cells, &registry::factory, threads);
         assert_eq!(serial, parallel, "threads={threads}");
+    }
+}
+
+/// A sweep killed mid-run and resumed from its checkpoint must produce a
+/// byte-identical JSONL report, regardless of how many worker threads the
+/// resumed run uses. The checkpoint here simulates a kill after five
+/// records: five intact lines plus a sixth cut mid-write.
+#[test]
+fn resumed_sweep_is_byte_identical_at_any_thread_count() {
+    let cells = small_matrix().cells();
+    let full = run_matrix(&cells, &registry::factory, &SweepOptions::new(1));
+    let full_lines: Vec<String> = full.iter().map(|o| o.to_json_line()).collect();
+    let full_text = full_lines.join("\n") + "\n";
+
+    let mut checkpoint = full_lines[..5].join("\n") + "\n";
+    checkpoint.push_str(&full_lines[5][..full_lines[5].len() / 2]);
+
+    let plan = plan_resume(&cells, &checkpoint).expect("checkpoint must validate");
+    assert!(plan.recovered_truncation, "the cut line must be recovered");
+    assert_eq!(plan.rerun, (5..cells.len()).collect::<Vec<_>>());
+
+    let to_run: Vec<CellSpec> = plan.rerun.iter().map(|&i| cells[i].clone()).collect();
+    for threads in [1, 4, 8] {
+        let fresh = run_matrix(&to_run, &registry::factory, &SweepOptions::new(threads));
+        let merged = plan.merge(&fresh).join("\n") + "\n";
+        assert_eq!(merged, full_text, "threads={threads}");
     }
 }
 
