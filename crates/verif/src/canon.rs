@@ -1,0 +1,440 @@
+//! Symmetry canonicalization of packed model states.
+//!
+//! The bounded model is fully symmetric under relabelings of cores and of
+//! lines: every core has the same L2/VD capacity, every line is an
+//! anonymous address, and (for way-partitioned) partition `c` belongs to
+//! core `c`, so a joint relabeling carries reachable states to reachable
+//! states and preserves every checked invariant. Exploring one
+//! representative per orbit shrinks the reachable set by up to
+//! `cores!·lines!`.
+//!
+//! **The partition field is only semantic under way-partitioning.** Every
+//! other organization stores a constant 0 as the owning partition, so the
+//! correct symmetry action relabels partitions with the cores *only* for
+//! `DirKind::WayPartitioned` and leaves them fixed otherwise — relabeling
+//! a dummy 0 to a nonzero index manufactures states the model never
+//! produces and the canonical form stops being constant on orbits (the
+//! orbit count then *exceeds* the raw count instead of dividing it). The
+//! `permute_parts` flag on [`CanonTable::new`] and
+//! [`PermPair::apply_state`] selects the action.
+//!
+//! **Canonical form.** For each permutation of the *used* cores, compute
+//! the four 32-bit line words (cores relabeled, [`pack::line_word`]) and
+//! sort them descending with a stable tie-break on the original line
+//! index; the candidate is the sorted words assembled high-to-low. The
+//! canonical form is the numerically greatest candidate over all core
+//! permutations. Because line permutation moves whole equal-width blocks,
+//! the descending block sort *is* the optimal line permutation for a fixed
+//! core relabeling — the search is `cores!` candidates, not
+//! `cores!·lines!`.
+//!
+//! Descending order (with the stable tie-break) also keeps active lines in
+//! the low indices: an unused line's word is always 0, so it can never
+//! displace a used line into the tail, and the chosen line permutation
+//! maps used lines to used lines — canonical states stay inside the
+//! model's `0..lines` geometry.
+//!
+//! **Soundness with deterministic forwarding.** The one non-equivariant
+//! choice in the production step relation is the forwarding owner
+//! (`forwarding_sharer` picks the lowest-numbered sharer). On any state
+//! satisfying the checked invariants this choice is semantically
+//! invisible: a multi-sharer set is all Shared/Owned, whose
+//! `after_remote_read` downgrade is the identity, and an Exclusive/
+//! Modified holder (where the downgrade does act) is a singleton set,
+//! which every relabeling maps to a singleton. The checker only expands
+//! states it has already verified clean, so successor sets of expanded
+//! states are equivariant and orbit-exploration is exact — including on
+//! faulted models, where the first violating state is reported, not
+//! expanded.
+
+use crate::model::{Label, ModelState, MAX_CORES, MAX_LINES};
+use crate::pack::{assemble, line_word, permute_mask};
+
+/// A joint core/line relabeling: `core[c]` is the new index of old core
+/// `c`, `line[l]` the new index of old line `l`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PermPair {
+    /// Core relabeling.
+    pub core: [u8; MAX_CORES],
+    /// Line relabeling.
+    pub line: [u8; MAX_LINES],
+}
+
+/// The identity relabeling.
+pub const IDENTITY: PermPair = PermPair {
+    core: [0, 1, 2, 3],
+    line: [0, 1, 2, 3],
+};
+
+impl PermPair {
+    /// The inverse relabeling.
+    pub fn inverse(&self) -> PermPair {
+        let mut inv = IDENTITY;
+        for (i, &img) in self.core.iter().enumerate() {
+            inv.core[img as usize] = i as u8;
+        }
+        for (i, &img) in self.line.iter().enumerate() {
+            inv.line[img as usize] = i as u8;
+        }
+        inv
+    }
+
+    /// `self ∘ other`: applies `other` first, then `self`.
+    pub fn compose(&self, other: &PermPair) -> PermPair {
+        let mut out = IDENTITY;
+        for i in 0..MAX_CORES {
+            out.core[i] = self.core[other.core[i] as usize];
+        }
+        for i in 0..MAX_LINES {
+            out.line[i] = self.line[other.line[i] as usize];
+        }
+        out
+    }
+
+    /// Relabels a transition label.
+    pub fn apply_label(&self, label: Label) -> Label {
+        let map = |core: usize, line: usize| (self.core[core] as usize, self.line[line] as usize);
+        match label {
+            Label::Read { core, line } => {
+                let (core, line) = map(core, line);
+                Label::Read { core, line }
+            }
+            Label::Write { core, line } => {
+                let (core, line) = map(core, line);
+                Label::Write { core, line }
+            }
+            Label::SilentUpgrade { core, line } => {
+                let (core, line) = map(core, line);
+                Label::SilentUpgrade { core, line }
+            }
+            Label::Evict { core, line } => {
+                let (core, line) = map(core, line);
+                Label::Evict { core, line }
+            }
+        }
+    }
+
+    /// Relabels a whole state (the struct-level mirror of what
+    /// [`CanonTable::canonicalize`] does on packed words); used by trace
+    /// rebuilds and the property tests. `permute_parts` selects the
+    /// action on directory partition fields: relabel with the cores for
+    /// the way-partitioned organization, fix the dummy 0 otherwise (see
+    /// module docs).
+    pub fn apply_state(&self, s: &ModelState, permute_parts: bool) -> ModelState {
+        let part_of = |part: u8| {
+            if permute_parts {
+                self.core[part as usize]
+            } else {
+                part
+            }
+        };
+        let mut t = ModelState::initial();
+        for core in 0..MAX_CORES {
+            for line in 0..MAX_LINES {
+                t.caches[self.core[core] as usize][self.line[line] as usize] = s.caches[core][line];
+            }
+        }
+        for line in 0..MAX_LINES {
+            let nl = self.line[line] as usize;
+            t.ed[nl] = s.ed[line].map(|(part, mut e)| {
+                e.sharers = permute_set(e.sharers, &self.core);
+                (part_of(part), e)
+            });
+            t.td[nl] = s.td[line].map(|(part, mut e)| {
+                e.sharers = permute_set(e.sharers, &self.core);
+                (part_of(part), e)
+            });
+            t.vd[nl] = permute_set(s.vd[line], &self.core);
+        }
+        t
+    }
+
+    /// Packs the pair into a compact index (base-24 digits of the two
+    /// Lehmer codes) for the parent-pointer array.
+    pub fn index(&self) -> u16 {
+        u16::from(perm_index(&self.core)) * FACT4 + u16::from(perm_index(&self.line))
+    }
+
+    /// Inverse of [`PermPair::index`].
+    pub fn from_index(idx: u16) -> PermPair {
+        PermPair {
+            core: perm_from_index((idx / FACT4) as u8),
+            line: perm_from_index((idx % FACT4) as u8),
+        }
+    }
+}
+
+/// `4!` — the number of permutations of a 4-element index set.
+const FACT4: u16 = 24;
+
+/// Relabels a sharer set through a core permutation.
+pub fn permute_set(
+    set: secdir_coherence::SharerSet,
+    cp: &[u8; MAX_CORES],
+) -> secdir_coherence::SharerSet {
+    let mask = (set.bits() & 0xf) as u32;
+    let permuted = permute_mask(mask, cp);
+    let mut out = secdir_coherence::SharerSet::empty();
+    for c in 0..MAX_CORES {
+        if permuted & (1 << c) != 0 {
+            out.insert(secdir_mem::CoreId(c));
+        }
+    }
+    out
+}
+
+/// Lehmer (factorial-base) rank of a permutation of `[0, 4)`, in `0..24`.
+fn perm_index(p: &[u8; 4]) -> u8 {
+    let mut idx = 0u8;
+    for i in 0..4 {
+        let rank = (i + 1..4).filter(|&j| p[j] < p[i]).count() as u8;
+        idx = idx * (4 - i as u8) + rank;
+    }
+    idx
+}
+
+/// Inverse of [`perm_index`].
+fn perm_from_index(mut idx: u8) -> [u8; 4] {
+    let mut digits = [0u8; 4];
+    for i in (0..4).rev() {
+        let base = (4 - i) as u8;
+        digits[i] = idx % base;
+        idx /= base;
+    }
+    let mut pool = [0u8, 1, 2, 3];
+    let mut len = 4usize;
+    let mut out = [0u8; 4];
+    for i in 0..4 {
+        let d = digits[i] as usize;
+        out[i] = pool[d];
+        for j in d..len - 1 {
+            pool[j] = pool[j + 1];
+        }
+        len -= 1;
+    }
+    out
+}
+
+/// Precomputed canonicalization context for a model geometry: every
+/// permutation of the used cores (identity on the unused tail).
+#[derive(Clone, Debug)]
+pub struct CanonTable {
+    cores: usize,
+    lines: usize,
+    permute_parts: bool,
+    core_perms: Vec<[u8; MAX_CORES]>,
+    line_perms: Vec<[u8; MAX_LINES]>,
+}
+
+impl CanonTable {
+    /// Builds the table for a `cores`-core, `lines`-line model.
+    /// `permute_parts` must be true exactly for the way-partitioned
+    /// organization (see module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry exceeds the model bounds.
+    pub fn new(cores: usize, lines: usize, permute_parts: bool) -> Self {
+        assert!((1..=MAX_CORES).contains(&cores), "cores out of range");
+        assert!((1..=MAX_LINES).contains(&lines), "lines out of range");
+        let mut core_perms = Vec::new();
+        let mut scratch: Vec<u8> = (0..cores as u8).collect();
+        permutations(&mut scratch, 0, &mut |p| {
+            let mut full = [0u8, 1, 2, 3];
+            full[..cores].copy_from_slice(p);
+            core_perms.push(full);
+        });
+        let mut line_perms = Vec::new();
+        let mut scratch: Vec<u8> = (0..lines as u8).collect();
+        permutations(&mut scratch, 0, &mut |p| {
+            let mut full = [0u8, 1, 2, 3];
+            full[..lines].copy_from_slice(p);
+            line_perms.push(full);
+        });
+        CanonTable {
+            cores,
+            lines,
+            permute_parts,
+            core_perms,
+            line_perms,
+        }
+    }
+
+    /// Whether this table's action relabels partition fields.
+    pub fn permute_parts(&self) -> bool {
+        self.permute_parts
+    }
+
+    /// The order of the symmetry group this table reduces by
+    /// (`cores!·lines!`).
+    pub fn group_order(&self) -> usize {
+        fn fact(n: usize) -> usize {
+            (1..=n).product()
+        }
+        fact(self.cores) * fact(self.lines)
+    }
+
+    /// Canonicalizes `s`: returns the canonical packed form and the
+    /// relabeling `g` with `pack(g(s)) == packed`. Deterministic: core
+    /// permutations are tried in a fixed order and ties keep the first
+    /// winner, so equal inputs always yield the identical pair.
+    pub fn canonicalize(&self, s: &ModelState) -> (u128, PermPair) {
+        let mut best_packed = 0u128;
+        let mut best_pair = IDENTITY;
+        let mut first = true;
+        const IDENT: [u8; MAX_CORES] = [0, 1, 2, 3];
+        for cp in &self.core_perms {
+            let pp = if self.permute_parts { cp } else { &IDENT };
+            let mut words = [0u32; MAX_LINES];
+            for (line, w) in words.iter_mut().enumerate() {
+                *w = line_word(s, line, cp, pp);
+            }
+            // Stable descending block sort = optimal line relabeling for
+            // this core relabeling (see module docs).
+            let mut order = [0usize, 1, 2, 3];
+            order.sort_by(|&a, &b| words[b].cmp(&words[a]).then(a.cmp(&b)));
+            let sorted = [
+                words[order[0]],
+                words[order[1]],
+                words[order[2]],
+                words[order[3]],
+            ];
+            let packed = assemble(sorted);
+            if first || packed > best_packed {
+                first = false;
+                best_packed = packed;
+                let mut lp = [0u8; MAX_LINES];
+                for (pos, &orig) in order.iter().enumerate() {
+                    lp[orig] = pos as u8;
+                }
+                debug_assert!(
+                    (0..self.lines).all(|l| (lp[l] as usize) < self.lines),
+                    "canonical line relabeling left the used-line range"
+                );
+                best_pair = PermPair {
+                    core: *cp,
+                    line: lp,
+                };
+            }
+        }
+        (best_packed, best_pair)
+    }
+
+    /// The size of `s`'s orbit under the full group action: the number of
+    /// distinct packed states over all `cores!·lines!` joint relabelings
+    /// (`group_order / |stabilizer(s)|`).
+    ///
+    /// Because the step relation is equivariant on clean states, the raw
+    /// reachable set is a disjoint union of full orbits, so summing this
+    /// over the canonical representatives reproduces the **exact** raw
+    /// reachable-state count without ever materializing it — this is how
+    /// the checker bench reports the reduction factor at geometries whose
+    /// raw exploration would not fit the CI budget.
+    pub fn orbit_size(&self, s: &ModelState) -> usize {
+        const IDENT: [u8; MAX_CORES] = [0, 1, 2, 3];
+        let mut distinct: std::collections::HashSet<u128> =
+            std::collections::HashSet::with_capacity(self.group_order());
+        for cp in &self.core_perms {
+            let pp = if self.permute_parts { cp } else { &IDENT };
+            let mut words = [0u32; MAX_LINES];
+            for (line, w) in words.iter_mut().enumerate() {
+                *w = line_word(s, line, cp, pp);
+            }
+            for lp in &self.line_perms {
+                // `lp[l]` is the new index of old line `l`; block `new`
+                // of the permuted state is old line `inv(new)`'s word.
+                let mut placed = [0u32; MAX_LINES];
+                for (old, &new) in lp.iter().enumerate() {
+                    placed[new as usize] = words[old];
+                }
+                distinct.insert(assemble(placed));
+            }
+        }
+        distinct.len()
+    }
+}
+
+/// Heap's-algorithm enumeration of the permutations of `items`, in a
+/// fixed deterministic order.
+fn permutations(items: &mut [u8], k: usize, visit: &mut impl FnMut(&[u8])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permutations(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::pack;
+    use secdir_coherence::Moesi;
+
+    #[test]
+    fn perm_index_roundtrips_all_24() {
+        let mut seen = std::collections::HashSet::new();
+        let mut scratch = [0u8, 1, 2, 3];
+        let mut perms = Vec::new();
+        permutations(&mut scratch, 0, &mut |p| {
+            let mut a = [0u8; 4];
+            a.copy_from_slice(p);
+            perms.push(a);
+        });
+        for p in perms {
+            let idx = perm_index(&p);
+            assert!(seen.insert(idx), "duplicate index {idx}");
+            assert_eq!(perm_from_index(idx), p);
+        }
+        assert_eq!(seen.len(), 24);
+    }
+
+    #[test]
+    fn pair_index_roundtrips() {
+        let pair = PermPair {
+            core: [2, 0, 3, 1],
+            line: [1, 3, 0, 2],
+        };
+        assert_eq!(PermPair::from_index(pair.index()), pair);
+        assert_eq!(PermPair::from_index(IDENTITY.index()), IDENTITY);
+    }
+
+    #[test]
+    fn inverse_and_compose_agree() {
+        let pair = PermPair {
+            core: [2, 0, 3, 1],
+            line: [1, 3, 0, 2],
+        };
+        assert_eq!(pair.compose(&pair.inverse()), IDENTITY);
+        assert_eq!(pair.inverse().compose(&pair), IDENTITY);
+    }
+
+    #[test]
+    fn apply_state_matches_packed_canonical() {
+        // canonicalize's packed value must equal pack(apply_state(s)).
+        let table = CanonTable::new(3, 3, false);
+        let mut s = ModelState::initial();
+        s.caches[1][2] = Moesi::Modified;
+        s.caches[0][0] = Moesi::Shared;
+        s.vd[2] = secdir_coherence::SharerSet::single(secdir_mem::CoreId(1));
+        let (packed, pair) = table.canonicalize(&s);
+        assert_eq!(pack(&pair.apply_state(&s, false)), packed);
+    }
+
+    #[test]
+    fn canonical_form_is_permutation_invariant() {
+        let table = CanonTable::new(2, 3, false);
+        let mut s = ModelState::initial();
+        s.caches[0][1] = Moesi::Exclusive;
+        s.caches[1][0] = Moesi::Shared;
+        let swap = PermPair {
+            core: [1, 0, 2, 3],
+            line: [2, 1, 0, 3],
+        };
+        let t = swap.apply_state(&s, false);
+        assert_eq!(table.canonicalize(&s).0, table.canonicalize(&t).0);
+    }
+}

@@ -1,26 +1,60 @@
-//! Exhaustive breadth-first exploration of the model's reachable state
-//! space, checking the paper's safety invariants at every state and
-//! reconstructing a labeled counterexample trace on the first violation.
+//! Exhaustive exploration of the model's reachable state space, checking
+//! the paper's safety invariants at every state and reconstructing a
+//! labeled counterexample trace on the first violation.
 //!
-//! Besides the safety invariants, the checker flags **deadlock**: a
+//! Two exploration cores share the packed-state machinery of
+//! [`pack`](crate::pack):
+//!
+//! * [`check`] — the original **serial BFS**, now keyed on packed `u128`
+//!   states (the visited set holds one word per state, not a cloned
+//!   struct). Exploration order, reachable-state counts, and
+//!   shortest-counterexample semantics are identical to the PR 3 checker;
+//!   the quick-config fingerprints (562/856/8701/7564/106) are unchanged.
+//! * [`check_opt`] — the scalable core: **level-synchronized frontier
+//!   BFS**, optionally fanned out over [`std::thread::scope`] workers and
+//!   optionally exploring one representative per symmetry orbit via
+//!   [`canon`](crate::canon). Per-worker successor buffers are merged
+//!   into a sharded visited set in frontier order, so state counts,
+//!   transition counts, and the reported counterexample are
+//!   bit-identical at every thread count.
+//!
+//! **Level-barrier argument.** Workers expand one BFS level at a time
+//! with two barriers: (1) every frontier state is invariant-checked and
+//! expanded before any discovered successor is inserted, and (2) the
+//! merge scans the per-chunk candidate buffers in frontier order, so the
+//! discovery order of level *k+1* is a pure function of level *k*
+//! regardless of how chunks were scheduled onto threads. A violation at
+//! level *k* is reported from the lowest frontier index (invariant
+//! breaches ranked before deadlocks at the same index) — the same state
+//! the serial checker would have stopped at — and BFS level order makes
+//! its trace shortest.
+//!
+//! Besides the safety invariants, both cores flag **deadlock**: a
 //! reachable state with no enabled transitions. The protocol model offers
 //! every core a read and a write to every invalid line, so a genuine
 //! deadlock means the transition relation itself collapsed — a modelling
 //! bug worth a counterexample trace, not a silent exploration end.
 
-use std::collections::HashMap;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use secdir_coherence::Moesi;
 
+use crate::canon::{CanonTable, PermPair, IDENTITY};
 use crate::model::{DirKind, Label, Model, ModelConfig, ModelState};
+use crate::pack::{pack, unpack, PackedLabel};
 
 /// A labeled counterexample: the access sequence from the empty machine to
-/// a state violating `invariant`.
+/// a state violating `invariant`, in **original** (uncanonicalized)
+/// coordinates.
 #[derive(Clone, Debug)]
 pub struct Counterexample {
     /// Which invariant failed, with the offending line/cores interpolated.
     pub invariant: String,
     /// Transition labels from the initial state to the violating state.
+    pub labels: Vec<Label>,
+    /// Human-readable rendering of `labels` (one line per step).
     pub trace: Vec<String>,
     /// The violating state itself (for debugging / display).
     pub state: ModelState,
@@ -31,94 +65,534 @@ pub struct Counterexample {
 pub struct CheckReport {
     /// Directory kind explored.
     pub kind: DirKind,
-    /// Distinct reachable states visited.
+    /// Distinct states visited (orbit representatives when `canonical`).
     pub states: usize,
     /// Transitions generated (including duplicates into seen states).
     pub transitions: usize,
+    /// Whether states were symmetry-canonicalized before hashing.
+    pub canonical: bool,
+    /// Worker threads used by the exploration.
+    pub threads: usize,
+    /// BFS levels completed (0 for the serial core, which does not track
+    /// level boundaries).
+    pub levels: usize,
+    /// Estimated peak bytes held by the visited set + parent pointers
+    /// (16-byte packed key, 8-byte parent record, ~16 bytes per hash-set
+    /// entry).
+    pub peak_bytes: usize,
     /// First violation found, if any; `None` means every reachable state
     /// satisfies every invariant.
     pub violation: Option<Counterexample>,
 }
 
-/// Explores the full reachable state space of `cfg` and checks every
-/// state. Exploration is breadth-first, so a returned counterexample is a
-/// shortest trace to a violation (invariant breach or deadlock).
+/// Options for [`check_opt`].
+#[derive(Clone, Copy, Debug)]
+pub struct CheckOptions {
+    /// Canonicalize states over core/line permutations before hashing
+    /// (explores one representative per symmetry orbit).
+    pub canonicalize: bool,
+    /// Worker threads for frontier expansion (min 1). Results are
+    /// identical at every thread count.
+    pub threads: usize,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            canonicalize: true,
+            threads: 1,
+        }
+    }
+}
+
+/// Parent pointer of a discovered state: the frontier state it was
+/// expanded from, the transition label (in the parent's coordinate
+/// frame), and the relabeling `g` mapping the raw successor to the stored
+/// canonical form (identity when uncanonicalized).
+#[derive(Clone, Copy, Debug)]
+struct ParentRec {
+    parent: u32,
+    label: PackedLabel,
+    perm: u16,
+}
+
+/// Sentinel parent of the initial state.
+const ROOT: u32 = u32::MAX;
+
+impl ParentRec {
+    fn root() -> Self {
+        ParentRec {
+            parent: ROOT,
+            label: PackedLabel(0),
+            perm: IDENTITY.index(),
+        }
+    }
+}
+
+/// Explores the full reachable state space of `cfg` with the serial,
+/// uncanonicalized BFS and checks every state. Exploration is
+/// breadth-first, so a returned counterexample is a shortest trace to a
+/// violation (invariant breach or deadlock).
 ///
 /// # Panics
 ///
 /// Panics if `cfg` is out of the model's bounds (see [`Model::new`]).
 pub fn check(cfg: ModelConfig) -> CheckReport {
     let model = Model::new(cfg);
-    check_with(cfg, |s| model.successors(s))
+    check_with(cfg, |s, out| model.successors_into(s, out))
 }
 
-/// The BFS core, parameterized over the successor relation so the
+/// The serial BFS core, parameterized over the successor relation so the
 /// deadlock path can be exercised with a stubbed transition function
 /// (the real model never produces an empty successor set — see the
 /// module docs).
 fn check_with(
     cfg: ModelConfig,
-    mut successors: impl FnMut(&ModelState) -> Vec<(Label, ModelState)>,
+    mut successors: impl FnMut(&ModelState, &mut Vec<(Label, ModelState)>),
 ) -> CheckReport {
-    let initial = ModelState::initial();
-
-    let mut states: Vec<ModelState> = vec![initial.clone()];
-    // Parent pointer + label that produced each state (None for initial).
-    let mut parent: Vec<Option<(usize, Label)>> = vec![None];
-    let mut index: HashMap<ModelState, usize> = HashMap::new();
-    index.insert(initial, 0);
+    let init_key = pack(&ModelState::initial());
+    let mut states: Vec<u128> = vec![init_key];
+    let mut parents: Vec<ParentRec> = vec![ParentRec::root()];
+    let mut seen: HashSet<u128> = HashSet::new();
+    seen.insert(init_key);
 
     let mut transitions = 0usize;
+    let mut buf: Vec<(Label, ModelState)> = Vec::new();
     let mut frontier = 0usize;
     while frontier < states.len() {
         let id = frontier;
         frontier += 1;
 
-        if let Some(invariant) = violated_invariant(&states[id], &cfg) {
-            let trace = rebuild_trace(&states, &parent, id);
-            return CheckReport {
-                kind: cfg.kind,
-                states: states.len(),
+        let current = unpack(states[id]);
+        if let Some(invariant) = violated_invariant(&current, &cfg) {
+            return finish(
+                cfg,
+                &states,
+                &parents,
                 transitions,
-                violation: Some(Counterexample {
-                    invariant,
-                    trace,
-                    state: states[id].clone(),
-                }),
-            };
+                false,
+                1,
+                0,
+                Some((id, invariant)),
+            );
         }
 
-        let current = states[id].clone();
-        let succs = successors(&current);
-        if succs.is_empty() {
-            let trace = rebuild_trace(&states, &parent, id);
-            return CheckReport {
-                kind: cfg.kind,
-                states: states.len(),
+        successors(&current, &mut buf);
+        if buf.is_empty() {
+            return finish(
+                cfg,
+                &states,
+                &parents,
                 transitions,
-                violation: Some(Counterexample {
-                    invariant: "deadlock: no enabled transitions from this reachable state"
-                        .to_string(),
-                    trace,
-                    state: current,
-                }),
-            };
+                false,
+                1,
+                0,
+                Some((id, deadlock_message())),
+            );
         }
-        for (label, next) in succs {
+        for (label, next) in &buf {
             transitions += 1;
-            if let std::collections::hash_map::Entry::Vacant(slot) = index.entry(next) {
-                states.push(slot.key().clone());
-                parent.push(Some((id, label)));
-                slot.insert(states.len() - 1);
+            let key = pack(next);
+            if seen.insert(key) {
+                states.push(key);
+                parents.push(ParentRec {
+                    parent: id as u32,
+                    label: PackedLabel::encode(*label),
+                    perm: IDENTITY.index(),
+                });
             }
         }
     }
+    finish(cfg, &states, &parents, transitions, false, 1, 0, None)
+}
 
+/// Shard count of the visited set — fixed (not thread-derived) so shard
+/// assignment, and therefore exploration bookkeeping, is identical at
+/// every thread count.
+const SHARDS: usize = 64;
+
+/// Frontier states per expansion chunk. Chunks — not threads — are the
+/// unit of scheduling: per-chunk buffers are merged in chunk order, which
+/// makes discovery order independent of which worker ran which chunk.
+const CHUNK: usize = 256;
+
+#[inline]
+fn shard_of(key: u128) -> usize {
+    let mixed = (key as u64) ^ ((key >> 64) as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    (mixed.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 58) as usize
+}
+
+/// A successor candidate produced by an expansion chunk.
+#[derive(Clone, Copy)]
+struct Cand {
+    key: u128,
+    parent: u32,
+    label: PackedLabel,
+    perm: u16,
+}
+
+/// Everything one expansion chunk produced.
+struct ChunkOut {
+    transitions: usize,
+    cands: Vec<Cand>,
+    /// `(frontier index, kind, description)`; kind 0 = invariant breach,
+    /// 1 = deadlock (ranked after a breach at the same index).
+    violations: Vec<(u32, u8, String)>,
+}
+
+fn deadlock_message() -> String {
+    "deadlock: no enabled transitions from this reachable state".to_string()
+}
+
+/// Explores `cfg` with the level-synchronized frontier BFS: symmetry
+/// canonicalization per `opts.canonicalize`, fanned out over
+/// `opts.threads` workers. State counts, transition counts, and any
+/// reported counterexample are bit-identical at every thread count; the
+/// counterexample is a shortest trace, reported in original coordinates.
+///
+/// On a violation at BFS level *k*, `states` counts every state
+/// discovered through level *k* and `transitions` every successor
+/// generated through level *k−1* (the violating level's expansion is
+/// discarded) — a deterministic cut, unlike the serial core's
+/// stop-mid-level counts.
+///
+/// # Panics
+///
+/// Panics if `cfg` is out of the model's bounds (see [`Model::new`]).
+pub fn check_opt(cfg: ModelConfig, opts: &CheckOptions) -> CheckReport {
+    check_opt_with_states(cfg, opts).0
+}
+
+/// [`check_opt`], additionally returning the packed visited states in
+/// discovery order (canonical forms when `opts.canonicalize`). The bench
+/// harness feeds these to [`CanonTable::orbit_size`] to reconstruct the
+/// exact raw reachable count at geometries whose raw exploration is out
+/// of budget.
+///
+/// # Panics
+///
+/// Panics if `cfg` is out of the model's bounds (see [`Model::new`]).
+pub fn check_opt_with_states(cfg: ModelConfig, opts: &CheckOptions) -> (CheckReport, Vec<u128>) {
+    let model = Model::new(cfg);
+    let threads = opts.threads.max(1);
+    let table = opts
+        .canonicalize
+        .then(|| CanonTable::new(cfg.cores, cfg.lines, cfg.kind == DirKind::WayPartitioned));
+
+    let init_key = match &table {
+        Some(t) => t.canonicalize(&ModelState::initial()).0,
+        None => pack(&ModelState::initial()),
+    };
+    let mut states: Vec<u128> = vec![init_key];
+    let mut parents: Vec<ParentRec> = vec![ParentRec::root()];
+    let mut shards: Vec<HashSet<u128>> = (0..SHARDS).map(|_| HashSet::new()).collect();
+    shards[shard_of(init_key)].insert(init_key);
+
+    let mut transitions = 0usize;
+    let mut levels = 0usize;
+    let mut peak_bytes = estimate_bytes(states.len());
+    let mut lo = 0usize;
+    loop {
+        let hi = states.len();
+        if lo >= hi {
+            break;
+        }
+        levels += 1;
+
+        // --- Expand the level [lo, hi), chunked. ---
+        let n_chunks = (hi - lo).div_ceil(CHUNK);
+        let outs = expand_level(
+            &model,
+            &cfg,
+            table.as_ref(),
+            &states,
+            &shards,
+            lo,
+            hi,
+            threads,
+        );
+
+        // --- Violations? Lowest frontier index wins; a breach outranks a
+        // deadlock at the same index. Deterministic at any thread count
+        // because every chunk is fully checked before deciding. ---
+        let best = outs
+            .iter()
+            .flat_map(|o| o.violations.iter())
+            .min_by_key(|(idx, vkind, _)| (*idx, *vkind));
+        if let Some((idx, _, desc)) = best {
+            let report = finish(
+                cfg,
+                &states,
+                &parents,
+                transitions,
+                table.is_some(),
+                threads,
+                levels,
+                Some((*idx as usize, desc.clone())),
+            );
+            return (report, states);
+        }
+        transitions += outs.iter().map(|o| o.transitions).sum::<usize>();
+        debug_assert_eq!(outs.len(), n_chunks);
+
+        // --- Merge candidate buffers into the sharded visited set, in
+        // frontier order, fanned out by shard range. ---
+        let accepted = merge_level(&outs, &mut shards, threads);
+        for (_, c) in accepted {
+            states.push(c.key);
+            parents.push(ParentRec {
+                parent: c.parent,
+                label: c.label,
+                perm: c.perm,
+            });
+        }
+        peak_bytes = peak_bytes.max(estimate_bytes(states.len()));
+        lo = hi;
+    }
+    let mut report = finish(
+        cfg,
+        &states,
+        &parents,
+        transitions,
+        table.is_some(),
+        threads,
+        levels,
+        None,
+    );
+    report.peak_bytes = peak_bytes;
+    (report, states)
+}
+
+/// Expands frontier `[lo, hi)` of `states` into per-chunk buffers, in
+/// chunk order. Claims chunks through an atomic counter when `threads >
+/// 1`; the visited shards are only *read* here (membership pre-filter),
+/// never written, so workers share them without locks.
+#[allow(clippy::too_many_arguments)]
+fn expand_level(
+    model: &Model,
+    cfg: &ModelConfig,
+    table: Option<&CanonTable>,
+    states: &[u128],
+    shards: &[HashSet<u128>],
+    lo: usize,
+    hi: usize,
+    threads: usize,
+) -> Vec<ChunkOut> {
+    let n_chunks = (hi - lo).div_ceil(CHUNK);
+    let expand_chunk = |chunk: usize| -> ChunkOut {
+        let start = lo + chunk * CHUNK;
+        let end = (start + CHUNK).min(hi);
+        let mut out = ChunkOut {
+            transitions: 0,
+            cands: Vec::new(),
+            violations: Vec::new(),
+        };
+        let mut buf: Vec<(Label, ModelState)> = Vec::new();
+        for (id, &packed) in states.iter().enumerate().take(end).skip(start) {
+            let current = unpack(packed);
+            if let Some(desc) = violated_invariant(&current, cfg) {
+                out.violations.push((id as u32, 0, desc));
+                continue;
+            }
+            model.successors_into(&current, &mut buf);
+            out.transitions += buf.len();
+            if buf.is_empty() {
+                out.violations.push((id as u32, 1, deadlock_message()));
+                continue;
+            }
+            for (label, next) in &buf {
+                let (key, perm) = match table {
+                    Some(t) => t.canonicalize(next),
+                    None => (pack(next), IDENTITY),
+                };
+                if shards[shard_of(key)].contains(&key) {
+                    continue;
+                }
+                out.cands.push(Cand {
+                    key,
+                    parent: id as u32,
+                    label: PackedLabel::encode(*label),
+                    perm: perm.index(),
+                });
+            }
+        }
+        out
+    };
+
+    if threads == 1 {
+        return (0..n_chunks).map(expand_chunk).collect();
+    }
+    let slots: Vec<Mutex<Option<ChunkOut>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n_chunks) {
+            s.spawn(|| loop {
+                let chunk = next.fetch_add(1, Ordering::Relaxed);
+                if chunk >= n_chunks {
+                    break;
+                }
+                let out = expand_chunk(chunk);
+                match slots[chunk].lock() {
+                    Ok(mut slot) => *slot = Some(out),
+                    Err(poisoned) => *poisoned.into_inner() = Some(out),
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .filter_map(|slot| match slot.into_inner() {
+            Ok(out) => out,
+            Err(poisoned) => poisoned.into_inner(),
+        })
+        .collect()
+}
+
+/// Merges per-chunk candidate buffers into the sharded visited set and
+/// returns the accepted (first-occurrence) candidates sorted by their
+/// global position in chunk order — the deterministic discovery order of
+/// the next level. Workers own disjoint shard ranges, so insertion needs
+/// no locks; every worker scans all buffers in the same order.
+fn merge_level(
+    outs: &[ChunkOut],
+    shards: &mut [HashSet<u128>],
+    threads: usize,
+) -> Vec<(usize, Cand)> {
+    let per_worker = shards.len().div_ceil(threads);
+    let mut accepted: Vec<(usize, Cand)> = if threads == 1 {
+        merge_shard_range(outs, shards, 0)
+    } else {
+        let slots: Vec<Mutex<Vec<(usize, Cand)>>> = (0..threads.min(shards.len()))
+            .map(|_| Mutex::new(Vec::new()))
+            .collect();
+        std::thread::scope(|s| {
+            for (w, range) in shards.chunks_mut(per_worker).enumerate() {
+                let slot = &slots[w];
+                s.spawn(move || {
+                    let got = merge_shard_range(outs, range, w * per_worker);
+                    match slot.lock() {
+                        Ok(mut v) => *v = got,
+                        Err(poisoned) => *poisoned.into_inner() = got,
+                    }
+                });
+            }
+        });
+        let mut all = Vec::new();
+        for slot in slots {
+            match slot.into_inner() {
+                Ok(mut v) => all.append(&mut v),
+                Err(poisoned) => all.append(&mut poisoned.into_inner()),
+            }
+        }
+        all
+    };
+    accepted.sort_unstable_by_key(|(seq, _)| *seq);
+    accepted
+}
+
+/// The single-shard-range merge: scans every chunk buffer in order,
+/// keeps candidates whose shard falls in `[base, base + range.len())`,
+/// inserts them, and records first occurrences with their global
+/// sequence number.
+fn merge_shard_range(
+    outs: &[ChunkOut],
+    range: &mut [HashSet<u128>],
+    base: usize,
+) -> Vec<(usize, Cand)> {
+    let mut accepted = Vec::new();
+    let mut seq = 0usize;
+    for out in outs {
+        for c in &out.cands {
+            let sh = shard_of(c.key);
+            if sh >= base && sh < base + range.len() && range[sh - base].insert(c.key) {
+                accepted.push((seq, *c));
+            }
+            seq += 1;
+        }
+    }
+    accepted
+}
+
+fn estimate_bytes(n: usize) -> usize {
+    n * (16 + std::mem::size_of::<ParentRec>() + 16)
+}
+
+/// Assembles the final report, rebuilding the counterexample trace in
+/// original coordinates when a violation was found.
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    cfg: ModelConfig,
+    states: &[u128],
+    parents: &[ParentRec],
+    transitions: usize,
+    canonical: bool,
+    threads: usize,
+    levels: usize,
+    violation: Option<(usize, String)>,
+) -> CheckReport {
+    let violation = violation.map(|(id, desc)| rebuild(&cfg, states, parents, id, desc));
     CheckReport {
         kind: cfg.kind,
         states: states.len(),
         transitions,
-        violation: None,
+        canonical,
+        threads,
+        levels,
+        peak_bytes: estimate_bytes(states.len()),
+        violation,
+    }
+}
+
+/// Rebuilds the counterexample reaching `states[id]` in original
+/// coordinates.
+///
+/// Stored states are canonical, and each [`ParentRec`] records the label
+/// `ℓ` used from the parent's canonical frame plus the relabeling `g`
+/// with `child = g(raw successor)`. Walking the chain root→violation
+/// while accumulating `q ← g ∘ q` (starting from the identity — the
+/// initial state is its own canonical form) yields the concrete run
+/// `s_i = q_i⁻¹(c_i)` whose labels are `q_{i-1}⁻¹(ℓ_i)`: each step is a
+/// genuine model transition because relabelings carry transitions of
+/// clean states to transitions (see `canon` module docs).
+fn rebuild(
+    cfg: &ModelConfig,
+    states: &[u128],
+    parents: &[ParentRec],
+    id: usize,
+    desc: String,
+) -> Counterexample {
+    let mut chain: Vec<(PackedLabel, u16)> = Vec::new();
+    let mut cur = id;
+    while parents[cur].parent != ROOT {
+        chain.push((parents[cur].label, parents[cur].perm));
+        cur = parents[cur].parent as usize;
+    }
+    debug_assert_eq!(states[cur], states[0], "trace must root at init");
+    chain.reverse();
+
+    let permute_parts = cfg.kind == DirKind::WayPartitioned;
+    let mut q = IDENTITY;
+    let mut labels = Vec::with_capacity(chain.len());
+    for (plabel, perm_idx) in chain {
+        labels.push(q.inverse().apply_label(plabel.decode()));
+        q = PermPair::from_index(perm_idx).compose(&q);
+    }
+    let state = q.inverse().apply_state(&unpack(states[id]), permute_parts);
+    // Re-render the invariant on the original-coordinate state (the
+    // canonical-frame description names permuted cores/lines). Invariants
+    // are permutation-invariant, so a violation is found either way;
+    // deadlock descriptions carry no coordinates and pass through.
+    let invariant = if desc.starts_with("deadlock") {
+        desc
+    } else {
+        violated_invariant(&state, cfg).unwrap_or(desc)
+    };
+    let trace = labels.iter().map(|l| l.describe()).collect();
+    Counterexample {
+        invariant,
+        labels,
+        trace,
+        state,
     }
 }
 
@@ -128,24 +602,6 @@ pub fn check_all_quick() -> Vec<CheckReport> {
         .iter()
         .map(|&kind| check(ModelConfig::quick(kind)))
         .collect()
-}
-
-fn rebuild_trace(
-    states: &[ModelState],
-    parent: &[Option<(usize, Label)>],
-    mut id: usize,
-) -> Vec<String> {
-    let mut rev = Vec::new();
-    while let Some((pid, label)) = parent[id] {
-        rev.push(label.describe());
-        id = pid;
-    }
-    debug_assert!(
-        states[id] == ModelState::initial(),
-        "trace must root at init"
-    );
-    rev.reverse();
-    rev
 }
 
 /// Returns a description of the first violated invariant of `s`, or `None`
@@ -306,7 +762,7 @@ mod tests {
     #[test]
     fn deadlock_at_the_initial_state_is_reported() {
         let cfg = ModelConfig::quick(DirKind::SecDir);
-        let report = check_with(cfg, |_| Vec::new());
+        let report = check_with(cfg, |_, out| out.clear());
         let v = report.violation.expect("empty relation must deadlock");
         assert!(v.invariant.starts_with("deadlock:"), "{}", v.invariant);
         assert!(v.trace.is_empty(), "initial-state deadlock has no trace");
@@ -323,16 +779,33 @@ mod tests {
             .next()
             .expect("the real model always has enabled transitions");
         let stuck = next.clone();
-        let report = check_with(cfg, move |s| {
+        let report = check_with(cfg, move |s, out| {
+            out.clear();
             if *s == ModelState::initial() {
-                vec![(label, next.clone())]
-            } else {
-                Vec::new()
+                out.push((label, next.clone()));
             }
         });
         let v = report.violation.expect("stuck successor must deadlock");
         assert!(v.invariant.starts_with("deadlock:"), "{}", v.invariant);
         assert_eq!(v.trace, vec![label.describe()]);
         assert_eq!(v.state, stuck);
+    }
+
+    #[test]
+    fn serial_and_level_bfs_agree_on_clean_models() {
+        for kind in DirKind::ALL {
+            let cfg = ModelConfig::quick(kind);
+            let serial = check(cfg);
+            let raw_level = check_opt(
+                cfg,
+                &CheckOptions {
+                    canonicalize: false,
+                    threads: 1,
+                },
+            );
+            assert_eq!(serial.states, raw_level.states, "{}", kind.name());
+            assert_eq!(serial.transitions, raw_level.transitions, "{}", kind.name());
+            assert!(raw_level.violation.is_none());
+        }
     }
 }

@@ -24,10 +24,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod checker;
 pub mod lint;
 pub mod model;
+pub mod pack;
+pub mod perf;
 
-pub use checker::{check, check_all_quick, CheckReport, Counterexample};
+pub use canon::{CanonTable, PermPair};
+pub use checker::{check, check_all_quick, check_opt, CheckOptions, CheckReport, Counterexample};
 pub use lint::{lint_workspace, Diagnostic};
 pub use model::{DirKind, Fault, Model, ModelConfig, ModelState};
+pub use perf::{run_checker_bench, CheckerBenchRecord};

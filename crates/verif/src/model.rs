@@ -116,6 +116,19 @@ impl ModelConfig {
             fault: Fault::None,
         }
     }
+
+    /// The full 4-core × 4-line configuration (`secdir-sim verif --full`):
+    /// the model's maximum geometry, reachable in CI time only through the
+    /// packed/canonicalized checker ([`check_opt`](crate::check_opt)).
+    /// Directory capacities stay at one entry so conflict, migration, and
+    /// eviction transitions all stay forced.
+    pub fn full(kind: DirKind) -> Self {
+        ModelConfig {
+            cores: 4,
+            lines: 4,
+            ..ModelConfig::quick(kind)
+        }
+    }
 }
 
 /// One abstract machine state: private-cache MOESI per (core, line) plus
@@ -228,19 +241,41 @@ impl Model {
     }
 
     /// All `(label, successor)` pairs of `s`. Each label may appear several
-    /// times — once per nondeterministic victim choice.
+    /// times — once per nondeterministic victim choice. Allocating
+    /// convenience wrapper over [`Model::successors_into`].
     pub fn successors(&self, s: &ModelState) -> Vec<(Label, ModelState)> {
         let mut out = Vec::new();
+        self.successors_into(s, &mut out);
+        out
+    }
+
+    /// Writes all `(label, successor)` pairs of `s` into `out` (cleared
+    /// first). The checker reuses one buffer across its whole exploration,
+    /// so steady-state expansion allocates only for the successor states
+    /// themselves, not for per-call result vectors.
+    pub fn successors_into(&self, s: &ModelState, out: &mut Vec<(Label, ModelState)>) {
+        out.clear();
+        let mut evicted = Vec::new();
         for core in 0..self.cfg.cores {
             for line in 0..self.cfg.lines {
                 let st = s.caches[core][line];
                 if !st.is_valid() {
-                    for ns in self.access(s, core, line, AccessKind::Read) {
-                        out.push((Label::Read { core, line }, ns));
-                    }
-                    for ns in self.access(s, core, line, AccessKind::Write) {
-                        out.push((Label::Write { core, line }, ns));
-                    }
+                    self.access(
+                        s,
+                        core,
+                        line,
+                        AccessKind::Read,
+                        Label::Read { core, line },
+                        out,
+                    );
+                    self.access(
+                        s,
+                        core,
+                        line,
+                        AccessKind::Write,
+                        Label::Write { core, line },
+                        out,
+                    );
                     continue;
                 }
                 match st {
@@ -250,34 +285,35 @@ impl Model {
                         out.push((Label::SilentUpgrade { core, line }, ns));
                     }
                     Moesi::Shared | Moesi::Owned => {
-                        for ns in self.upgrade(s, core, line) {
-                            out.push((Label::Write { core, line }, ns));
-                        }
+                        self.upgrade(s, core, line, out);
                     }
                     _ => {}
                 }
                 // Voluntary capacity eviction.
                 let mut ns = s.clone();
                 ns.caches[core][line] = Moesi::Invalid;
-                for ens in self.dir_l2_evict(&ns, core, line, st.is_dirty()) {
-                    out.push((Label::Evict { core, line }, ens));
-                }
+                evicted.clear();
+                self.dir_l2_evict(&ns, core, line, st.is_dirty(), &mut evicted);
+                let label = Label::Evict { core, line };
+                out.extend(evicted.drain(..).map(|es| (label, es)));
             }
         }
-        out
     }
 
     /// A private-cache miss: directory request, invalidation delivery,
     /// fill, and (branching) L2 capacity-victim handling — the model's
-    /// mirror of `Machine::access`'s miss path.
+    /// mirror of `Machine::access`'s miss path. Final states are pushed
+    /// into `out` under `label`.
     fn access(
         &self,
         s: &ModelState,
         core: usize,
         line: usize,
         kind: AccessKind,
-    ) -> Vec<ModelState> {
-        let mut out = Vec::new();
+        label: Label,
+        out: &mut Vec<(Label, ModelState)>,
+    ) {
+        let mut evicted = Vec::new();
         for (mut ns, source) in self.dir_request(s, core, line, kind) {
             if kind == AccessKind::Read {
                 if let DataSource::L2Cache(owner) = source {
@@ -288,37 +324,43 @@ impl Model {
                 }
             }
             let fill = step::fill_state(kind, source);
-            let resident: Vec<usize> = (0..self.cfg.lines)
-                .filter(|&x| x != line && ns.caches[core][x].is_valid())
-                .collect();
-            if resident.len() >= self.cfg.l2_capacity {
-                for &victim in &resident {
+            let resident = |st: &ModelState, x: usize| x != line && st.caches[core][x].is_valid();
+            let resident_count = (0..self.cfg.lines).filter(|&x| resident(&ns, x)).count();
+            if resident_count >= self.cfg.l2_capacity {
+                for victim in 0..self.cfg.lines {
+                    if !resident(&ns, victim) {
+                        continue;
+                    }
                     let vstate = ns.caches[core][victim];
                     let mut es = ns.clone();
                     es.caches[core][victim] = Moesi::Invalid;
                     es.caches[core][line] = fill;
-                    out.extend(self.dir_l2_evict(&es, core, victim, vstate.is_dirty()));
+                    evicted.clear();
+                    self.dir_l2_evict(&es, core, victim, vstate.is_dirty(), &mut evicted);
+                    out.extend(evicted.drain(..).map(|e| (label, e)));
                 }
             } else {
                 ns.caches[core][line] = fill;
-                out.push(ns);
+                out.push((label, ns));
             }
         }
-        out
     }
 
     /// A store upgrade of a resident Shared/Owned line — the model's
     /// mirror of `Machine::upgrade`.
-    fn upgrade(&self, s: &ModelState, core: usize, line: usize) -> Vec<ModelState> {
-        self.dir_request(s, core, line, AccessKind::Write)
-            .into_iter()
-            .map(|(mut ns, _source)| {
-                if ns.caches[core][line].is_valid() {
-                    ns.caches[core][line] = Moesi::Modified;
-                }
-                ns
-            })
-            .collect()
+    fn upgrade(
+        &self,
+        s: &ModelState,
+        core: usize,
+        line: usize,
+        out: &mut Vec<(Label, ModelState)>,
+    ) {
+        for (mut ns, _source) in self.dir_request(s, core, line, AccessKind::Write) {
+            if ns.caches[core][line].is_valid() {
+                ns.caches[core][line] = Moesi::Modified;
+            }
+            out.push((Label::Write { core, line }, ns));
+        }
     }
 
     fn invalidate(&self, s: &mut ModelState, line: usize, cores: SharerSet) {
@@ -385,10 +427,17 @@ impl Model {
                         // Ownership moves to the writer's partition.
                         let moved = r.entry;
                         ns.ed[line] = None;
-                        self.alloc_ed_entry(&ns, line, moved, core, appendix_a, has_vd)
-                            .into_iter()
-                            .map(|es| (es, r.source))
-                            .collect()
+                        let mut states = Vec::new();
+                        self.alloc_ed_entry(
+                            &ns,
+                            line,
+                            moved,
+                            core,
+                            appendix_a,
+                            has_vd,
+                            &mut states,
+                        );
+                        states.into_iter().map(|es| (es, r.source)).collect()
                     } else {
                         vec![(ns, r.source)]
                     }
@@ -413,10 +462,9 @@ impl Model {
                     let fresh = EdEntry {
                         sharers: SharerSet::single(requester),
                     };
-                    self.alloc_ed_entry(&ns, line, fresh, core, appendix_a, has_vd)
-                        .into_iter()
-                        .map(|es| (es, r.source))
-                        .collect()
+                    let mut states = Vec::new();
+                    self.alloc_ed_entry(&ns, line, fresh, core, appendix_a, has_vd, &mut states);
+                    states.into_iter().map(|es| (es, r.source)).collect()
                 }
             };
         }
@@ -429,7 +477,9 @@ impl Model {
         let fresh = EdEntry {
             sharers: SharerSet::single(requester),
         };
-        self.alloc_ed_entry(s, line, fresh, core, appendix_a, has_vd)
+        let mut states = Vec::new();
+        self.alloc_ed_entry(s, line, fresh, core, appendix_a, has_vd, &mut states);
+        states
             .into_iter()
             .map(|es| (es, DataSource::Memory))
             .collect()
@@ -451,8 +501,10 @@ impl Model {
             AccessKind::Read => {
                 let owner = matched.without(requester).any()?;
                 // The reader joins the line's VD residency in its own bank.
+                let mut states = Vec::new();
+                self.vd_insert(s, line, core, &mut states);
                 Some(
-                    self.vd_insert(s, line, core)
+                    states
                         .into_iter()
                         .map(|ns| (ns, DataSource::L2Cache(owner)))
                         .collect(),
@@ -479,12 +531,9 @@ impl Model {
                 if had_copy {
                     Some(vec![(ns, source)])
                 } else {
-                    Some(
-                        self.vd_insert(&ns, line, core)
-                            .into_iter()
-                            .map(|es| (es, source))
-                            .collect(),
-                    )
+                    let mut states = Vec::new();
+                    self.vd_insert(&ns, line, core, &mut states);
+                    Some(states.into_iter().map(|es| (es, source)).collect())
                 }
             }
         }
@@ -507,10 +556,9 @@ impl Model {
                     Some(owner) => DataSource::L2Cache(owner),
                     None => DataSource::Memory,
                 };
-                self.vd_insert(s, line, core)
-                    .into_iter()
-                    .map(|ns| (ns, source))
-                    .collect()
+                let mut states = Vec::new();
+                self.vd_insert(s, line, core, &mut states);
+                states.into_iter().map(|ns| (ns, source)).collect()
             }
             AccessKind::Write => {
                 let had_copy = matched.contains(requester);
@@ -531,10 +579,9 @@ impl Model {
                 if had_copy {
                     vec![(ns, source)]
                 } else {
-                    self.vd_insert(&ns, line, core)
-                        .into_iter()
-                        .map(|es| (es, source))
-                        .collect()
+                    let mut states = Vec::new();
+                    self.vd_insert(&ns, line, core, &mut states);
+                    states.into_iter().map(|es| (es, source)).collect()
                 }
             }
         }
@@ -543,7 +590,8 @@ impl Model {
     /// Allocates `entry` for `line` in the ED (of `core`'s partition when
     /// way-partitioned), branching over every possible ED victim when the
     /// structure is full; victims migrate into the TD per
-    /// [`step::ed_victim_to_td`].
+    /// [`step::ed_victim_to_td`]. Results are appended to `out`.
+    #[allow(clippy::too_many_arguments)]
     fn alloc_ed_entry(
         &self,
         s: &ModelState,
@@ -552,20 +600,20 @@ impl Model {
         core: usize,
         appendix_a: AppendixA,
         has_vd: bool,
-    ) -> Vec<ModelState> {
+        out: &mut Vec<ModelState>,
+    ) {
         debug_assert!(s.ed[line].is_none(), "ED allocation over a live entry");
         let part = if self.partitioned() { core as u8 } else { 0 };
-        let occupants: Vec<usize> = (0..self.cfg.lines)
-            .filter(|&x| matches!(s.ed[x], Some((p, _)) if p == part))
-            .collect();
-        if occupants.len() < self.cfg.ed_capacity {
+        let occupied = |x: usize| matches!(s.ed[x], Some((p, _)) if p == part);
+        let occupants = (0..self.cfg.lines).filter(|&x| occupied(x)).count();
+        if occupants < self.cfg.ed_capacity {
             let mut ns = s.clone();
             ns.ed[line] = Some((part, entry));
-            return vec![ns];
+            out.push(ns);
+            return;
         }
-        let mut out = Vec::new();
-        for &vline in &occupants {
-            let Some((vpart, victim)) = s.ed[vline] else {
+        for vline in 0..self.cfg.lines {
+            let Some((vpart, victim)) = s.ed[vline].filter(|_| occupied(vline)) else {
                 continue;
             };
             let mut ns = s.clone();
@@ -575,14 +623,13 @@ impl Model {
             if !m.quirk_invalidate.is_empty() && self.cfg.fault != Fault::SkipQuirkInvalidation {
                 self.invalidate(&mut ns, vline, m.quirk_invalidate);
             }
-            out.extend(self.insert_td_entry(&ns, vline, m.entry, vpart, has_vd));
+            self.insert_td_entry(&ns, vline, m.entry, vpart, has_vd, out);
         }
-        out
     }
 
     /// Inserts a TD entry for `line`, branching over every TD victim when
     /// full; victims resolve per [`step::td_conflict`] (discard ② or, for
-    /// SecDir, VD migration ③).
+    /// SecDir, VD migration ③). Results are appended to `out`.
     fn insert_td_entry(
         &self,
         s: &ModelState,
@@ -590,19 +637,19 @@ impl Model {
         entry: TdEntry,
         part: u8,
         has_vd: bool,
-    ) -> Vec<ModelState> {
+        out: &mut Vec<ModelState>,
+    ) {
         debug_assert!(s.td[line].is_none(), "TD insertion over a live entry");
-        let occupants: Vec<usize> = (0..self.cfg.lines)
-            .filter(|&x| matches!(s.td[x], Some((p, _)) if p == part))
-            .collect();
-        if occupants.len() < self.cfg.td_capacity {
+        let occupied = |x: usize| matches!(s.td[x], Some((p, _)) if p == part);
+        let occupants = (0..self.cfg.lines).filter(|&x| occupied(x)).count();
+        if occupants < self.cfg.td_capacity {
             let mut ns = s.clone();
             ns.td[line] = Some((part, entry));
-            return vec![ns];
+            out.push(ns);
+            return;
         }
-        let mut out = Vec::new();
-        for &vline in &occupants {
-            let Some((_, victim)) = s.td[vline] else {
+        for vline in 0..self.cfg.lines {
+            let Some((_, victim)) = s.td[vline].filter(|_| occupied(vline)) else {
                 continue;
             };
             let mut ns = s.clone();
@@ -617,80 +664,88 @@ impl Model {
                     // Every sharer's bank receives the entry; each insert
                     // may branch on a self-conflict victim.
                     let mut states = vec![ns];
+                    let mut next = Vec::new();
                     for sharer in sharers.iter() {
-                        states = states
-                            .iter()
-                            .flat_map(|st| self.vd_insert(st, vline, sharer.0))
-                            .collect();
+                        next.clear();
+                        for st in &states {
+                            self.vd_insert(st, vline, sharer.0, &mut next);
+                        }
+                        std::mem::swap(&mut states, &mut next);
                     }
-                    out.extend(states);
+                    out.append(&mut states);
                 }
             }
         }
-        out
     }
 
     /// Inserts `line` into `core`'s VD bank (idempotent), branching over
     /// every resident victim on a bank self-conflict (transition ⑤, which
     /// invalidates the bank owner's own copy of the displaced line).
-    fn vd_insert(&self, s: &ModelState, line: usize, core: usize) -> Vec<ModelState> {
+    /// Results are appended to `out`.
+    fn vd_insert(&self, s: &ModelState, line: usize, core: usize, out: &mut Vec<ModelState>) {
         let owner = CoreId(core);
         if s.vd[line].contains(owner) {
-            return vec![s.clone()];
+            out.push(s.clone());
+            return;
         }
-        let resident: Vec<usize> = (0..self.cfg.lines)
-            .filter(|&x| x != line && s.vd[x].contains(owner))
-            .collect();
-        if resident.len() < self.cfg.vd_capacity {
+        let resident = |x: usize| x != line && s.vd[x].contains(owner);
+        let resident_count = (0..self.cfg.lines).filter(|&x| resident(x)).count();
+        if resident_count < self.cfg.vd_capacity {
             let mut ns = s.clone();
             ns.vd[line].insert(owner);
-            return vec![ns];
+            out.push(ns);
+            return;
         }
-        let mut out = Vec::new();
-        for &vline in &resident {
+        for vline in 0..self.cfg.lines {
+            if !resident(vline) {
+                continue;
+            }
             let mut ns = s.clone();
             ns.vd[vline].remove(owner);
             ns.caches[core][vline] = Moesi::Invalid;
             ns.vd[line].insert(owner);
             out.push(ns);
         }
-        out
     }
 
     /// Dispatches an L2 eviction per kind, mirroring each slice's
-    /// `l2_evict`.
+    /// `l2_evict`. Results are appended to `out`.
     fn dir_l2_evict(
         &self,
         s: &ModelState,
         core: usize,
         line: usize,
         dirty: bool,
-    ) -> Vec<ModelState> {
+        out: &mut Vec<ModelState>,
+    ) {
         let evictor = CoreId(core);
         match self.cfg.kind {
             DirKind::VdOnly => {
                 let mut ns = s.clone();
                 ns.vd[line].remove(evictor);
-                vec![ns]
+                out.push(ns);
             }
             DirKind::Baseline(..) | DirKind::WayPartitioned | DirKind::SecDir => {
                 let has_vd = self.cfg.kind == DirKind::SecDir;
                 if let Some((part, entry)) = s.ed[line] {
                     let mut ns = s.clone();
                     ns.ed[line] = None;
-                    return self.insert_td_entry(
+                    self.insert_td_entry(
                         &ns,
                         line,
                         step::l2_evict_ed(entry, evictor, dirty),
                         part,
                         has_vd,
+                        out,
                     );
+                    return;
                 }
                 if let Some((part, entry)) = s.td[line] {
                     let mut ns = s.clone();
                     let (updated, _fills) = step::l2_evict_td(entry, evictor, dirty);
                     ns.td[line] = Some((part, updated));
-                    return vec![ns];
+                    out.push(ns);
+                    return;
                 }
                 if has_vd && !s.vd[line].is_empty() {
                     // Transition ④: consolidate the VD residency into a TD
@@ -700,17 +755,19 @@ impl Model {
                     if self.cfg.fault != Fault::LeakVdOnConsolidate {
                         ns.vd[line] = SharerSet::empty();
                     }
-                    return self.insert_td_entry(
+                    self.insert_td_entry(
                         &ns,
                         line,
                         step::l2_evict_ed(EdEntry { sharers: matched }, evictor, dirty),
                         0,
                         true,
+                        out,
                     );
+                    return;
                 }
                 // No directory entry: only reachable in faulty runs whose
                 // violation the checker reports before exploring deeper.
-                vec![s.clone()]
+                out.push(s.clone());
             }
         }
     }

@@ -1,0 +1,307 @@
+//! Bit-packed encoding of [`ModelState`] into a single `u128`.
+//!
+//! The visited set of the exhaustive checker holds one packed word per
+//! reachable state instead of a cloned 200-byte struct, and equality/
+//! hashing become single-word operations. The encoding is **line-major**:
+//! the state is 4 *line words* of 32 bits each, line 0 in the most
+//! significant word, so that permuting lines permutes whole 32-bit blocks
+//! of the packed value — the property the symmetry canonicalization in
+//! [`canon`](crate::canon) exploits (sorting the blocks *is* the optimal
+//! line permutation).
+//!
+//! One line word (32 bits, all-zero ⇔ the line is untouched):
+//!
+//! ```text
+//! bits  0..12  MOESI of the line in each core's L2, 3 bits per core
+//!              (Invalid=0, Shared=1, Exclusive=2, Owned=3, Modified=4)
+//! bits 12..16  VD residency mask, one bit per core
+//! bit  16      ED entry present
+//! bits 17..19  ED owning partition (0 unless way-partitioned)
+//! bits 19..23  ED sharer mask
+//! bit  23      TD entry present
+//! bits 24..26  TD owning partition
+//! bits 26..30  TD sharer mask
+//! bit  30      TD has_data
+//! bit  31      TD llc_dirty
+//! ```
+//!
+//! Every field of a bounded-model state fits: cores ≤ 4 so sharer masks
+//! and partitions are 4 bits / 2 bits, and `pack` debug-asserts the
+//! bounds. `unpack(pack(s)) == s` for every in-bounds state
+//! (`tests/canon_props.rs` proves it property-style).
+
+use secdir_coherence::{EdEntry, Moesi, SharerSet, TdEntry};
+use secdir_mem::CoreId;
+
+use crate::model::{Label, ModelState, MAX_CORES, MAX_LINES};
+
+/// Width of one line word, in bits.
+pub const LINE_BITS: u32 = 32;
+
+/// 3-bit code of a MOESI state (Invalid = 0 keeps untouched lines at 0).
+#[inline]
+fn moesi_code(m: Moesi) -> u32 {
+    match m {
+        Moesi::Invalid => 0,
+        Moesi::Shared => 1,
+        Moesi::Exclusive => 2,
+        Moesi::Owned => 3,
+        Moesi::Modified => 4,
+    }
+}
+
+/// Inverse of [`moesi_code`].
+#[inline]
+fn moesi_decode(code: u32) -> Moesi {
+    match code {
+        0 => Moesi::Invalid,
+        1 => Moesi::Shared,
+        2 => Moesi::Exclusive,
+        3 => Moesi::Owned,
+        _ => Moesi::Modified,
+    }
+}
+
+/// The low-[`MAX_CORES`] bits of a sharer set as a packed mask.
+#[inline]
+fn mask_of(set: SharerSet) -> u32 {
+    let bits = set.bits();
+    debug_assert!(
+        bits < (1 << MAX_CORES),
+        "sharer set {bits:#x} exceeds the model's core bound"
+    );
+    (bits & 0xf) as u32
+}
+
+/// Rebuilds a sharer set from a packed 4-bit mask.
+#[inline]
+fn mask_to_set(mask: u32) -> SharerSet {
+    let mut s = SharerSet::empty();
+    for c in 0..MAX_CORES {
+        if mask & (1 << c) != 0 {
+            s.insert(CoreId(c));
+        }
+    }
+    s
+}
+
+/// Packs the 32-bit word of `line` under the core relabeling `cp`
+/// (`cp[c]` is the new index of old core `c`; pass the identity for a
+/// plain pack) and the partition relabeling `pp`. The two differ because
+/// the partition field is *semantic* only under the way-partitioned
+/// organization (where partition `c` belongs to core `c` and relabels
+/// with the cores, `pp == cp`); every other kind stores a constant 0
+/// there, which the symmetry action must leave untouched (`pp` =
+/// identity) or canonical forms stop being constant on orbits. The word
+/// describes the line's content with cores renamed but the line
+/// *position* unchanged — callers place the word.
+#[inline]
+pub fn line_word(s: &ModelState, line: usize, cp: &[u8; MAX_CORES], pp: &[u8; MAX_CORES]) -> u32 {
+    let mut w = 0u32;
+    for (core, &renamed) in cp.iter().enumerate().take(MAX_CORES) {
+        w |= moesi_code(s.caches[core][line]) << (3 * renamed as u32);
+    }
+    w |= permute_mask(mask_of(s.vd[line]), cp) << 12;
+    if let Some((part, e)) = s.ed[line] {
+        debug_assert!((part as usize) < MAX_CORES, "ED partition out of range");
+        w |= 1 << 16;
+        w |= u32::from(pp[part as usize]) << 17;
+        w |= permute_mask(mask_of(e.sharers), cp) << 19;
+    }
+    if let Some((part, t)) = s.td[line] {
+        debug_assert!((part as usize) < MAX_CORES, "TD partition out of range");
+        w |= 1 << 23;
+        w |= u32::from(pp[part as usize]) << 24;
+        w |= permute_mask(mask_of(t.sharers), cp) << 26;
+        w |= u32::from(t.has_data) << 30;
+        w |= u32::from(t.llc_dirty) << 31;
+    }
+    w
+}
+
+/// Applies a core relabeling to a 4-bit presence mask.
+#[inline]
+pub fn permute_mask(mask: u32, cp: &[u8; MAX_CORES]) -> u32 {
+    let mut out = 0u32;
+    for (c, &image) in cp.iter().enumerate() {
+        out |= ((mask >> c) & 1) << image;
+    }
+    out
+}
+
+/// Assembles a packed state from its four line words (index 0 most
+/// significant).
+#[inline]
+pub fn assemble(words: [u32; MAX_LINES]) -> u128 {
+    let mut packed = 0u128;
+    for w in words {
+        packed = (packed << LINE_BITS) | u128::from(w);
+    }
+    packed
+}
+
+/// Packs `s` with cores and lines in their original positions.
+#[inline]
+pub fn pack(s: &ModelState) -> u128 {
+    const IDENT: [u8; MAX_CORES] = [0, 1, 2, 3];
+    let mut words = [0u32; MAX_LINES];
+    for (line, w) in words.iter_mut().enumerate() {
+        *w = line_word(s, line, &IDENT, &IDENT);
+    }
+    assemble(words)
+}
+
+/// Expands a packed word back into the struct form (exact inverse of
+/// [`pack`] for in-bounds states).
+pub fn unpack(packed: u128) -> ModelState {
+    let mut s = ModelState::initial();
+    for line in 0..MAX_LINES {
+        let w = (packed >> ((MAX_LINES - 1 - line) as u32 * LINE_BITS)) as u32;
+        for (core, row) in s.caches.iter_mut().enumerate() {
+            row[line] = moesi_decode((w >> (3 * core)) & 0b111);
+        }
+        s.vd[line] = mask_to_set((w >> 12) & 0xf);
+        if w & (1 << 16) != 0 {
+            s.ed[line] = Some((
+                ((w >> 17) & 0b11) as u8,
+                EdEntry {
+                    sharers: mask_to_set((w >> 19) & 0xf),
+                },
+            ));
+        }
+        if w & (1 << 23) != 0 {
+            s.td[line] = Some((
+                ((w >> 24) & 0b11) as u8,
+                TdEntry {
+                    sharers: mask_to_set((w >> 26) & 0xf),
+                    has_data: w & (1 << 30) != 0,
+                    llc_dirty: w & (1 << 31) != 0,
+                },
+            ));
+        }
+    }
+    s
+}
+
+/// A transition label packed into one byte: `kind(2) | core(2) | line(2)`.
+/// The parent-pointer array stores these instead of the 3-word [`Label`]
+/// enum; labels are re-expanded only at trace-rebuild time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PackedLabel(pub u8);
+
+impl PackedLabel {
+    /// Packs a label.
+    #[inline]
+    pub fn encode(label: Label) -> Self {
+        let (kind, core, line) = match label {
+            Label::Read { core, line } => (0u8, core, line),
+            Label::Write { core, line } => (1, core, line),
+            Label::SilentUpgrade { core, line } => (2, core, line),
+            Label::Evict { core, line } => (3, core, line),
+        };
+        debug_assert!(core < MAX_CORES && line < MAX_LINES);
+        PackedLabel(kind << 4 | (core as u8) << 2 | line as u8)
+    }
+
+    /// Unpacks the label.
+    #[inline]
+    pub fn decode(self) -> Label {
+        let core = usize::from(self.0 >> 2 & 0b11);
+        let line = usize::from(self.0 & 0b11);
+        match self.0 >> 4 {
+            0 => Label::Read { core, line },
+            1 => Label::Write { core, line },
+            2 => Label::SilentUpgrade { core, line },
+            _ => Label::Evict { core, line },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::model::{DirKind, Model, ModelConfig};
+
+    #[test]
+    fn initial_state_packs_to_zero() {
+        assert_eq!(pack(&ModelState::initial()), 0);
+        assert_eq!(unpack(0), ModelState::initial());
+    }
+
+    #[test]
+    fn pack_roundtrips_over_reachable_states() {
+        // Walk a few BFS levels of the secdir model and round-trip every
+        // state met on the way.
+        let model = Model::new(ModelConfig::quick(DirKind::SecDir));
+        let mut frontier = vec![ModelState::initial()];
+        for _ in 0..3 {
+            let mut next = Vec::new();
+            for s in &frontier {
+                assert_eq!(unpack(pack(s)), *s);
+                for (_, ns) in model.successors(s) {
+                    next.push(ns);
+                }
+            }
+            frontier = next;
+        }
+    }
+
+    #[test]
+    fn distinct_fields_produce_distinct_words() {
+        let mut a = ModelState::initial();
+        a.caches[1][2] = Moesi::Owned;
+        let mut b = ModelState::initial();
+        b.caches[1][2] = Moesi::Modified;
+        assert_ne!(pack(&a), pack(&b));
+
+        let mut c = ModelState::initial();
+        c.td[0] = Some((
+            0,
+            TdEntry {
+                sharers: SharerSet::single(CoreId(0)),
+                has_data: false,
+                llc_dirty: false,
+            },
+        ));
+        let mut d = c.clone();
+        if let Some((_, t)) = d.td[0].as_mut() {
+            t.has_data = true;
+        }
+        assert_ne!(pack(&c), pack(&d));
+    }
+
+    #[test]
+    fn packed_labels_roundtrip() {
+        for core in 0..MAX_CORES {
+            for line in 0..MAX_LINES {
+                for label in [
+                    Label::Read { core, line },
+                    Label::Write { core, line },
+                    Label::SilentUpgrade { core, line },
+                    Label::Evict { core, line },
+                ] {
+                    assert_eq!(PackedLabel::encode(label).decode(), label);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn line_word_respects_core_relabeling() {
+        let mut s = ModelState::initial();
+        s.caches[0][1] = Moesi::Exclusive;
+        s.vd[1] = SharerSet::single(CoreId(0));
+        // Swap cores 0 and 1: the word must equal the plain word of the
+        // pre-swapped state.
+        let mut swapped = ModelState::initial();
+        swapped.caches[1][1] = Moesi::Exclusive;
+        swapped.vd[1] = SharerSet::single(CoreId(1));
+        let cp = [1u8, 0, 2, 3];
+        let ident = [0u8, 1, 2, 3];
+        assert_eq!(
+            line_word(&s, 1, &cp, &cp),
+            line_word(&swapped, 1, &ident, &ident)
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Bit-reproducibility of the parallel frontier BFS: the thread count is
+//! a pure performance knob. Every report field that describes the
+//! exploration — state count, transition count, level count, violation
+//! and its trace — must be identical at 1, 2, 4, and 8 workers, on clean
+//! and on faulted models, with and without canonicalization.
+
+use secdir_verif::checker::{check, check_opt, CheckOptions};
+use secdir_verif::model::{DirKind, Fault, ModelConfig};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+#[test]
+fn clean_exploration_is_identical_at_every_thread_count() {
+    for kind in DirKind::ALL {
+        let cfg = ModelConfig::quick(kind);
+        for canonicalize in [false, true] {
+            let baseline = check_opt(
+                cfg,
+                &CheckOptions {
+                    canonicalize,
+                    threads: 1,
+                },
+            );
+            assert!(baseline.violation.is_none(), "{}", kind.name());
+            for threads in &THREAD_COUNTS[1..] {
+                let report = check_opt(
+                    cfg,
+                    &CheckOptions {
+                        canonicalize,
+                        threads: *threads,
+                    },
+                );
+                assert_eq!(
+                    report.states,
+                    baseline.states,
+                    "{} canonicalize={canonicalize} threads={threads}: state count",
+                    kind.name()
+                );
+                assert_eq!(
+                    report.transitions,
+                    baseline.transitions,
+                    "{} canonicalize={canonicalize} threads={threads}: transition count",
+                    kind.name()
+                );
+                assert_eq!(
+                    report.levels,
+                    baseline.levels,
+                    "{} canonicalize={canonicalize} threads={threads}: level count",
+                    kind.name()
+                );
+                assert!(report.violation.is_none());
+            }
+        }
+    }
+}
+
+/// On a faulted model every thread count reports the *same* violation:
+/// same invariant text, same trace rendering — and the trace is exactly
+/// as short as the raw serial checker's (2 steps for the seeded SWMR
+/// fault: a fill and the remote write whose invalidation was dropped).
+#[test]
+fn faulted_exploration_reports_one_violation_at_every_thread_count() {
+    for kind in DirKind::ALL {
+        let cfg = ModelConfig {
+            fault: Fault::SkipWriteInvalidation,
+            ..ModelConfig::quick(kind)
+        };
+        let serial = check(cfg)
+            .violation
+            .unwrap_or_else(|| panic!("{}: serial misses the fault", kind.name()));
+        assert_eq!(serial.trace.len(), 2, "{}", kind.name());
+
+        let baseline = check_opt(
+            cfg,
+            &CheckOptions {
+                canonicalize: true,
+                threads: 1,
+            },
+        );
+        let base_v = baseline
+            .violation
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: 1-thread misses the fault", kind.name()));
+        assert_eq!(base_v.trace.len(), serial.trace.len(), "{}", kind.name());
+
+        for threads in &THREAD_COUNTS[1..] {
+            let report = check_opt(
+                cfg,
+                &CheckOptions {
+                    canonicalize: true,
+                    threads: *threads,
+                },
+            );
+            assert_eq!(
+                report.states,
+                baseline.states,
+                "{} threads={threads}: state count",
+                kind.name()
+            );
+            assert_eq!(
+                report.transitions,
+                baseline.transitions,
+                "{} threads={threads}: transition count",
+                kind.name()
+            );
+            let v = report
+                .violation
+                .unwrap_or_else(|| panic!("{} threads={threads}: fault not caught", kind.name()));
+            assert_eq!(v.invariant, base_v.invariant, "{}", kind.name());
+            assert_eq!(v.trace, base_v.trace, "{}", kind.name());
+            assert_eq!(v.state, base_v.state, "{}", kind.name());
+        }
+    }
+}

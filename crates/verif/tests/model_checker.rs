@@ -6,10 +6,12 @@
 //! with no enabled transitions as a violation in its own right.
 
 use secdir_coherence::AppendixA;
-use secdir_verif::checker::check;
+use secdir_verif::canon::CanonTable;
+use secdir_verif::checker::{check, check_opt_with_states, CheckOptions};
 use secdir_verif::model::{DirKind, Fault, ModelConfig};
+use secdir_verif::pack::unpack;
 
-/// The quick configuration reaches exactly this many states per kind.
+/// The quick configuration reaches exactly this many raw states per kind.
 /// These counts are a fingerprint of the protocol: any behavioural change
 /// to `secdir_coherence::step` (or the model's mirroring of the slices)
 /// shifts them.
@@ -19,6 +21,18 @@ const EXPECTED_STATES: &[(DirKind, usize)] = &[
     (DirKind::WayPartitioned, 8701),
     (DirKind::SecDir, 7564),
     (DirKind::VdOnly, 106),
+];
+
+/// Symmetry-orbit representatives the canonicalized exploration visits at
+/// the quick configuration — pinned alongside the raw counts so a change
+/// to the canonical form (packing layout, sort rule, partition action) is
+/// as loud as a change to the protocol itself.
+const EXPECTED_CANONICAL: &[(DirKind, usize)] = &[
+    (DirKind::Baseline(AppendixA::SkylakeQuirk), 57),
+    (DirKind::Baseline(AppendixA::Fixed), 82),
+    (DirKind::WayPartitioned, 740),
+    (DirKind::SecDir, 652),
+    (DirKind::VdOnly, 14),
 ];
 
 #[test]
@@ -37,6 +51,53 @@ fn clean_protocol_has_no_reachable_violations() {
             report.states,
             expected,
             "{}: reachable-state count drifted",
+            kind.name()
+        );
+    }
+}
+
+/// The canonicalized exploration visits exactly the pinned number of
+/// orbit representatives, and the raw count is *exactly* the sum of the
+/// representatives' orbit sizes — the strongest consistency statement
+/// between the two explorations: every raw state lies in exactly one
+/// visited orbit, and every visited orbit lies inside the raw reachable
+/// set. (The naive "canonical divides raw" only holds when every orbit is
+/// full-size; states with nontrivial stabilizers make the ratio
+/// fractional, e.g. 562/57 for the quick baseline.)
+#[test]
+fn canonical_exploration_matches_raw_by_orbit_sum() {
+    for &(kind, expected_canon) in EXPECTED_CANONICAL {
+        let cfg = ModelConfig::quick(kind);
+        let opts = CheckOptions {
+            canonicalize: true,
+            threads: 2,
+        };
+        let (report, reps) = check_opt_with_states(cfg, &opts);
+        assert!(report.violation.is_none(), "{}", kind.name());
+        assert!(report.canonical);
+        assert_eq!(
+            report.states,
+            expected_canon,
+            "{}: canonical orbit count drifted",
+            kind.name()
+        );
+
+        let raw = EXPECTED_STATES
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|&(_, n)| n)
+            .expect("every kind has a pinned raw count");
+        let table = CanonTable::new(cfg.cores, cfg.lines, kind == DirKind::WayPartitioned);
+        assert!(
+            expected_canon <= raw && raw <= expected_canon * table.group_order(),
+            "{}: canonical count out of the possible range",
+            kind.name()
+        );
+        let orbit_sum: usize = reps.iter().map(|&k| table.orbit_size(&unpack(k))).sum();
+        assert_eq!(
+            orbit_sum,
+            raw,
+            "{}: orbit sizes of the representatives must partition the raw set",
             kind.name()
         );
     }

@@ -764,8 +764,18 @@ fn cmd_perf(args: &[String]) -> Result<(), String> {
 }
 
 const VERIF_USAGE: &str = "\
-usage: secdir-sim verif [--kinds LIST] [--cores N] [--lines N] [--l2 N]
+usage: secdir-sim verif [--full] [--raw] [--threads N] [--bench PATH]
+                        [--kinds LIST] [--cores N] [--lines N] [--l2 N]
                         [--ed N] [--td N] [--vd N]
+  --full    explore the 4-core x 4-line maximum geometry (default 2x3);
+            explicit --cores/--lines still override
+  --raw     disable symmetry canonicalization (explore every raw state
+            with the serial checker instead of one orbit representative)
+  --threads worker threads for the canonical frontier BFS (default 1);
+            results are bit-identical at every thread count
+  --bench   also run the checker benchmark (both geometries, raw leg
+            timed at quick / orbit-derived at full) and write JSONL
+            records (schema secdir-bench-checker/1) to PATH
   --kinds   comma list of baseline | baseline-fixed | way-partitioned
             | secdir | vd-only (default: all five)
   --cores   model cores, 1..=4 (default 2)
@@ -798,9 +808,18 @@ fn parse_model_kind(name: &str) -> Result<secdir_verif::DirKind, String> {
 
 fn cmd_verif(args: &[String]) -> Result<(), String> {
     use secdir_verif::model::{DirKind, ModelConfig};
+    let full = args.iter().any(|a| a == "--full");
+    let raw = args.iter().any(|a| a == "--raw");
+    let rest: Vec<String> = args
+        .iter()
+        .filter(|a| *a != "--full" && *a != "--raw")
+        .cloned()
+        .collect();
     let Some(flags) = parse_flags(
-        args,
-        &["kinds", "cores", "lines", "l2", "ed", "td", "vd"],
+        &rest,
+        &[
+            "kinds", "threads", "bench", "cores", "lines", "l2", "ed", "td", "vd",
+        ],
         VERIF_USAGE,
     )?
     else {
@@ -813,7 +832,12 @@ fn cmd_verif(args: &[String]) -> Result<(), String> {
             .map(|name| parse_model_kind(name))
             .collect::<Result<_, _>>()?,
     };
-    let base = ModelConfig::quick(DirKind::SecDir);
+    let threads = get_parsed(&flags, "threads", 1usize)?.max(1);
+    let base = if full {
+        ModelConfig::full(DirKind::SecDir)
+    } else {
+        ModelConfig::quick(DirKind::SecDir)
+    };
     let mut violations = 0usize;
     for kind in kinds {
         let cfg = ModelConfig {
@@ -826,18 +850,38 @@ fn cmd_verif(args: &[String]) -> Result<(), String> {
             vd_capacity: get_parsed(&flags, "vd", base.vd_capacity)?,
             ..base
         };
-        let report = secdir_verif::check(cfg);
+        let (report, elapsed) = secdir_verif::perf::time(|| {
+            if raw {
+                secdir_verif::check(cfg)
+            } else {
+                secdir_verif::check_opt(
+                    cfg,
+                    &secdir_verif::CheckOptions {
+                        canonicalize: true,
+                        threads,
+                    },
+                )
+            }
+        });
+        let scope = if report.canonical {
+            "orbit reps"
+        } else {
+            "states"
+        };
         match &report.violation {
             None => println!(
-                "{:>16}: {:>7} states, {:>8} transitions, all invariants hold",
+                "{:>16}: {:>8} {scope}, {:>9} transitions, {:>2} threads, {:.3}s, \
+                 all invariants hold",
                 kind.name(),
                 report.states,
-                report.transitions
+                report.transitions,
+                report.threads,
+                elapsed.as_secs_f64(),
             ),
             Some(v) => {
                 violations += 1;
                 println!(
-                    "{:>16}: VIOLATION after {} states: {}",
+                    "{:>16}: VIOLATION after {} {scope}: {}",
                     kind.name(),
                     report.states,
                     v.invariant
@@ -848,6 +892,30 @@ fn cmd_verif(args: &[String]) -> Result<(), String> {
                 }
             }
         }
+    }
+    if let Some(path) = flags.get("bench") {
+        let records = secdir_verif::run_checker_bench(threads);
+        let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        secdir_verif::perf::write_report(std::io::BufWriter::new(file), &records)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{:>16} {:>5}x{:<1} {:>10} {:>10} {:>10} {:>12} {:>10}",
+            "directory", "geo", "", "raw", "canon", "reduction", "canon st/s", "peak KiB"
+        );
+        for r in &records {
+            println!(
+                "{:>16} {:>5}x{:<1} {:>10} {:>10} {:>9.1}x {:>12} {:>10}",
+                r.kind.name(),
+                r.cores,
+                r.lines,
+                r.raw_states,
+                r.canon_states,
+                r.reduction_millis() as f64 / 1000.0,
+                r.canon_states_per_sec(),
+                r.canon_peak_bytes / 1024,
+            );
+        }
+        println!("wrote {path}");
     }
     if violations > 0 {
         return Err(format!(
