@@ -6,6 +6,13 @@
 //! the normalized metrics of Figures 7 and 8 are preserved). Cores advance
 //! in global-time order, so cross-core interleavings — the substance of
 //! directory conflicts — are modeled faithfully at transaction granularity.
+//!
+//! This serial engine is the *reference semantics*. The slice-parallel
+//! engine ([`crate::run_workload_sliced`], module `sliced`) runs the same
+//! workloads with directory slices on worker threads under an
+//! epoch-barrier timing model; its canonical drain order reuses this
+//! engine's scheduler key (`(ready, core)`), and a single-core sliced run
+//! is bit-identical to this engine.
 
 use std::cmp::Reverse;
 use std::collections::binary_heap::PeekMut;

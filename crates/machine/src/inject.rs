@@ -177,6 +177,36 @@ impl Machine {
         }
     }
 
+    /// Epoch-granular injection step for the sliced engine
+    /// (`crate::sliced`): advances the armed fault's access counter by the
+    /// epoch's retired accesses and attempts a pending corruption fault
+    /// once, at the epoch barrier. Behavioral faults still fire from
+    /// [`Machine::fault_drops_batch`] on the merge phase's shared
+    /// invalidation path. Trigger granularity is therefore one epoch
+    /// rather than one access; determinism across slice-thread counts is
+    /// unaffected because the epoch schedule is thread-count independent.
+    pub(crate) fn fault_epoch(&mut self, retired: u64) {
+        let (kind, core, pending) = {
+            let Some(f) = self.fault.as_mut() else { return };
+            f.accesses += retired;
+            let pending = f.fired.is_none() && f.accesses >= f.plan.trigger;
+            (f.plan.kind, f.plan.core, pending)
+        };
+        if !pending {
+            return;
+        }
+        let applied = match kind {
+            FaultKind::DropInvalidation | FaultKind::SkipQuirkInvalidation => false,
+            FaultKind::LeakVdOnConsolidate => self.fault_try_leak_vd(core),
+            FaultKind::FlipSharerBit => self.fault_try_flip(core),
+        };
+        if applied {
+            if let Some(f) = self.fault.as_mut() {
+                f.fired = Some(f.accesses);
+            }
+        }
+    }
+
     /// Whether an armed behavioral fault eats this invalidation batch.
     /// Called from `apply_invalidations`; marks the fault fired when it
     /// does.

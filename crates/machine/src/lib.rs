@@ -37,6 +37,7 @@ mod machine;
 pub mod oracle;
 pub mod perf;
 pub mod resume;
+mod sliced;
 mod stats;
 pub mod sweep;
 
@@ -48,4 +49,5 @@ pub use engine::{
 pub use inject::{FaultKind, FaultPlan, InjectOutcome};
 pub use machine::{AccessOutcome, Machine, ServedBy};
 pub use oracle::ORACLE_INTERVAL;
+pub use sliced::run_workload_sliced;
 pub use stats::{CoreStats, MachineStats};

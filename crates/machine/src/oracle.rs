@@ -212,4 +212,27 @@ impl Machine {
             }
         }
     }
+
+    /// Epoch-granular periodic-oracle step for the sliced engine
+    /// (`crate::sliced`): advances the access counter by a whole epoch at
+    /// once and sweeps when an [`ORACLE_INTERVAL`] boundary was crossed.
+    /// Runs at the epoch barrier, where the machine is whole and
+    /// coherent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first invariant violation the sweep finds.
+    #[cfg(feature = "check")]
+    pub(crate) fn oracle_epoch(&mut self, retired: u64) {
+        let before = self.oracle.accesses;
+        self.oracle.accesses += retired;
+        if self.oracle.accesses / ORACLE_INTERVAL > before / ORACLE_INTERVAL {
+            if let Err(e) = self.verify() {
+                panic!(
+                    "invariant oracle tripped after {} accesses: {e}",
+                    self.oracle.accesses
+                );
+            }
+        }
+    }
 }

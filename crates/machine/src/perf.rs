@@ -7,13 +7,18 @@
 //!
 //! * **serial**: one machine, one timed measured phase (the warm-up is
 //!   excluded from the clock and the count) — the per-cell speed of the
-//!   engine itself.
+//!   engine itself. With `threads > 1` the same single-machine window is
+//!   driven by the slice-parallel epoch engine
+//!   ([`run_workload_sliced`](crate::run_workload_sliced)) instead, one
+//!   row per entry in [`PerfSpec::slice_threads`].
 //! * **sweep**: a seed-replicated cell matrix fanned out through
 //!   [`sweep`](crate::sweep::sweep) — the harness-level speed, warm-up
-//!   included in both the clock and the count.
+//!   included in both the clock and the count, recorded as
+//!   `warmup_timed:true` so the two modes are never mistaken for
+//!   comparable rates.
 //!
 //! Results serialize to JSONL with a fixed field order (`schema`
-//! `secdir-bench-throughput/1`, documented in EXPERIMENTS.md) so
+//! `secdir-bench-throughput/2`, documented in EXPERIMENTS.md) so
 //! `BENCH_throughput.json` diffs cleanly across PRs and the perf
 //! trajectory of the engine is tracked in-repo.
 
@@ -23,7 +28,7 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use crate::sweep::{sweep, CellSpec, StreamFactory};
-use crate::{run_workload, DirectoryKind, Machine, MachineConfig};
+use crate::{run_workload, run_workload_sliced, DirectoryKind, Machine, MachineConfig};
 
 /// Times `f` against the host's monotonic clock and returns its result
 /// with the elapsed duration. The workspace lint (`secdir-sim lint`)
@@ -61,6 +66,11 @@ pub struct PerfSpec {
     /// only ever adds time, so the minimum over a few windows estimates
     /// the engine's actual speed far better than any single window.
     pub serial_reps: usize,
+    /// Slice-thread counts for the epoch-engine samples: one extra
+    /// single-machine row per entry, driven by
+    /// [`run_workload_sliced`](crate::run_workload_sliced). Empty skips
+    /// the sliced samples entirely.
+    pub slice_threads: Vec<usize>,
 }
 
 impl PerfSpec {
@@ -77,6 +87,7 @@ impl PerfSpec {
             threads: std::thread::available_parallelism().map_or(1, usize::from),
             seed: 0x5eed,
             serial_reps: 5,
+            slice_threads: vec![2, 4, 8],
         }
     }
 
@@ -87,6 +98,7 @@ impl PerfSpec {
             measure: 20_000,
             sweep_cells: 4,
             serial_reps: 3,
+            slice_threads: vec![4],
             ..PerfSpec::full()
         }
     }
@@ -101,8 +113,14 @@ pub struct PerfSample {
     pub mode: &'static str,
     /// Machines run (1 for serial, `sweep_cells` for sweep).
     pub cells: usize,
-    /// Worker threads used (1 for serial).
+    /// Worker threads used (1 for the serial reference engine, the
+    /// slice-thread count for epoch-engine rows).
     pub threads: usize,
+    /// Whether the warm-up phase ran inside the timed window (and is
+    /// therefore included in `accesses`). `false` for serial and sliced
+    /// samples, `true` for sweep samples — without this flag the two
+    /// modes' rates would read as comparable when they are not.
+    pub warmup_timed: bool,
     /// Memory accesses simulated inside the timed window.
     pub accesses: u64,
     /// Wall-clock duration of the timed window, in nanoseconds.
@@ -119,14 +137,16 @@ impl PerfSample {
     }
 
     /// One JSON object (one JSONL line, no trailing newline); fixed field
-    /// order, schema `secdir-bench-throughput/1` (see EXPERIMENTS.md).
+    /// order, schema `secdir-bench-throughput/2` (see EXPERIMENTS.md).
+    /// Schema `/2` added `warmup_timed` after `serial_reps`.
     pub fn to_json_line(&self, spec: &PerfSpec) -> String {
         format!(
             concat!(
-                "{{\"schema\":\"secdir-bench-throughput/1\",",
+                "{{\"schema\":\"secdir-bench-throughput/2\",",
                 "\"workload\":\"{workload}\",\"directory\":\"{directory}\",",
                 "\"mode\":\"{mode}\",\"cores\":{cores},\"warmup\":{warmup},",
                 "\"measure\":{measure},\"serial_reps\":{reps},",
+                "\"warmup_timed\":{warmup_timed},",
                 "\"cells\":{cells},\"threads\":{threads},",
                 "\"accesses\":{accesses},\"nanos\":{nanos},",
                 "\"accesses_per_sec\":{aps}}}"
@@ -138,6 +158,7 @@ impl PerfSample {
             warmup = spec.warmup,
             measure = spec.measure,
             reps = spec.serial_reps,
+            warmup_timed = self.warmup_timed,
             cells = self.cells,
             threads = self.threads,
             accesses = self.accesses,
@@ -190,13 +211,53 @@ fn measure_serial<F: StreamFactory + ?Sized>(
         mode: "serial",
         cells: 1,
         threads: 1,
+        warmup_timed: false,
+        accesses,
+        nanos,
+    }
+}
+
+/// Times the measured phase of one cell under the slice-parallel epoch
+/// engine ([`run_workload_sliced`](crate::run_workload_sliced)) at
+/// `slice_threads` workers. Same windowing discipline as
+/// [`measure_serial`]: warm-up outside the clock, fastest of
+/// `spec.serial_reps` repetitions. Reported as `mode:"serial"` (one
+/// machine, one cell) with `threads` recording the worker count.
+fn measure_sliced<F: StreamFactory + ?Sized>(
+    spec: &PerfSpec,
+    kind: DirectoryKind,
+    factory: &F,
+    slice_threads: usize,
+) -> PerfSample {
+    let cell = cell_for(spec, kind, spec.seed);
+    let mut machine = Machine::new(MachineConfig::skylake_x(cell.cores, cell.kind));
+    let mut streams = factory.streams(&cell);
+    run_workload_sliced(&mut machine, &mut streams, cell.warmup, slice_threads);
+    let mut best: (u64, u128) = (0, u128::MAX);
+    for _ in 0..spec.serial_reps.max(1) {
+        let start = Instant::now();
+        let summary = run_workload_sliced(&mut machine, &mut streams, cell.measure, slice_threads);
+        let nanos = start.elapsed().as_nanos();
+        let accesses: u64 = summary.cores.iter().map(|c| c.accesses).sum();
+        if nanos < best.1 {
+            best = (accesses, nanos);
+        }
+    }
+    let (accesses, nanos) = best;
+    PerfSample {
+        directory: kind,
+        mode: "serial",
+        cells: 1,
+        threads: slice_threads,
+        warmup_timed: false,
         accesses,
         nanos,
     }
 }
 
 /// Times a whole seed-replicated sweep (warm-up inside the clock, so the
-/// count includes it too): harness-level throughput at `spec.threads`.
+/// count includes it too — recorded as `warmup_timed:true`):
+/// harness-level throughput at `spec.threads`.
 fn measure_sweep<F: StreamFactory + ?Sized>(
     spec: &PerfSpec,
     kind: DirectoryKind,
@@ -213,17 +274,23 @@ fn measure_sweep<F: StreamFactory + ?Sized>(
         mode: "sweep",
         cells: cells.len(),
         threads: spec.threads.max(1),
+        warmup_timed: true,
         accesses: results.iter().map(|r| r.stats.total_accesses()).sum(),
         nanos,
     }
 }
 
 /// Runs the full measurement: for each kind in `spec.kinds`, one serial
-/// sample then one sweep sample, in spec order.
+/// sample, one epoch-engine sample per [`PerfSpec::slice_threads`] entry,
+/// then one sweep sample, in spec order.
 pub fn measure<F: StreamFactory + ?Sized>(spec: &PerfSpec, factory: &F) -> Vec<PerfSample> {
-    let mut out = Vec::with_capacity(spec.kinds.len() * 2);
+    let per_kind = 2 + spec.slice_threads.len();
+    let mut out = Vec::with_capacity(spec.kinds.len() * per_kind);
     for &kind in &spec.kinds {
         out.push(measure_serial(spec, kind, factory));
+        for &st in &spec.slice_threads {
+            out.push(measure_sliced(spec, kind, factory, st));
+        }
         out.push(measure_sweep(spec, kind, factory));
     }
     out
@@ -277,6 +344,7 @@ mod tests {
             threads: 2,
             seed: 7,
             serial_reps: 3,
+            slice_threads: vec![2],
         }
     }
 
@@ -287,6 +355,7 @@ mod tests {
             mode: "serial",
             cells: 1,
             threads: 1,
+            warmup_timed: false,
             accesses: 500,
             nanos: 250_000_000, // 0.25 s
         };
@@ -299,19 +368,34 @@ mod tests {
     fn measure_counts_the_right_windows() {
         let spec = tiny_spec();
         let samples = measure(&spec, &factory);
-        assert_eq!(samples.len(), spec.kinds.len() * 2);
-        for pair in samples.chunks(2) {
-            let (serial, swept) = (&pair[0], &pair[1]);
+        let per_kind = 2 + spec.slice_threads.len();
+        assert_eq!(samples.len(), spec.kinds.len() * per_kind);
+        for group in samples.chunks(per_kind) {
+            let serial = &group[0];
+            let swept = &group[per_kind - 1];
             assert_eq!(serial.mode, "serial");
+            assert_eq!(serial.threads, 1);
             assert_eq!(swept.mode, "sweep");
             assert_eq!(serial.directory, swept.directory);
-            // Serial counts only the measured phase …
+            // Serial counts only the measured phase, untimed warm-up …
             assert_eq!(serial.accesses, spec.measure * spec.cores as u64);
-            // … the sweep counts warm-up + measure over every cell.
+            assert!(!serial.warmup_timed);
+            // … epoch-engine rows use the same window discipline …
+            for (sliced, &st) in group[1..per_kind - 1].iter().zip(&spec.slice_threads) {
+                assert_eq!(sliced.mode, "serial");
+                assert_eq!(sliced.threads, st);
+                assert_eq!(sliced.directory, serial.directory);
+                assert_eq!(sliced.accesses, spec.measure * spec.cores as u64);
+                assert!(!sliced.warmup_timed);
+                assert!(sliced.accesses_per_sec() > 0);
+            }
+            // … the sweep counts warm-up + measure over every cell, and
+            // says so.
             assert_eq!(
                 swept.accesses,
                 (spec.warmup + spec.measure) * (spec.cores * spec.sweep_cells) as u64
             );
+            assert!(swept.warmup_timed);
             assert!(serial.accesses_per_sec() > 0);
             assert!(swept.accesses_per_sec() > 0);
         }
@@ -325,13 +409,15 @@ mod tests {
             mode: "sweep",
             cells: 2,
             threads: 2,
+            warmup_timed: true,
             accesses: 4_800,
             nanos: 1_200_000,
         };
         let line = s.to_json_line(&spec);
-        assert!(line.starts_with("{\"schema\":\"secdir-bench-throughput/1\""));
+        assert!(line.starts_with("{\"schema\":\"secdir-bench-throughput/2\""));
         assert!(line.contains("\"directory\":\"secdir\""));
         assert!(line.contains("\"mode\":\"sweep\""));
+        assert!(line.contains("\"warmup_timed\":true,\"cells\":2"));
         assert!(line.contains("\"accesses\":4800"));
         assert!(line.ends_with(&format!("\"accesses_per_sec\":{}}}", s.accesses_per_sec())));
         let mut buf = Vec::new();

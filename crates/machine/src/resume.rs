@@ -21,34 +21,146 @@
 //!
 //! Parsing is intentionally shallow: the offline `serde` facade has no
 //! JSON parser, and resume only needs the fixed-order cell-identity
-//! prefix every record shape shares (see EXPERIMENTS.md). Well-formedness
-//! of the rest of a line is checked structurally (brace/bracket balance),
-//! which is exactly what distinguishes a complete record from a
-//! truncated one.
+//! prefix every record shape shares (see EXPERIMENTS.md). A string-aware
+//! structural scanner walks the **top level** of each record: keys and
+//! values inside string literals or nested objects/arrays are never
+//! mistaken for identity fields — a `"panicked"` record whose free-text
+//! `msg` embeds JSON-shaped text (`","workload":"x"`, `"seed":999`,
+//! stray braces) parses to exactly the cell that failed — and a line cut
+//! mid-record cannot complete the scan, which is what distinguishes a
+//! truncated tail from corruption.
 
 use std::collections::HashMap;
 
 use crate::sweep::{CellOutcome, CellSpec};
 
-/// Extracts the value of a top-level `"key":"string"` field. Returns the
-/// raw (unescaped) contents; the cell-identity fields resume reads never
-/// contain escapes.
-fn json_str_field(line: &str, key: &str) -> Option<String> {
-    let pat = format!("\"{key}\":\"");
-    let start = line.find(&pat)? + pat.len();
-    let rest = &line[start..];
-    Some(rest[..rest.find('"')?].to_string())
+/// A top-level JSON value as seen by the shallow scanner.
+#[derive(Debug, PartialEq, Eq)]
+enum Prim<'a> {
+    /// String value, raw (escapes not decoded — the cell-identity fields
+    /// resume reads never contain escapes; `msg` does, but resume only
+    /// needs to skip over it).
+    Str(&'a str),
+    /// Unsigned integer value.
+    Num(u64),
+    /// Anything else (nested object/array, float, bool, null).
+    Other,
 }
 
-/// Extracts the value of the first `"key":<number>` field.
-fn json_u64_field(line: &str, key: &str) -> Option<u64> {
-    let pat = format!("\"{key}\":");
-    let start = line.find(&pat)? + pat.len();
-    let digits: &str = line[start..]
-        .split(|c: char| !c.is_ascii_digit())
-        .next()
-        .unwrap_or("");
-    digits.parse().ok()
+/// Advances past a JSON string literal whose opening quote is at `i`.
+/// Returns the index just past the closing quote, or `None` if the line
+/// ends first (a record truncated mid-string).
+fn skip_string(bytes: &[u8], mut i: usize) -> Option<usize> {
+    debug_assert_eq!(bytes[i], b'"');
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2, // the escaped byte can never close the string
+            b'"' => return Some(i + 1),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Advances past a balanced nested `{...}`/`[...]` starting at `i`,
+/// ignoring brackets inside string literals. Returns the index just past
+/// the closing bracket, or `None` if the line ends unbalanced.
+fn skip_nested(bytes: &[u8], mut i: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => i = skip_string(bytes, i)?,
+            b'{' | b'[' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' | b']' => {
+                depth -= 1;
+                i += 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// String-aware structural scan of one record line: returns the top-level
+/// `(key, value)` pairs of the outermost object, or `None` when the line
+/// is malformed or truncated. The whole line must be consumed by the
+/// outermost object — trailing garbage is malformed.
+fn scan_top_level(line: &str) -> Option<Vec<(&str, Prim<'_>)>> {
+    let bytes = line.as_bytes();
+    let skip_ws = |mut i: usize| {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        i
+    };
+    let mut i = skip_ws(0);
+    if i >= bytes.len() || bytes[i] != b'{' {
+        return None;
+    }
+    i = skip_ws(i + 1);
+    let mut fields = Vec::new();
+    if i < bytes.len() && bytes[i] == b'}' {
+        return (skip_ws(i + 1) == bytes.len()).then_some(fields);
+    }
+    loop {
+        // Key.
+        if i >= bytes.len() || bytes[i] != b'"' {
+            return None;
+        }
+        let key_end = skip_string(bytes, i)?;
+        let key = &line[i + 1..key_end - 1];
+        i = skip_ws(key_end);
+        if i >= bytes.len() || bytes[i] != b':' {
+            return None;
+        }
+        i = skip_ws(i + 1);
+        // Value.
+        let value = match *bytes.get(i)? {
+            b'"' => {
+                let end = skip_string(bytes, i)?;
+                let v = Prim::Str(&line[i + 1..end - 1]);
+                i = end;
+                v
+            }
+            b'{' | b'[' => {
+                i = skip_nested(bytes, i)?;
+                Prim::Other
+            }
+            b'0'..=b'9' | b'-' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    i += 1;
+                }
+                match line[start..i].parse::<u64>() {
+                    Ok(n) => Prim::Num(n),
+                    Err(_) => Prim::Other, // float or negative: not an identity field
+                }
+            }
+            b't' | b'f' | b'n' => {
+                while i < bytes.len() && bytes[i].is_ascii_alphabetic() {
+                    i += 1;
+                }
+                Prim::Other
+            }
+            _ => return None,
+        };
+        fields.push((key, value));
+        i = skip_ws(i);
+        match bytes.get(i) {
+            Some(b',') => i = skip_ws(i + 1),
+            Some(b'}') => return (skip_ws(i + 1) == bytes.len()).then_some(fields),
+            _ => return None,
+        }
+    }
 }
 
 /// The cell-identity prefix shared by every sweep record shape.
@@ -64,27 +176,50 @@ struct ParsedRecord {
 }
 
 /// Parses one JSONL line into its cell-identity prefix, or `None` when
-/// the line is malformed/truncated. Structural completeness is checked
-/// by brace/bracket balance: a line cut mid-record cannot close its
-/// outermost object.
+/// the line is malformed/truncated. Only **top-level** fields count:
+/// JSON-shaped text inside a failure record's `msg` string, or the
+/// nested `summary`/`stats` objects of a success record, can never
+/// supply or shadow an identity field.
 fn parse_record(line: &str) -> Option<ParsedRecord> {
-    if !line.starts_with('{') || !line.ends_with('}') {
-        return None;
-    }
-    let balance = |open: char, close: char| {
-        line.chars().filter(|&c| c == open).count() == line.chars().filter(|&c| c == close).count()
-    };
-    if !balance('{', '}') || !balance('[', ']') {
-        return None;
+    let fields = scan_top_level(line)?;
+    let mut status = None;
+    let mut workload = None;
+    let mut directory = None;
+    let mut seed = None;
+    let mut cores = None;
+    let mut warmup = None;
+    let mut measure = None;
+    for (key, value) in fields {
+        let slot_str = match key {
+            "status" => &mut status,
+            "workload" => &mut workload,
+            "directory" => &mut directory,
+            _ => {
+                let slot_num = match key {
+                    "seed" => &mut seed,
+                    "cores" => &mut cores,
+                    "warmup" => &mut warmup,
+                    "measure" => &mut measure,
+                    _ => continue,
+                };
+                if let (Prim::Num(n), None) = (&value, &slot_num) {
+                    *slot_num = Some(*n);
+                }
+                continue;
+            }
+        };
+        if let (Prim::Str(s), None) = (&value, &slot_str) {
+            *slot_str = Some((*s).to_string());
+        }
     }
     Some(ParsedRecord {
-        status: json_str_field(line, "status"),
-        workload: json_str_field(line, "workload")?,
-        directory: json_str_field(line, "directory")?,
-        seed: json_u64_field(line, "seed")?,
-        cores: json_u64_field(line, "cores")?,
-        warmup: json_u64_field(line, "warmup")?,
-        measure: json_u64_field(line, "measure")?,
+        status,
+        workload: workload?,
+        directory: directory?,
+        seed: seed?,
+        cores: cores?,
+        warmup: warmup?,
+        measure: measure?,
     })
 }
 
@@ -311,6 +446,87 @@ mod tests {
         let plan = plan_resume(&cells, failed).unwrap();
         assert_eq!(plan.rerun, (0..cells.len()).collect::<Vec<_>>());
         assert!(plan.kept.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn msg_embedding_json_shaped_text_parses_to_the_real_cell() {
+        let cells = matrix().cells();
+        // The panic message embeds a full fake identity — quotes, braces,
+        // a different workload, and `"seed":999`. The raw-substring parser
+        // this replaced would have matched the fake fields; the top-level
+        // scanner must see only the real ones.
+        let msg = "boom: {\\\"workload\\\":\\\"zzz\\\",\\\"seed\\\":999} \
+                   \\\"measure\\\":7 unbalanced {{{ [";
+        let failed = format!(
+            "{{\"status\":\"panicked\",\"workload\":\"a\",\
+             \"directory\":\"baseline\",\"seed\":1,\"cores\":2,\
+             \"warmup\":50,\"measure\":200,\"msg\":\"{msg}\"}}\n"
+        );
+        let plan = plan_resume(&cells, &failed).unwrap();
+        assert!(!plan.recovered_truncation, "record is complete, not a tail");
+        assert_eq!(plan.rerun, (0..cells.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn braces_inside_strings_do_not_break_completeness() {
+        // Legit record whose msg holds unbalanced brackets: the old
+        // char-count balance check would have called this truncated.
+        let line = "{\"status\":\"panicked\",\"workload\":\"a\",\
+                    \"directory\":\"baseline\",\"seed\":1,\"cores\":2,\
+                    \"warmup\":50,\"measure\":200,\"msg\":\"} ] } {\"}";
+        let cells = matrix().cells();
+        let doubled = format!("{line}\n{line}\n");
+        // Both lines parse (to the same cell) — proven by the *duplicate*
+        // error, which only fires for two successfully parsed records.
+        let err = plan_resume(&cells, &doubled).unwrap_err();
+        assert!(err.contains("duplicate"), "err={err}");
+    }
+
+    #[test]
+    fn identity_fields_inside_nested_objects_do_not_count() {
+        // All identity fields hidden one level down: not a valid record.
+        let nested = "{\"wrap\":{\"workload\":\"a\",\"directory\":\"baseline\",\
+                      \"seed\":1,\"cores\":2,\"warmup\":50,\"measure\":200}}";
+        let cells = matrix().cells();
+        let text = format!("{nested}\nx\n");
+        // Line 1 must be rejected as malformed (it is complete JSON but
+        // lacks top-level identity), not matched to a cell.
+        let err = plan_resume(&cells, &text).unwrap_err();
+        assert!(err.contains("line 1"), "err={err}");
+    }
+
+    #[test]
+    fn scanner_rejects_truncations_and_trailing_garbage() {
+        let whole = "{\"workload\":\"a\",\"directory\":\"baseline\",\"seed\":1,\
+                     \"cores\":2,\"warmup\":50,\"measure\":200}";
+        assert!(parse_record(whole).is_some());
+        for cut in 1..whole.len() {
+            assert!(
+                parse_record(&whole[..cut]).is_none(),
+                "prefix of length {cut} must not parse"
+            );
+        }
+        assert!(parse_record(&format!("{whole}junk")).is_none());
+        assert!(parse_record(&format!("{whole}{{}}")).is_none());
+    }
+
+    #[test]
+    fn scanner_handles_floats_booleans_and_nulls() {
+        let fields = scan_top_level(
+            "{\"a\":1.5,\"b\":true,\"c\":null,\"d\":-3,\"e\":42,\"f\":[1,{\"x\":2}]}",
+        )
+        .unwrap();
+        assert_eq!(
+            fields,
+            vec![
+                ("a", Prim::Other),
+                ("b", Prim::Other),
+                ("c", Prim::Other),
+                ("d", Prim::Other),
+                ("e", Prim::Num(42)),
+                ("f", Prim::Other),
+            ]
+        );
     }
 
     #[test]

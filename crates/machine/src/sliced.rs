@@ -1,0 +1,798 @@
+//! The deterministic slice-parallel epoch engine.
+//!
+//! [`run_workload_sliced`] runs the same per-core [`AccessStream`]s as
+//! [`run_workload`](crate::run_workload), but partitions the machine the
+//! way the hardware is partitioned: each directory slice (with its LLC
+//! bank) and each core's private caches can be driven by a separate worker
+//! thread, synchronized only at **epoch barriers**.
+//!
+//! # The epoch protocol
+//!
+//! Time advances in epochs. Every epoch has two parallel phases and two
+//! serial (main-thread) steps:
+//!
+//! 1. **Top-up** (main): each core's stream is pulled into a private
+//!    buffer, capped so total pulls never exceed the access cap — stream
+//!    consumption is exactly what the serial engine would consume, so
+//!    warm-up/measure phases can share streams across engines.
+//! 2. **Phase A — core phase** (parallel over cores): each core retires
+//!    private-cache hits from its buffer, mirroring the L1/L2 probe path
+//!    of [`Machine::access`], until it needs the directory. The first
+//!    access that does (an L2 miss, or a non-silent write hit needing an
+//!    upgrade) is parked as the core's single *pending transaction* for
+//!    this epoch.
+//! 3. **Routing** (main): pending transactions are routed by the
+//!    machine's `SliceHash` into per-slice inboxes.
+//! 4. **Phase B — slice phase** (parallel over slices): each slice drains
+//!    its inbox in the canonical `(ready-time, core-id)` order — the same
+//!    key the serial engine's `BinaryHeap` scheduler uses — performing the
+//!    directory transaction and recording the response.
+//! 5. **Merge** (main): responses are applied to the whole, reassembled
+//!    machine in the same global canonical order, reusing the serial
+//!    path's `apply_miss_response`/`apply_upgrade_response`, so
+//!    invalidation fan-out, owner downgrades, fills and victim evictions
+//!    are processed by exactly one thread against a coherent machine.
+//!
+//! # Determinism
+//!
+//! Phase A is pure per-core work; phase B drains each inbox in a
+//! canonical sorted order; the merge applies responses in the same order
+//! globally. No step depends on how cores or slices are partitioned over
+//! workers, so stats, latencies and final cache/directory state are
+//! **bit-identical for every `slice_threads` value** — 1, 2, 4 and 8
+//! produce the same run (`tests/determinism.rs`, `tests/golden_stats.rs`).
+//!
+//! # Relation to the serial engine
+//!
+//! The epoch model is a slightly *relaxed* timing model: a cross-core
+//! effect (an invalidation, a downgrade) computed during an epoch lands at
+//! the epoch barrier, not between two individual accesses. The serial
+//! engine remains the reference implementation; a **single-core** run has
+//! no cross-core effects at all, and the sliced engine is bit-identical to
+//! the serial engine there (tested). Multi-core sliced runs are compared
+//! against their own committed golden snapshots instead.
+//!
+//! While a sliced run is in flight the machine is in *lenient* mode
+//! (`Machine::lenient`): a barrier-delayed invalidation may name a line
+//! the holder already evicted (skipped silently), and an upgrade may be
+//! *overtaken* by a concurrent remote write, in which case the directory
+//! answers with a data source and the line is refilled instead.
+//!
+//! # Failure handling
+//!
+//! Worker and main-phase panics (e.g. the `check`-feature oracle firing
+//! under fault injection) are caught, every barrier is still honored so no
+//! thread deadlocks, the machine is reassembled, and the first panic is
+//! re-raised on the calling thread once all workers have parked.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard, PoisonError};
+
+use secdir_coherence::{AccessKind, DirResponse, Moesi};
+use secdir_mem::{CoreId, LineAddr, SliceId};
+
+use crate::caches::PrivateCaches;
+use crate::config::Latencies;
+use crate::engine::{Access, AccessStream, CoreRun, RunSummary};
+use crate::machine::{Machine, SliceImpl};
+use crate::stats::CoreStats;
+
+/// References buffered per core per epoch. Large enough to amortize the
+/// four barrier crossings over many locally-retired hits, small enough
+/// that cross-core effects stay within a few hundred cycles of their
+/// serial delivery point.
+const EPOCH_BATCH: usize = 64;
+
+/// Locks a mutex, shrugging off poisoning: a worker that panicked has
+/// already recorded its failure, and the epoch loop unwinds through the
+/// same data to reassemble the machine before re-raising it.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A core's directory transaction parked at the epoch barrier.
+struct PendingTxn {
+    /// The access that needs the directory.
+    access: Access,
+    /// Read or Write, as the directory sees it.
+    kind: AccessKind,
+    /// `true` for a store upgrade of a resident line, `false` for an L2
+    /// miss.
+    upgrade: bool,
+    /// Latency already accumulated before the directory round-trip (the
+    /// L1/L2 hit that discovered the upgrade).
+    base: u64,
+    /// Home slice, filled in by the routing step.
+    slice: SliceId,
+}
+
+/// Per-core worker cell: the core's shard of the machine plus its engine
+/// bookkeeping. The `Option`s hold the machine's parts only while an epoch
+/// is in flight (gut → phases → reassemble).
+#[derive(Default)]
+struct CoreCell {
+    caches: Option<PrivateCaches>,
+    stats: Option<CoreStats>,
+    /// References pulled from the stream but not yet issued.
+    buffer: VecDeque<Access>,
+    /// The stream returned `None`; once `buffer` drains, the core is done.
+    exhausted: bool,
+    /// The core's current cycle (the scheduler key of the serial engine).
+    ready: u64,
+    instructions: u64,
+    accesses: u64,
+    /// Cycle at which the core finished, once it has.
+    finished: Option<u64>,
+    /// At most one directory transaction per core per epoch.
+    pending: Option<PendingTxn>,
+}
+
+/// One routed request, drained by the slice in `(ready, core)` order.
+struct InboxEntry {
+    ready: u64,
+    core: usize,
+    line: LineAddr,
+    kind: AccessKind,
+}
+
+/// Per-slice worker cell: the directory slice shard plus its epoch
+/// mailboxes.
+#[derive(Default)]
+struct SliceCell {
+    slice: Option<SliceImpl>,
+    inbox: Vec<InboxEntry>,
+    outbox: Vec<(usize, DirResponse)>,
+}
+
+/// Pulls each unfinished core's stream into its buffer, never exceeding
+/// the per-core access cap in total pulls — exactly the serial engine's
+/// consumption, so streams can be shared warm-up → measure across engines.
+fn top_up(cells: &[Mutex<CoreCell>], streams: &mut [Box<dyn AccessStream + '_>], cap: u64) {
+    for (i, slot) in cells.iter().enumerate() {
+        let mut cell = lock(slot);
+        debug_assert!(
+            cell.pending.is_none(),
+            "top-up with an unmerged transaction"
+        );
+        if cell.finished.is_some() || cell.exhausted {
+            continue;
+        }
+        while cell.buffer.len() < EPOCH_BATCH && cell.accesses + (cell.buffer.len() as u64) < cap {
+            match streams[i].next_access() {
+                Some(acc) => cell.buffer.push_back(acc),
+                None => {
+                    cell.exhausted = true;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Moves the machine's per-core and per-slice parts into the worker cells
+/// for the parallel phases. Header-sized moves only.
+fn gut(machine: &mut Machine, cells: &[Mutex<CoreCell>], scells: &[Mutex<SliceCell>]) {
+    for (i, caches) in machine.cores.drain(..).enumerate() {
+        lock(&cells[i]).caches = Some(caches);
+    }
+    for (i, stats) in machine.stats.cores.drain(..).enumerate() {
+        lock(&cells[i]).stats = Some(stats);
+    }
+    for (s, slice) in machine.slices.drain(..).enumerate() {
+        lock(&scells[s]).slice = Some(slice);
+    }
+}
+
+/// Moves the parts back so the merge (and the oracle, and fault injection)
+/// sees one whole coherent machine.
+fn reassemble(machine: &mut Machine, cells: &[Mutex<CoreCell>], scells: &[Mutex<SliceCell>]) {
+    for slot in cells {
+        let mut cell = lock(slot);
+        machine.cores.push(match cell.caches.take() {
+            Some(c) => c,
+            None => unreachable!("core cell drained twice"),
+        });
+        machine.stats.cores.push(match cell.stats.take() {
+            Some(s) => s,
+            None => unreachable!("core cell drained twice"),
+        });
+    }
+    for slot in scells {
+        machine.slices.push(match lock(slot).slice.take() {
+            Some(s) => s,
+            None => unreachable!("slice cell drained twice"),
+        });
+    }
+}
+
+/// Phase A: retires private-cache hits for one core until its buffer runs
+/// dry, the access cap is reached, or an access needs the directory — the
+/// exact L1/L2 probe sequence of [`Machine::access`], against the core's
+/// own shard.
+fn run_core_epoch(cell: &mut CoreCell, lat: Latencies, cap: u64) {
+    if cell.finished.is_some() {
+        return;
+    }
+    debug_assert!(
+        cell.pending.is_none(),
+        "unmerged transaction at epoch start"
+    );
+    let caches = match cell.caches.as_mut() {
+        Some(c) => c,
+        None => unreachable!("core cell drained twice"),
+    };
+    let stats = match cell.stats.as_mut() {
+        Some(s) => s,
+        None => unreachable!("core cell drained twice"),
+    };
+    loop {
+        if cell.accesses >= cap {
+            cell.finished = Some(cell.ready);
+            return;
+        }
+        let Some(acc) = cell.buffer.pop_front() else {
+            if cell.exhausted {
+                cell.finished = Some(cell.ready);
+            }
+            return;
+        };
+        stats.accesses += 1;
+        if acc.write {
+            stats.writes += 1;
+        } else {
+            stats.reads += 1;
+        }
+        let line = acc.line;
+
+        // L1 — same one-probe discipline as the serial path.
+        if caches.l1_access(line) {
+            stats.l1_hits += 1;
+            debug_assert!(
+                caches.state(line).is_valid(),
+                "L1 hit with invalid L2 state"
+            );
+            if acc.write && !caches.silent_write(line) {
+                cell.pending = Some(PendingTxn {
+                    access: acc,
+                    kind: AccessKind::Write,
+                    upgrade: true,
+                    base: lat.l1_hit,
+                    slice: SliceId(0),
+                });
+                return;
+            }
+            cell.instructions += u64::from(acc.gap) + 1;
+            cell.accesses += 1;
+            cell.ready += u64::from(acc.gap) + lat.l1_hit;
+            continue;
+        }
+
+        // L2: one probe serves the hit check, the state read, and the
+        // silent-upgrade store.
+        let mut l2_hit = false;
+        let mut needs_upgrade = false;
+        if let Some(state) = caches.l2_access_mut(line) {
+            l2_hit = true;
+            if acc.write {
+                if state.can_write_silently() {
+                    *state = Moesi::Modified;
+                } else {
+                    needs_upgrade = true;
+                }
+            }
+        }
+        if l2_hit {
+            stats.l2_hits += 1;
+            caches.fill_l1(line);
+            if needs_upgrade {
+                cell.pending = Some(PendingTxn {
+                    access: acc,
+                    kind: AccessKind::Write,
+                    upgrade: true,
+                    base: lat.l2_hit,
+                    slice: SliceId(0),
+                });
+                return;
+            }
+            cell.instructions += u64::from(acc.gap) + 1;
+            cell.accesses += 1;
+            cell.ready += u64::from(acc.gap) + lat.l2_hit;
+            continue;
+        }
+
+        // L2 miss: park the directory transaction for phase B.
+        stats.l2_misses += 1;
+        let kind = if acc.write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        cell.pending = Some(PendingTxn {
+            access: acc,
+            kind,
+            upgrade: false,
+            base: 0,
+            slice: SliceId(0),
+        });
+        return;
+    }
+}
+
+/// Routes every pending transaction to its home slice's inbox. Runs on
+/// the main thread between the phases; only `slice_of` (the hash, not the
+/// gutted parts) is consulted.
+fn route(machine: &Machine, cells: &[Mutex<CoreCell>], scells: &[Mutex<SliceCell>]) {
+    for (i, slot) in cells.iter().enumerate() {
+        let mut cell = lock(slot);
+        let ready = cell.ready;
+        if let Some(txn) = cell.pending.as_mut() {
+            let slice = machine.slice_of(txn.access.line);
+            txn.slice = slice;
+            lock(&scells[slice.0]).inbox.push(InboxEntry {
+                ready,
+                core: i,
+                line: txn.access.line,
+                kind: txn.kind,
+            });
+        }
+    }
+}
+
+/// Phase B: drains one slice's inbox in the canonical `(ready, core)`
+/// order — the serial scheduler's key, and unique because each core parks
+/// at most one transaction — performing the directory requests.
+fn drain_slice(scell: &mut SliceCell) {
+    scell.inbox.sort_unstable_by_key(|e| (e.ready, e.core));
+    let slice = match scell.slice.as_mut() {
+        Some(s) => s,
+        None => unreachable!("slice cell drained twice"),
+    };
+    for e in scell.inbox.drain(..) {
+        let resp = slice.as_dir().request(e.line, CoreId(e.core), e.kind);
+        scell.outbox.push((e.core, resp));
+    }
+}
+
+/// Gathers phase B's responses into a per-core table (each core parked at
+/// most one transaction, so slots never collide).
+fn collect_responses(scells: &[Mutex<SliceCell>], responses: &mut [Option<DirResponse>]) {
+    for slot in scells {
+        for (core, resp) in lock(slot).outbox.drain(..) {
+            debug_assert!(
+                responses[core].is_none(),
+                "two responses for one core in an epoch"
+            );
+            responses[core] = Some(resp);
+        }
+    }
+}
+
+/// The merge step: applies every parked transaction's response to the
+/// whole machine in global `(ready, core)` order — the same order each
+/// slice used in phase B, so the directory's assumptions (who holds what)
+/// hold again when the response lands. Also advances the epoch-granular
+/// fault-injection and invariant-oracle hooks.
+fn merge(
+    machine: &mut Machine,
+    cells: &[Mutex<CoreCell>],
+    responses: &mut [Option<DirResponse>],
+    total_retired: &mut u64,
+) {
+    let mut order: Vec<(u64, usize)> = Vec::new();
+    let mut retired_now = 0u64;
+    for (i, slot) in cells.iter().enumerate() {
+        let cell = lock(slot);
+        retired_now += cell.accesses;
+        if cell.pending.is_some() {
+            retired_now += 1;
+            order.push((cell.ready, i));
+        }
+    }
+    order.sort_unstable();
+    let epoch_retired = retired_now - *total_retired;
+    *total_retired = retired_now;
+    machine.fault_epoch(epoch_retired);
+    for (_, i) in order {
+        let mut cell = lock(&cells[i]);
+        let txn = match cell.pending.take() {
+            Some(t) => t,
+            None => unreachable!("merge order lists a core without a transaction"),
+        };
+        let resp = match responses[i].take() {
+            Some(r) => r,
+            None => unreachable!("pending transaction without a directory response"),
+        };
+        let core = CoreId(i);
+        let latency = if txn.upgrade {
+            txn.base + machine.apply_upgrade_response(core, txn.access.line, txn.slice, &resp)
+        } else {
+            machine
+                .apply_miss_response(core, txn.access.line, txn.kind, txn.slice, &resp)
+                .latency
+        };
+        cell.instructions += u64::from(txn.access.gap) + 1;
+        cell.accesses += 1;
+        cell.ready += u64::from(txn.access.gap) + latency;
+    }
+    #[cfg(feature = "check")]
+    machine.oracle_epoch(epoch_retired);
+}
+
+fn all_finished(cells: &[Mutex<CoreCell>]) -> bool {
+    cells.iter().all(|slot| lock(slot).finished.is_some())
+}
+
+fn summary(cells: &[Mutex<CoreCell>]) -> RunSummary {
+    let cores: Vec<CoreRun> = cells
+        .iter()
+        .map(|slot| {
+            let cell = lock(slot);
+            CoreRun {
+                instructions: cell.instructions,
+                accesses: cell.accesses,
+                finish_time: cell.finished.unwrap_or(cell.ready),
+            }
+        })
+        .collect();
+    let cycles = cores.iter().map(|c| c.finish_time).max().unwrap_or(0);
+    RunSummary { cores, cycles }
+}
+
+/// Records the first failure; later ones (usually cascades of the first)
+/// are dropped.
+fn record_failure(failure: &Mutex<Option<Box<dyn Any + Send>>>, p: Box<dyn Any + Send>) {
+    let mut slot = lock(failure);
+    if slot.is_none() {
+        *slot = Some(p);
+    }
+}
+
+/// The epoch loop without threads: same steps, same order, no barriers.
+/// Structurally identical to one worker draining every partition, which is
+/// why `slice_threads = 1` is bit-identical to every other thread count.
+fn run_inline(
+    machine: &mut Machine,
+    streams: &mut [Box<dyn AccessStream + '_>],
+    cap: u64,
+    cells: &[Mutex<CoreCell>],
+    scells: &[Mutex<SliceCell>],
+    responses: &mut [Option<DirResponse>],
+    lat: Latencies,
+) -> Option<Box<dyn Any + Send>> {
+    let mut total_retired = 0u64;
+    loop {
+        if let Err(p) = catch_unwind(AssertUnwindSafe(|| top_up(cells, streams, cap))) {
+            return Some(p);
+        }
+        if all_finished(cells) {
+            return None;
+        }
+        gut(machine, cells, scells);
+        let phases = catch_unwind(AssertUnwindSafe(|| {
+            for slot in cells {
+                run_core_epoch(&mut lock(slot), lat, cap);
+            }
+            route(machine, cells, scells);
+            for slot in scells {
+                drain_slice(&mut lock(slot));
+            }
+        }));
+        reassemble(machine, cells, scells);
+        if let Err(p) = phases {
+            return Some(p);
+        }
+        collect_responses(scells, responses);
+        if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
+            merge(machine, cells, responses, &mut total_retired);
+        })) {
+            return Some(p);
+        }
+    }
+}
+
+/// The epoch loop with `workers` persistent scoped threads. Workers own
+/// the cores and slices of their index partition (`i % workers`); the
+/// main thread runs top-up, routing, and the merge between barriers.
+/// Every phase body is wrapped in `catch_unwind` and every barrier is
+/// always reached, so a panic anywhere drains the protocol instead of
+/// deadlocking it.
+#[allow(clippy::too_many_arguments)]
+fn run_threaded(
+    machine: &mut Machine,
+    streams: &mut [Box<dyn AccessStream + '_>],
+    cap: u64,
+    workers: usize,
+    cells: &[Mutex<CoreCell>],
+    scells: &[Mutex<SliceCell>],
+    responses: &mut [Option<DirResponse>],
+    lat: Latencies,
+) -> Option<Box<dyn Any + Send>> {
+    let n = cells.len();
+    let barrier = Barrier::new(workers + 1);
+    let done = AtomicBool::new(false);
+    let failure: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+    let mut total_retired = 0u64;
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let barrier = &barrier;
+            let done = &done;
+            let failure = &failure;
+            scope.spawn(move || loop {
+                barrier.wait(); // (1) epoch start
+                if done.load(Ordering::Acquire) {
+                    break;
+                }
+                let phase_a = catch_unwind(AssertUnwindSafe(|| {
+                    for i in (w..n).step_by(workers) {
+                        run_core_epoch(&mut lock(&cells[i]), lat, cap);
+                    }
+                }));
+                if let Err(p) = phase_a {
+                    record_failure(failure, p);
+                }
+                barrier.wait(); // (2) phase A done
+                barrier.wait(); // (3) routing done
+                let phase_b = catch_unwind(AssertUnwindSafe(|| {
+                    for s in (w..n).step_by(workers) {
+                        drain_slice(&mut lock(&scells[s]));
+                    }
+                }));
+                if let Err(p) = phase_b {
+                    record_failure(failure, p);
+                }
+                barrier.wait(); // (4) phase B done
+            });
+        }
+        loop {
+            if lock(&failure).is_some() {
+                done.store(true, Ordering::Release);
+                barrier.wait(); // release workers at (1); they see `done`
+                break;
+            }
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| top_up(cells, streams, cap))) {
+                record_failure(&failure, p);
+                continue; // exits through the failure branch above
+            }
+            if all_finished(cells) {
+                done.store(true, Ordering::Release);
+                barrier.wait();
+                break;
+            }
+            gut(machine, cells, scells);
+            barrier.wait(); // (1)
+            barrier.wait(); // (2) — workers ran phase A in between
+            route(machine, cells, scells);
+            barrier.wait(); // (3)
+            barrier.wait(); // (4) — workers ran phase B in between
+            reassemble(machine, cells, scells);
+            if lock(&failure).is_some() {
+                continue; // skip merging half-built state; exit at loop top
+            }
+            collect_responses(scells, responses);
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
+                merge(machine, cells, responses, &mut total_retired);
+            })) {
+                record_failure(&failure, p);
+            }
+        }
+    });
+    let first = lock(&failure).take();
+    first
+}
+
+/// Runs one stream per core under the slice-parallel epoch engine with
+/// `slice_threads` workers, until every stream is exhausted or a core has
+/// issued `max_accesses_per_core` references during this call.
+///
+/// Results are **bit-identical for every `slice_threads` value** — see
+/// the module docs for why — so the thread count is purely a throughput
+/// knob. `slice_threads = 1` runs the epoch loop inline without spawning;
+/// thread counts above the core count are clamped (extra workers would
+/// own empty partitions).
+///
+/// Stream consumption matches [`run_workload`](crate::run_workload)
+/// exactly, so the warm-up-then-measure pattern works unchanged. The
+/// timing model is the epoch-relaxed one described in the module docs;
+/// single-core runs are bit-identical to the serial engine.
+///
+/// # Panics
+///
+/// Panics if `slice_threads` is zero or `streams.len()` differs from the
+/// machine's core count, and re-raises panics from streams or from the
+/// `check`-feature oracle (the machine is left unusable in that case).
+pub fn run_workload_sliced(
+    machine: &mut Machine,
+    streams: &mut [Box<dyn AccessStream + '_>],
+    max_accesses_per_core: u64,
+    slice_threads: usize,
+) -> RunSummary {
+    assert!(slice_threads >= 1, "slice_threads must be at least 1");
+    assert_eq!(
+        streams.len(),
+        machine.num_cores(),
+        "one stream per core required"
+    );
+    let n = machine.num_cores();
+    let cells: Vec<Mutex<CoreCell>> = (0..n).map(|_| Mutex::new(CoreCell::default())).collect();
+    let scells: Vec<Mutex<SliceCell>> = (0..n).map(|_| Mutex::new(SliceCell::default())).collect();
+    let mut responses: Vec<Option<DirResponse>> = (0..n).map(|_| None).collect();
+    let lat = machine.config().latencies;
+
+    machine.lenient = true;
+    let failure = if slice_threads == 1 {
+        run_inline(
+            machine,
+            streams,
+            max_accesses_per_core,
+            &cells,
+            &scells,
+            &mut responses,
+            lat,
+        )
+    } else {
+        run_threaded(
+            machine,
+            streams,
+            max_accesses_per_core,
+            slice_threads.min(n),
+            &cells,
+            &scells,
+            &mut responses,
+            lat,
+        )
+    };
+    machine.lenient = false;
+    if let Some(p) = failure {
+        resume_unwind(p);
+    }
+    summary(&cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DirectoryKind, MachineConfig};
+    use crate::engine::run_workload;
+    use secdir_mem::SplitMix64;
+
+    fn stream(seed: u64, len: usize, lines: u64) -> Box<dyn AccessStream> {
+        let mut rng = SplitMix64::new(seed);
+        let accs: Vec<Access> = (0..len)
+            .map(|_| Access {
+                line: LineAddr::new(rng.next_below(lines)),
+                write: rng.chance(0.3),
+                gap: rng.next_below(8) as u32,
+            })
+            .collect();
+        Box::new(accs.into_iter())
+    }
+
+    fn streams(cores: usize, len: usize) -> Vec<Box<dyn AccessStream>> {
+        (0..cores)
+            .map(|i| stream(0x51ed ^ ((i as u64) << 16), len, 700))
+            .collect()
+    }
+
+    #[test]
+    fn single_core_run_is_bit_identical_to_the_serial_engine() {
+        for threads in [1, 2] {
+            let mut serial = Machine::new(MachineConfig::small(1, DirectoryKind::SecDir));
+            let s_sum = run_workload(&mut serial, &mut streams(1, 3000), u64::MAX);
+            let mut sliced = Machine::new(MachineConfig::small(1, DirectoryKind::SecDir));
+            let p_sum = run_workload_sliced(&mut sliced, &mut streams(1, 3000), u64::MAX, threads);
+            assert_eq!(s_sum, p_sum, "{threads} threads");
+            assert_eq!(serial.stats(), sliced.stats(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn thread_counts_are_bit_identical() {
+        let run = |threads: usize| {
+            let mut m = Machine::new(MachineConfig::small(4, DirectoryKind::SecDir));
+            let sum = run_workload_sliced(&mut m, &mut streams(4, 2500), u64::MAX, threads);
+            (sum, m.stats().clone())
+        };
+        let reference = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), reference, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn machine_is_coherent_after_a_sliced_run() {
+        for kind in [
+            DirectoryKind::Baseline,
+            DirectoryKind::SecDir,
+            DirectoryKind::SecDirVdOnly,
+        ] {
+            let mut m = Machine::new(MachineConfig::small(4, kind));
+            run_workload_sliced(&mut m, &mut streams(4, 2000), u64::MAX, 2);
+            m.verify().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn access_cap_limits_the_run_exactly() {
+        let mut m = Machine::new(MachineConfig::small(4, DirectoryKind::Baseline));
+        let sum = run_workload_sliced(&mut m, &mut streams(4, 2000), 150, 2);
+        for core in &sum.cores {
+            assert_eq!(core.accesses, 150);
+        }
+    }
+
+    #[test]
+    fn warmup_then_measure_consumes_streams_like_the_serial_engine() {
+        // The same streams driven warm-up-then-measure must retire the
+        // same access counts under both engines (stream-consumption
+        // parity), even though multi-core latencies may differ.
+        let mut serial = Machine::new(MachineConfig::small(4, DirectoryKind::SecDir));
+        let mut s = streams(4, 5000);
+        run_workload(&mut serial, &mut s, 1000);
+        let s_measure = run_workload(&mut serial, &mut s, 2000);
+        let mut sliced = Machine::new(MachineConfig::small(4, DirectoryKind::SecDir));
+        let mut p = streams(4, 5000);
+        run_workload_sliced(&mut sliced, &mut p, 1000, 2);
+        let p_measure = run_workload_sliced(&mut sliced, &mut p, 2000, 2);
+        for (a, b) in s_measure.cores.iter().zip(&p_measure.cores) {
+            assert_eq!(a.accesses, b.accesses);
+        }
+        assert_eq!(
+            serial.stats().total_accesses(),
+            sliced.stats().total_accesses()
+        );
+    }
+
+    #[test]
+    fn zero_cap_finishes_immediately() {
+        let mut m = Machine::new(MachineConfig::small(2, DirectoryKind::Baseline));
+        let sum = run_workload_sliced(&mut m, &mut streams(2, 100), 0, 2);
+        assert_eq!(sum.cycles, 0);
+        assert!(sum.cores.iter().all(|c| c.accesses == 0));
+    }
+
+    #[test]
+    fn empty_streams_finish_at_zero() {
+        let mut m = Machine::new(MachineConfig::small(2, DirectoryKind::Baseline));
+        let mut empty: Vec<Box<dyn AccessStream>> = (0..2).map(|_| stream(0, 0, 1)).collect();
+        let sum = run_workload_sliced(&mut m, &mut empty, u64::MAX, 2);
+        assert_eq!(sum.cycles, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one stream per core")]
+    fn stream_count_must_match() {
+        let mut m = Machine::new(MachineConfig::small(2, DirectoryKind::Baseline));
+        run_workload_sliced(&mut m, &mut streams(1, 10), 10, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice_threads must be at least 1")]
+    fn zero_threads_is_rejected() {
+        let mut m = Machine::new(MachineConfig::small(2, DirectoryKind::Baseline));
+        run_workload_sliced(&mut m, &mut streams(2, 10), 10, 0);
+    }
+
+    /// A panicking stream must unwind cleanly out of the threaded engine —
+    /// no deadlocked barrier, no poisoned worker left behind. (The test
+    /// completing at all is the deadlock check.)
+    #[test]
+    fn stream_panic_unwinds_without_deadlock() {
+        struct Bomb(u32);
+        impl AccessStream for Bomb {
+            fn next_access(&mut self) -> Option<Access> {
+                self.0 += 1;
+                assert!(self.0 < 100, "bomb went off");
+                Some(Access::read(LineAddr::new(u64::from(self.0))))
+            }
+        }
+        let mut m = Machine::new(MachineConfig::small(2, DirectoryKind::SecDir));
+        let mut s: Vec<Box<dyn AccessStream>> = vec![Box::new(Bomb(0)), stream(1, 500, 64)];
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_workload_sliced(&mut m, &mut s, u64::MAX, 2)
+        }));
+        assert!(result.is_err(), "the bomb must propagate");
+    }
+}

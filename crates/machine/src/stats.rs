@@ -1,4 +1,10 @@
 //! Machine-level statistics.
+//!
+//! Every counter here is part of the determinism contract: serial reruns,
+//! sweep fan-out, and the slice-parallel engine (`crate::sliced`) must all
+//! reproduce these structures bit for bit, and the golden-stats suite
+//! (`tests/golden_stats.rs`) pins the full serialized form per directory
+//! kind for both engines.
 
 use secdir_coherence::{DirSliceStats, InvalidationCause};
 use serde::{Deserialize, Serialize};

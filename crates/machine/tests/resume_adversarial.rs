@@ -1,0 +1,245 @@
+//! Adversarial checkpoint-resume tests: hostile panic messages.
+//!
+//! A panicking sweep cell records its panic payload verbatim (JSON-escaped)
+//! in the `msg` field of its `{"status":"panicked"}` checkpoint line. Panic
+//! messages routinely quote the very syntax the checkpoint is written in —
+//! assertion messages embed JSON snippets, file paths embed braces, debug
+//! output embeds `"seed":999`. The resume planner must parse such lines by
+//! JSON structure (top-level fields only), never by substring search: a
+//! checkpoint written by [`CellOutcome::to_json_line`] must always round-trip
+//! through [`plan_resume`] back to the cell that actually failed.
+//!
+//! These tests drive that contract end to end through the public API, both
+//! with hand-picked worst cases and with a property sweep over generated
+//! hostile payloads.
+
+use proptest::prelude::*;
+use secdir_machine::resume::plan_resume;
+use secdir_machine::sweep::{
+    run_matrix, write_outcomes_jsonl, CellOutcome, CellSpec, SweepMatrix, SweepOptions,
+};
+use secdir_machine::{Access, AccessStream, DirectoryKind};
+use secdir_mem::LineAddr;
+
+fn factory(cell: &CellSpec) -> Vec<Box<dyn AccessStream + 'static>> {
+    (0..cell.cores)
+        .map(|c| {
+            let base = (c as u64 + 1) << 20;
+            let seed = cell.seed;
+            Box::new(
+                (0..10_000u64).map(move |i| {
+                    Access::read(LineAddr::new(base + (i.wrapping_mul(seed | 1) % 512)))
+                }),
+            ) as Box<dyn AccessStream>
+        })
+        .collect()
+}
+
+fn matrix() -> SweepMatrix {
+    SweepMatrix {
+        workloads: vec!["a".into(), "b".into()],
+        kinds: vec![DirectoryKind::Baseline, DirectoryKind::SecDir],
+        seeds: vec![1, 2],
+        cores: 2,
+        warmup: 50,
+        measure: 200,
+    }
+}
+
+/// A `panicked` record for `cell` whose message is `msg`, produced by the
+/// same writer the sweep harness uses.
+fn panicked_line(cell: &CellSpec, msg: &str) -> String {
+    CellOutcome::Panicked {
+        cell: cell.clone(),
+        msg: msg.to_string(),
+    }
+    .to_json_line()
+}
+
+/// Runs the whole matrix and returns its checkpoint text.
+fn full_checkpoint(cells: &[CellSpec]) -> String {
+    let outcomes = run_matrix(cells, &factory, &SweepOptions::new(2));
+    let mut buf = Vec::new();
+    write_outcomes_jsonl(&mut buf, &outcomes).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+/// Hand-picked hostile payloads: every one quotes checkpoint syntax.
+const HOSTILE_MSGS: &[&str] = &[
+    // A complete fake identity, exactly the shape a substring parser grabs.
+    "oracle tripped: {\"workload\":\"zzz\",\"directory\":\"vd-only\",\"seed\":999,\
+     \"cores\":8,\"warmup\":1,\"measure\":1}",
+    // Closes the record early, then opens a fresh fake one.
+    "\"},{\"workload\":\"b\",\"seed\":2",
+    // Field-injection without braces.
+    "\",\"workload\":\"x\",\"seed\":999,\"measure\":7",
+    // Unbalanced braces in both directions.
+    "}}}}",
+    "{{{{",
+    // Backslash pile-up: every escape the writer emits, doubled.
+    "path \\\\server\\share\\ and a quote \" and a tab \t and newline \n",
+    // A seed lure with nothing else.
+    "\"seed\":999",
+];
+
+#[test]
+fn hostile_panic_messages_round_trip_to_the_failed_cell() {
+    let cells = matrix().cells();
+    for msg in HOSTILE_MSGS {
+        // Cell 0 panicked with a hostile message; every other cell is clean.
+        let mut lines: Vec<String> = full_checkpoint(&cells)
+            .lines()
+            .map(str::to_string)
+            .collect();
+        lines[0] = panicked_line(&cells[0], msg);
+        let text = lines.join("\n");
+        let plan = plan_resume(&cells, &text)
+            .unwrap_or_else(|e| panic!("hostile msg {msg:?} broke the planner: {e}"));
+        assert_eq!(plan.rerun, vec![0], "msg {msg:?} must re-run only cell 0");
+        assert!(
+            !plan.recovered_truncation,
+            "msg {msg:?} misread as truncation"
+        );
+        for (i, kept) in plan.kept.iter().enumerate() {
+            assert_eq!(kept.is_some(), i != 0, "wrong keep decision for cell {i}");
+        }
+    }
+}
+
+#[test]
+fn hostile_panic_record_in_the_middle_is_not_interleaved_garbage() {
+    // A hostile panicked line sitting *between* clean records must parse as
+    // a record (and re-run), not trip the interleaved-garbage hard error.
+    let cells = matrix().cells();
+    let mut lines: Vec<String> = full_checkpoint(&cells)
+        .lines()
+        .map(str::to_string)
+        .collect();
+    let mid = lines.len() / 2;
+    lines[mid] = panicked_line(&cells[mid], HOSTILE_MSGS[0]);
+    let plan = plan_resume(&cells, &lines.join("\n")).unwrap();
+    assert_eq!(plan.rerun, vec![mid]);
+}
+
+#[test]
+fn every_truncation_of_a_hostile_record_is_recovered() {
+    // Kill -9 mid-write: the final line is an arbitrary byte prefix of a
+    // hostile record. No prefix may parse as a (wrong) complete record —
+    // each must be recovered as a truncated tail and the cell re-run.
+    let cells = matrix().cells();
+    let clean: Vec<String> = full_checkpoint(&cells)
+        .lines()
+        .map(str::to_string)
+        .collect();
+    let hostile = panicked_line(&cells[1], HOSTILE_MSGS[0]);
+    for cut in 1..hostile.len() {
+        if !hostile.is_char_boundary(cut) {
+            continue;
+        }
+        let text = format!("{}\n{}", clean[0], &hostile[..cut]);
+        let plan = plan_resume(&cells, &text)
+            .unwrap_or_else(|e| panic!("prefix of {cut} bytes became a hard error: {e}"));
+        assert!(
+            plan.recovered_truncation,
+            "prefix of {cut} bytes parsed as a complete record"
+        );
+        assert_eq!(plan.rerun, (1..cells.len()).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn identity_shaped_text_only_inside_strings_is_malformed() {
+    // A line whose identity fields all live inside one string value has no
+    // top-level identity at all; before the end of the file that is the
+    // interleaved-garbage hard error, not a silent mis-keep.
+    let cells = matrix().cells();
+    let clean = full_checkpoint(&cells);
+    let decoy = "{\"note\":\"\\\"workload\\\":\\\"a\\\",\\\"directory\\\":\\\"baseline\\\",\
+                 \\\"seed\\\":1,\\\"cores\\\":2,\\\"warmup\\\":50,\\\"measure\\\":200\"}";
+    let text = format!("{decoy}\n{clean}");
+    let err = plan_resume(&cells, &text).unwrap_err();
+    assert!(err.contains("line 1"), "err={err}");
+    assert!(err.contains("malformed"), "err={err}");
+}
+
+#[test]
+fn merged_checkpoint_with_hostile_records_is_byte_identical() {
+    // Resume round-trip at the byte level: plan over a checkpoint whose
+    // failures carry hostile messages, re-run the planned cells, merge, and
+    // the kept lines must be byte-for-byte the originals.
+    let cells = matrix().cells();
+    let mut lines: Vec<String> = full_checkpoint(&cells)
+        .lines()
+        .map(str::to_string)
+        .collect();
+    lines[2] = panicked_line(&cells[2], HOSTILE_MSGS[1]);
+    lines[5] = panicked_line(&cells[5], HOSTILE_MSGS[2]);
+    let text = lines.join("\n");
+
+    let plan = plan_resume(&cells, &text).unwrap();
+    assert_eq!(plan.rerun, vec![2, 5]);
+    let to_run: Vec<CellSpec> = plan.rerun.iter().map(|&i| cells[i].clone()).collect();
+    let fresh = run_matrix(&to_run, &factory, &SweepOptions::new(1));
+    let merged = plan.merge(&fresh);
+
+    assert_eq!(merged.len(), cells.len());
+    for (i, line) in merged.iter().enumerate() {
+        if plan.rerun.contains(&i) {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        } else {
+            assert_eq!(line, &lines[i], "kept line {i} not byte-identical");
+        }
+    }
+
+    // And the merged file is itself a complete, resumable checkpoint.
+    let replan = plan_resume(&cells, &merged.join("\n")).unwrap();
+    assert!(replan.is_complete());
+}
+
+/// Fragments the property sweep assembles hostile payloads from. Each is a
+/// piece of checkpoint syntax; concatenations produce field injections,
+/// brace bombs, escape pile-ups, and fake records in every order.
+const FRAGMENTS: &[&str] = &[
+    "\"",
+    "\\",
+    "{",
+    "}",
+    ",",
+    ":",
+    "\n",
+    "\t",
+    "\"seed\":999",
+    "\"workload\":\"evil\"",
+    "\"directory\":\"secdir\"",
+    "\"status\":\"panicked\"",
+    "\"cores\":2,\"warmup\":50,\"measure\":200",
+    "},{",
+    "plain text",
+];
+
+proptest! {
+    /// Any panic payload assembled from checkpoint syntax fragments must
+    /// round-trip: the writer's line parses back to exactly the failed
+    /// cell, and a full merge reproduces every kept line byte-identically.
+    #[test]
+    fn generated_hostile_payloads_round_trip(
+        picks in prop::collection::vec(0usize..FRAGMENTS.len(), 0..12),
+        victim in 0usize..8,
+    ) {
+        let cells = matrix().cells();
+        let msg: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        let mut lines: Vec<String> =
+            full_checkpoint(&cells).lines().map(str::to_string).collect();
+        lines[victim] = panicked_line(&cells[victim], &msg);
+        let plan = plan_resume(&cells, &lines.join("\n"))
+            .unwrap_or_else(|e| panic!("payload {msg:?} broke the planner: {e}"));
+        prop_assert_eq!(&plan.rerun, &vec![victim]);
+        prop_assert!(!plan.recovered_truncation);
+        for (i, kept) in plan.kept.iter().enumerate() {
+            match kept {
+                Some(line) => prop_assert_eq!(line, &lines[i]),
+                None => prop_assert_eq!(i, victim),
+            }
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! secdir-sim attack  [--directory KIND] [--attack NAME] [--bits N] [--cores N]
-//! secdir-sim spec    --mix NAME   [--directory KIND] [--refs N]
+//! secdir-sim spec    --mix NAME   [--directory KIND] [--refs N] [--slice-threads N]
 //! secdir-sim parsec  --app NAME   [--directory KIND] [--refs N]
 //! secdir-sim aes     [--directory KIND] [--encryptions N]
 //! secdir-sim design  [--cores N]
@@ -12,7 +12,7 @@
 //!                    [--threads N] [--out FILE] [--resume FILE]
 //!                    [--fail-fast] [--budget N]
 //! secdir-sim perf    [--quick] [--directories LIST] [--workload NAME]
-//!                    [--threads N] [--out FILE]
+//!                    [--threads N] [--slice-threads LIST] [--out FILE]
 //! secdir-sim inject  [--directories LIST] [--faults LIST] [--trigger N]
 //!                    [--out FILE]
 //! secdir-sim verif   [--kinds LIST] [--cores N] [--lines N] [--l2 N]
@@ -33,7 +33,10 @@ use secdir_machine::inject::{self, FaultKind};
 use secdir_machine::perf::{self, PerfSpec};
 use secdir_machine::resume::plan_resume;
 use secdir_machine::sweep::{run_matrix, CellOutcome, CellSpec, SweepMatrix, SweepOptions};
-use secdir_machine::{run_workload, AccessStream, DirectoryKind, Machine, MachineConfig, ServedBy};
+use secdir_machine::{
+    run_workload, run_workload_sliced, AccessStream, DirectoryKind, Machine, MachineConfig,
+    ServedBy,
+};
 use secdir_mem::{CoreId, LineAddr};
 use secdir_workloads::aes::AesVictim;
 use secdir_workloads::parsec::ParsecApp;
@@ -86,6 +89,23 @@ fn get_parsed<T: std::str::FromStr>(
             .parse()
             .map_err(|_| format!("invalid value for --{key}: `{v}`")),
     }
+}
+
+/// Like [`get_parsed`], but rejects an explicit `0` with a usage error.
+///
+/// Thread, repetition, and cell counts have no meaningful zero value;
+/// silently clamping `--threads 0` to 1 would make the run claim a
+/// configuration the user never asked for, so the flag is refused instead.
+fn get_positive(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: usize,
+) -> Result<usize, String> {
+    let v: usize = get_parsed(flags, key, default)?;
+    if v == 0 {
+        return Err(format!("--{key} must be at least 1, got 0"));
+    }
+    Ok(v)
 }
 
 const ATTACK_USAGE: &str = "\
@@ -145,20 +165,37 @@ fn cmd_attack(args: &[String]) -> Result<(), String> {
 /// measured phase must therefore ask for `refs - refs / 2`, not `refs` —
 /// asking for `refs` again would measure a window as long as warm-up plus
 /// measurement combined.
+///
+/// With `slice_threads: Some(n)` both phases run on the epoch-synchronized
+/// sliced engine instead of the serial one (even for `n = 1`), so CI can
+/// `cmp` the stdout of a 1-thread and a 4-thread run byte for byte; the
+/// report deliberately never prints the thread count.
 fn run_streams_report(
     kind: DirectoryKind,
     mut streams: Vec<Box<dyn AccessStream>>,
     refs: u64,
+    slice_threads: Option<usize>,
 ) -> Result<(), String> {
     let mut machine = Machine::new(MachineConfig::skylake_x(streams.len(), kind));
-    run_workload(&mut machine, &mut streams, refs / 2);
+    let run = |machine: &mut Machine, streams: &mut Vec<Box<dyn AccessStream>>, cap| {
+        match slice_threads {
+            Some(n) => run_workload_sliced(machine, streams, cap, n),
+            None => run_workload(machine, streams, cap),
+        }
+    };
+    run(&mut machine, &mut streams, refs / 2);
     let s0 = machine.stats().clone();
-    let summary = run_workload(&mut machine, &mut streams, refs - refs / 2);
+    let summary = run(&mut machine, &mut streams, refs - refs / 2);
     let stats = machine.stats();
     let (e0, v0, m0) = s0.miss_breakdown();
     let (e1, v1, m1) = stats.miss_breakdown();
     let misses = stats.total_l2_misses() - s0.total_l2_misses();
     println!("directory   : {kind:?}");
+    if slice_threads.is_some() {
+        // Thread-count-independent on purpose: 1-thread and 4-thread runs
+        // must produce byte-identical stdout for the CI `cmp` smoke test.
+        println!("engine      : sliced");
+    }
     println!("mean IPC    : {:.3}", summary.mean_ipc());
     println!("exec cycles : {}", summary.cycles);
     println!("L2 misses   : {misses}");
@@ -177,13 +214,24 @@ fn run_streams_report(
 
 const SPEC_USAGE: &str = "\
 usage: secdir-sim spec --mix NAME [--directory KIND] [--refs N] [--seed N]
-  --mix        mix0..mix11 (Table 5)
-  --directory  directory kind (default secdir)
-  --refs       references per core, half warm-up half measured (default 200000)
-  --seed       workload seed (default 24301)";
+                       [--slice-threads N]
+  --mix            mix0..mix11 (Table 5)
+  --directory      directory kind (default secdir)
+  --refs           references per core, half warm-up half measured
+                   (default 200000)
+  --seed           workload seed (default 24301)
+  --slice-threads  run on the epoch-synchronized sliced engine with N
+                   worker threads (N >= 1; even N=1 selects the sliced
+                   engine). Output is bit-identical for every N; the
+                   default is the serial reference engine.";
 
 fn cmd_spec(args: &[String]) -> Result<(), String> {
-    let Some(flags) = parse_flags(args, &["mix", "directory", "refs", "seed"], SPEC_USAGE)? else {
+    let Some(flags) = parse_flags(
+        args,
+        &["mix", "directory", "refs", "seed", "slice-threads"],
+        SPEC_USAGE,
+    )?
+    else {
         return Ok(());
     };
     let name = flags.get("mix").ok_or("--mix is required (mix0..mix11)")?;
@@ -194,11 +242,15 @@ fn cmd_spec(args: &[String]) -> Result<(), String> {
     let kind = DirectoryKind::parse(flags.get("directory").map_or("secdir", String::as_str))?;
     let refs: u64 = get_parsed(&flags, "refs", 200_000)?;
     let seed: u64 = get_parsed(&flags, "seed", 0x5eedu64)?;
+    let slice_threads = match flags.get("slice-threads") {
+        None => None,
+        Some(_) => Some(get_positive(&flags, "slice-threads", 1)?),
+    };
     println!(
         "mix         : {} ({} + {})",
         mix.name, mix.a.name, mix.b.name
     );
-    run_streams_report(kind, mix.streams(8, seed), refs)
+    run_streams_report(kind, mix.streams(8, seed), refs, slice_threads)
 }
 
 const PARSEC_USAGE: &str = "\
@@ -222,7 +274,7 @@ fn cmd_parsec(args: &[String]) -> Result<(), String> {
     let refs: u64 = get_parsed(&flags, "refs", 200_000)?;
     let seed: u64 = get_parsed(&flags, "seed", 0x9a25ecu64)?;
     println!("app         : {}", app.name);
-    run_streams_report(kind, app.threads(8, seed), refs)
+    run_streams_report(kind, app.threads(8, seed), refs, None)
 }
 
 const AES_USAGE: &str = "\
@@ -364,7 +416,8 @@ usage: secdir-sim sweep [--workloads LIST] [--directories LIST] [--seeds LIST]
   --cores        cores per cell (default 8, the Table-4 machine)
   --warmup       warm-up references per core (default 350000)
   --measure      measured references per core (default 200000)
-  --threads      worker threads (default: available parallelism)
+  --threads      worker threads, must be >= 1 (default: available
+                 parallelism)
   --out          JSONL output file (default: the --resume file, else
                  BENCH_sweep.json)
   --resume       validate FILE as a checkpoint of this same matrix, keep
@@ -458,7 +511,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         return Err("empty matrix: need at least one workload, directory, and seed".into());
     }
     let default_threads = std::thread::available_parallelism().map_or(1, usize::from);
-    let threads = get_parsed(&flags, "threads", default_threads)?.clamp(1, cells.len());
+    let threads = get_positive(&flags, "threads", default_threads)?.min(cells.len());
     let resume_path = flags.get("resume").map(String::as_str);
     let out_path = flags
         .get("out")
@@ -656,21 +709,29 @@ fn cmd_inject(args: &[String]) -> Result<(), String> {
 const PERF_USAGE: &str = "\
 usage: secdir-sim perf [--quick] [--directories LIST] [--workload NAME]
                        [--cores N] [--warmup N] [--measure N] [--reps N]
-                       [--cells N] [--threads N] [--seed N] [--out FILE]
-  --quick        CI-sized smoke run (~10x fewer references)
-  --directories  comma list of kinds (default: all seven)
-  --workload     workload name (default mix0)
-  --cores        cores per machine (default 8)
-  --warmup       warm-up refs/core, untimed in serial mode (default 20000)
-  --measure      measured refs/core (default 200000)
-  --reps         timed serial windows; fastest reported (default 5)
-  --cells        sweep-phase cells, seeded seed..seed+N (default 8)
-  --threads      sweep-phase worker threads (default: all CPUs)
-  --seed         base workload seed (default 0x5eed as 24301)
-  --out          JSONL output file (default BENCH_throughput.json)
-Measures engine throughput (accesses/sec) per directory kind, serial and
-sweep-parallel, and writes one JSON object per sample; errors if any
-sample measures zero accesses/sec.";
+                       [--cells N] [--threads N] [--slice-threads LIST]
+                       [--seed N] [--out FILE]
+  --quick          CI-sized smoke run (~10x fewer references)
+  --directories    comma list of kinds (default: all seven)
+  --workload       workload name (default mix0)
+  --cores          cores per machine (default 8)
+  --warmup         warm-up refs/core, untimed in serial and sliced modes
+                   (default 20000)
+  --measure        measured refs/core (default 200000)
+  --reps           timed serial/sliced windows; fastest reported; must be
+                   >= 1 (default 5)
+  --cells          sweep-phase cells, seeded seed..seed+N; must be >= 1
+                   (default 8)
+  --threads        sweep-phase worker threads, >= 1 (default: all CPUs)
+  --slice-threads  comma list of sliced-engine worker-thread counts, each
+                   >= 1 (default 2,4,8; quick: 4); one mode:\"serial\"
+                   sample with threads > 1 per entry
+  --seed           base workload seed (default 0x5eed as 24301)
+  --out            JSONL output file (default BENCH_throughput.json)
+Measures engine throughput (accesses/sec) per directory kind — serial,
+slice-parallel, and sweep-parallel — and writes one JSON object per
+sample (schema secdir-bench-throughput/2); errors if any sample measures
+zero accesses/sec.";
 
 fn cmd_perf(args: &[String]) -> Result<(), String> {
     let quick = args.iter().any(|a| a == "--quick");
@@ -686,6 +747,7 @@ fn cmd_perf(args: &[String]) -> Result<(), String> {
             "reps",
             "cells",
             "threads",
+            "slice-threads",
             "seed",
             "out",
         ],
@@ -719,9 +781,25 @@ fn cmd_perf(args: &[String]) -> Result<(), String> {
     spec.cores = get_parsed(&flags, "cores", spec.cores)?;
     spec.warmup = get_parsed(&flags, "warmup", spec.warmup)?;
     spec.measure = get_parsed(&flags, "measure", spec.measure)?;
-    spec.serial_reps = get_parsed(&flags, "reps", spec.serial_reps)?.max(1);
-    spec.sweep_cells = get_parsed(&flags, "cells", spec.sweep_cells)?.max(1);
-    spec.threads = get_parsed(&flags, "threads", spec.threads)?.max(1);
+    spec.serial_reps = get_positive(&flags, "reps", spec.serial_reps)?;
+    spec.sweep_cells = get_positive(&flags, "cells", spec.sweep_cells)?;
+    spec.threads = get_positive(&flags, "threads", spec.threads)?;
+    if let Some(list) = flags.get("slice-threads") {
+        let counts = split_list(list)
+            .iter()
+            .map(|s| {
+                s.parse()
+                    .map_err(|_| format!("invalid value in --slice-threads: `{s}`"))
+            })
+            .collect::<Result<Vec<usize>, _>>()?;
+        if counts.is_empty() {
+            return Err("--slice-threads needs at least one thread count".into());
+        }
+        if counts.contains(&0) {
+            return Err("--slice-threads entries must be at least 1, got 0".into());
+        }
+        spec.slice_threads = counts;
+    }
     spec.seed = get_parsed(&flags, "seed", spec.seed)?;
     let out_path = flags
         .get("out")
@@ -771,8 +849,8 @@ usage: secdir-sim verif [--full] [--raw] [--threads N] [--bench PATH]
             explicit --cores/--lines still override
   --raw     disable symmetry canonicalization (explore every raw state
             with the serial checker instead of one orbit representative)
-  --threads worker threads for the canonical frontier BFS (default 1);
-            results are bit-identical at every thread count
+  --threads worker threads for the canonical frontier BFS, must be >= 1
+            (default 1); results are bit-identical at every thread count
   --bench   also run the checker benchmark (both geometries, raw leg
             timed at quick / orbit-derived at full) and write JSONL
             records (schema secdir-bench-checker/1) to PATH
@@ -832,7 +910,7 @@ fn cmd_verif(args: &[String]) -> Result<(), String> {
             .map(|name| parse_model_kind(name))
             .collect::<Result<_, _>>()?,
     };
-    let threads = get_parsed(&flags, "threads", 1usize)?.max(1);
+    let threads = get_positive(&flags, "threads", 1)?;
     let base = if full {
         ModelConfig::full(DirKind::SecDir)
     } else {

@@ -7,7 +7,10 @@
 
 use secdir_machine::resume::plan_resume;
 use secdir_machine::sweep::{run_cell, run_matrix, sweep, CellSpec, SweepMatrix, SweepOptions};
-use secdir_machine::{run_workload_with, DirectoryKind, Machine, MachineConfig, Scheduler};
+use secdir_machine::{
+    run_workload, run_workload_sliced, run_workload_with, DirectoryKind, Machine, MachineConfig,
+    MachineStats, RunSummary, Scheduler,
+};
 use secdir_workloads::registry;
 
 fn small_matrix() -> SweepMatrix {
@@ -87,6 +90,103 @@ fn heap_and_scan_schedulers_agree_on_real_workloads() {
         }
         assert_eq!(results[0], results[1], "{cell:?}");
     }
+}
+
+/// Runs one cell warm-up + measure on the sliced engine and returns the
+/// two summaries plus final stats — everything a thread count could skew.
+fn run_cell_sliced(
+    cell: &CellSpec,
+    slice_threads: usize,
+) -> (RunSummary, RunSummary, MachineStats) {
+    let mut machine = Machine::new(MachineConfig::skylake_x(cell.cores, cell.kind));
+    let mut streams = registry::factory(cell);
+    let warm = run_workload_sliced(&mut machine, &mut streams, cell.warmup, slice_threads);
+    let measured = run_workload_sliced(&mut machine, &mut streams, cell.measure, slice_threads);
+    (warm, measured, machine.stats().clone())
+}
+
+/// The sliced engine's core guarantee: every slice-thread count produces
+/// the same run, bit for bit — summaries, per-core counters, directory
+/// stats, everything. Checked across every directory kind, since the
+/// kinds differ in exactly the directory transactions the slice threads
+/// execute concurrently.
+#[test]
+fn sliced_engine_is_bit_identical_at_any_thread_count() {
+    for kind in DirectoryKind::ALL {
+        let cell = CellSpec {
+            workload: "mix4".into(),
+            kind,
+            seed: 0x5eed,
+            cores: 4,
+            warmup: 2_000,
+            measure: 6_000,
+        };
+        let reference = run_cell_sliced(&cell, 1);
+        for threads in [2, 4, 8] {
+            let other = run_cell_sliced(&cell, threads);
+            assert_eq!(reference, other, "{} at {threads} threads", kind.name());
+        }
+    }
+}
+
+/// With one core there is no cross-core interaction for the epoch barrier
+/// to reorder, so the sliced engine must agree with the serial reference
+/// engine *exactly* — same summaries, same stats — at every thread count.
+#[test]
+fn sliced_single_core_run_equals_the_serial_engine() {
+    for kind in DirectoryKind::ALL {
+        let cell = CellSpec {
+            workload: "mix0".into(),
+            kind,
+            seed: 7,
+            cores: 1,
+            warmup: 1_000,
+            measure: 4_000,
+        };
+        let mut machine = Machine::new(MachineConfig::skylake_x(cell.cores, cell.kind));
+        let mut streams = registry::factory(&cell);
+        let warm = run_workload(&mut machine, &mut streams, cell.warmup);
+        let measured = run_workload(&mut machine, &mut streams, cell.measure);
+        let serial = (warm, measured, machine.stats().clone());
+        for threads in [1, 4] {
+            let sliced = run_cell_sliced(&cell, threads);
+            assert_eq!(serial, sliced, "{} at {threads} threads", kind.name());
+        }
+    }
+}
+
+/// The sliced engine's whole point: wall-clock speedup from running slices
+/// on real parallel hardware. Skips (vacuously passes) below 8 CPUs —
+/// with fewer, barrier overhead swamps the win and the bit-identity tests
+/// above already cover correctness.
+#[test]
+fn sliced_engine_speeds_up_on_parallel_hardware() {
+    let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    if cpus < 8 {
+        eprintln!("skipping sliced speedup check: only {cpus} CPU(s) available");
+        return;
+    }
+    let cell = CellSpec {
+        workload: "mix0".into(),
+        kind: DirectoryKind::SecDir,
+        seed: 0x5eed,
+        cores: 8,
+        warmup: 5_000,
+        measure: 200_000,
+    };
+    let t1 = std::time::Instant::now();
+    let one = run_cell_sliced(&cell, 1);
+    let serial_time = t1.elapsed();
+    let t4 = std::time::Instant::now();
+    let four = run_cell_sliced(&cell, 4);
+    let parallel_time = t4.elapsed();
+    assert_eq!(one, four);
+    let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64();
+    assert!(
+        speedup >= 1.5,
+        "expected >=1.5x speedup on 4 slice threads, got {speedup:.2}x \
+         (1 thread {serial_time:?}, 4 threads {parallel_time:?})"
+    );
 }
 
 /// The sweep's whole point: wall-clock speedup from fan-out. Requires real

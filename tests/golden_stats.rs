@@ -18,7 +18,9 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use secdir_machine::{DirectoryKind, Machine, MachineConfig, MachineStats};
+use secdir_machine::{
+    run_workload_sliced, Access, AccessStream, DirectoryKind, Machine, MachineConfig, MachineStats,
+};
 use secdir_mem::{CoreId, LineAddr, SplitMix64};
 
 /// Fixed workload parameters — changing any of these invalidates every
@@ -115,10 +117,51 @@ fn to_json(stats: &MachineStats) -> String {
     out
 }
 
+/// Drives a fixed per-core streamed workload on the epoch-synchronized
+/// sliced engine and returns the full stats, with the merged directory
+/// counters folded in (the serial snapshots leave `stats.directory`
+/// zeroed; the sliced ones pin it too, so a slice-thread refactor that
+/// perturbs any directory counter shows up as a snapshot diff).
+fn run_sliced(kind: DirectoryKind, slice_threads: usize) -> MachineStats {
+    let mut machine = Machine::new(MachineConfig::small(CORES, kind));
+    let mut streams: Vec<Box<dyn AccessStream>> = (0..CORES)
+        .map(|core| {
+            let mut rng = SplitMix64::new(SEED ^ ((core as u64) << 32));
+            let accesses: Vec<Access> = (0..ACCESSES / CORES)
+                .map(|_| {
+                    let line = LineAddr::new(rng.next_below(LINES));
+                    if rng.chance(WRITE_FRACTION) {
+                        Access::write(line)
+                    } else {
+                        Access::read(line)
+                    }
+                })
+                .collect();
+            Box::new(accesses.into_iter()) as Box<dyn AccessStream>
+        })
+        .collect();
+    run_workload_sliced(
+        &mut machine,
+        &mut streams,
+        (ACCESSES / CORES) as u64,
+        slice_threads,
+    );
+    machine.verify().unwrap();
+    let mut stats = machine.stats().clone();
+    stats.directory = machine.directory_stats();
+    stats
+}
+
 fn snapshot_path(kind: DirectoryKind) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/golden")
         .join(format!("{}.json", kind.name()))
+}
+
+fn sliced_snapshot_path(kind: DirectoryKind) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("sliced-{}.json", kind.name()))
 }
 
 #[test]
@@ -142,6 +185,46 @@ fn every_directory_kind_matches_its_snapshot() {
         if actual != expected {
             failures.push(format!(
                 "{}: stats diverged from {}\n--- expected\n{expected}\n--- actual\n{actual}",
+                kind.name(),
+                path.display()
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}
+
+/// The sliced engine pinned by snapshot: the fixed streamed workload runs
+/// at 1 and 4 slice threads, both must serialize to the committed
+/// `sliced-<kind>.json` byte for byte. One test covers both the engine's
+/// counter stability *and* its cross-thread-count bit-identity.
+#[test]
+fn every_directory_kind_matches_its_sliced_snapshot() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut failures = Vec::new();
+    for &kind in &DirectoryKind::ALL {
+        let actual = to_json(&run_sliced(kind, 1));
+        let at4 = to_json(&run_sliced(kind, 4));
+        assert_eq!(
+            actual,
+            at4,
+            "{}: sliced stats differ between 1 and 4 threads",
+            kind.name()
+        );
+        let path = sliced_snapshot_path(kind);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &actual).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing snapshot {} ({e}); run with UPDATE_GOLDEN=1",
+                path.display()
+            )
+        });
+        if actual != expected {
+            failures.push(format!(
+                "{}: sliced stats diverged from {}\n--- expected\n{expected}\n--- actual\n{actual}",
                 kind.name(),
                 path.display()
             ));
