@@ -134,6 +134,29 @@ pub struct FaultState {
     fired: Option<u64>,
 }
 
+impl FaultState {
+    /// Whether an armed behavioral fault eats this invalidation batch.
+    /// Called from the shared response-application path; marks the fault
+    /// fired when it does. Self-contained on [`FaultState`] so the sliced
+    /// engine can consult it while the machine's parts are checked out.
+    pub(crate) fn drops_batch(&mut self, invalidations: &Invalidations) -> bool {
+        if self.fired.is_some() || self.accesses < self.plan.trigger {
+            return false;
+        }
+        let eats = match self.plan.kind {
+            FaultKind::DropInvalidation => !invalidations.is_empty(),
+            FaultKind::SkipQuirkInvalidation => invalidations
+                .iter()
+                .any(|i| i.cause == InvalidationCause::EdToTdQuirk),
+            FaultKind::LeakVdOnConsolidate | FaultKind::FlipSharerBit => false,
+        };
+        if eats {
+            self.fired = Some(self.accesses);
+        }
+        eats
+    }
+}
+
 impl Machine {
     /// Arms `plan` on this machine. The fault fires once, on the first
     /// eligible access at or after `plan.trigger`; re-arming replaces any
@@ -181,7 +204,7 @@ impl Machine {
     /// (`crate::sliced`): advances the armed fault's access counter by the
     /// epoch's retired accesses and attempts a pending corruption fault
     /// once, at the epoch barrier. Behavioral faults still fire from
-    /// [`Machine::fault_drops_batch`] on the merge phase's shared
+    /// [`FaultState::drops_batch`] on the merge phase's shared
     /// invalidation path. Trigger granularity is therefore one epoch
     /// rather than one access; determinism across slice-thread counts is
     /// unaffected because the epoch schedule is thread-count independent.
@@ -205,29 +228,6 @@ impl Machine {
                 f.fired = Some(f.accesses);
             }
         }
-    }
-
-    /// Whether an armed behavioral fault eats this invalidation batch.
-    /// Called from `apply_invalidations`; marks the fault fired when it
-    /// does.
-    pub(crate) fn fault_drops_batch(&mut self, invalidations: &Invalidations) -> bool {
-        let Some(f) = self.fault.as_mut() else {
-            return false;
-        };
-        if f.fired.is_some() || f.accesses < f.plan.trigger {
-            return false;
-        }
-        let eats = match f.plan.kind {
-            FaultKind::DropInvalidation => !invalidations.is_empty(),
-            FaultKind::SkipQuirkInvalidation => invalidations
-                .iter()
-                .any(|i| i.cause == InvalidationCause::EdToTdQuirk),
-            FaultKind::LeakVdOnConsolidate | FaultKind::FlipSharerBit => false,
-        };
-        if eats {
-            f.fired = Some(f.accesses);
-        }
-        eats
     }
 
     /// Replays the VD-leak bug: the first line the target core holds

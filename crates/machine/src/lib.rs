@@ -49,5 +49,5 @@ pub use engine::{
 pub use inject::{FaultKind, FaultPlan, InjectOutcome};
 pub use machine::{AccessOutcome, Machine, ServedBy};
 pub use oracle::ORACLE_INTERVAL;
-pub use sliced::run_workload_sliced;
+pub use sliced::{run_workload_sliced, run_workload_sliced_with, SlicedOptions};
 pub use stats::{CoreStats, MachineStats};

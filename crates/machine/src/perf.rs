@@ -7,10 +7,12 @@
 //!
 //! * **serial**: one machine, one timed measured phase (the warm-up is
 //!   excluded from the clock and the count) — the per-cell speed of the
-//!   engine itself. With `threads > 1` the same single-machine window is
-//!   driven by the slice-parallel epoch engine
-//!   ([`run_workload_sliced`](crate::run_workload_sliced)) instead, one
-//!   row per entry in [`PerfSpec::slice_threads`].
+//!   reference engine itself.
+//! * **sliced**: the same single-machine window driven by the
+//!   slice-parallel epoch engine
+//!   ([`run_workload_sliced_with`](crate::run_workload_sliced_with)), one
+//!   row per ([`PerfSpec::slice_threads`], [`PerfSpec::epoch_batches`])
+//!   combination, each row carrying its `epoch_batch`/`pipeline` tuning.
 //! * **sweep**: a seed-replicated cell matrix fanned out through
 //!   [`sweep`](crate::sweep::sweep) — the harness-level speed, warm-up
 //!   included in both the clock and the count, recorded as
@@ -18,7 +20,7 @@
 //!   comparable rates.
 //!
 //! Results serialize to JSONL with a fixed field order (`schema`
-//! `secdir-bench-throughput/2`, documented in EXPERIMENTS.md) so
+//! `secdir-bench-throughput/3`, documented in EXPERIMENTS.md) so
 //! `BENCH_throughput.json` diffs cleanly across PRs and the perf
 //! trajectory of the engine is tracked in-repo.
 
@@ -28,7 +30,9 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use crate::sweep::{sweep, CellSpec, StreamFactory};
-use crate::{run_workload, run_workload_sliced, DirectoryKind, Machine, MachineConfig};
+use crate::{
+    run_workload, run_workload_sliced_with, DirectoryKind, Machine, MachineConfig, SlicedOptions,
+};
 
 /// Times `f` against the host's monotonic clock and returns its result
 /// with the elapsed duration. The workspace lint (`secdir-sim lint`)
@@ -67,10 +71,16 @@ pub struct PerfSpec {
     /// the engine's actual speed far better than any single window.
     pub serial_reps: usize,
     /// Slice-thread counts for the epoch-engine samples: one extra
-    /// single-machine row per entry, driven by
-    /// [`run_workload_sliced`](crate::run_workload_sliced). Empty skips
-    /// the sliced samples entirely.
+    /// single-machine row per (thread count, epoch batch) pair, driven by
+    /// [`run_workload_sliced_with`](crate::run_workload_sliced_with).
+    /// Empty skips the sliced samples entirely.
     pub slice_threads: Vec<usize>,
+    /// Epoch-batch values swept for the sliced samples (`--epoch-batch`).
+    /// Each value produces one sliced row per `slice_threads` entry; empty
+    /// skips the sliced samples, like an empty `slice_threads`.
+    pub epoch_batches: Vec<usize>,
+    /// Software pipelining for the sliced samples (`--pipeline`).
+    pub pipeline: bool,
 }
 
 impl PerfSpec {
@@ -87,7 +97,9 @@ impl PerfSpec {
             threads: std::thread::available_parallelism().map_or(1, usize::from),
             seed: 0x5eed,
             serial_reps: 5,
-            slice_threads: vec![2, 4, 8],
+            slice_threads: vec![1, 2, 4, 8],
+            epoch_batches: vec![64],
+            pipeline: false,
         }
     }
 
@@ -109,8 +121,11 @@ impl PerfSpec {
 pub struct PerfSample {
     /// Directory organization measured.
     pub directory: DirectoryKind,
-    /// `"serial"` or `"sweep"`.
+    /// `"serial"`, `"sliced"`, or `"sweep"`.
     pub mode: &'static str,
+    /// Epoch-engine tuning of a `"sliced"` row; `None` on the other
+    /// modes (the fields are omitted from their JSON lines).
+    pub tuning: Option<SlicedOptions>,
     /// Machines run (1 for serial, `sweep_cells` for sweep).
     pub cells: usize,
     /// Worker threads used (1 for the serial reference engine, the
@@ -137,17 +152,27 @@ impl PerfSample {
     }
 
     /// One JSON object (one JSONL line, no trailing newline); fixed field
-    /// order, schema `secdir-bench-throughput/2` (see EXPERIMENTS.md).
-    /// Schema `/2` added `warmup_timed` after `serial_reps`.
+    /// order, schema `secdir-bench-throughput/3` (see EXPERIMENTS.md).
+    /// Schema `/2` added `warmup_timed` after `serial_reps`; schema `/3`
+    /// renamed the epoch-engine rows from `mode:"serial"` to
+    /// `mode:"sliced"` and gave them `epoch_batch`/`pipeline` fields
+    /// after `threads`.
     pub fn to_json_line(&self, spec: &PerfSpec) -> String {
+        let tuning = match self.tuning {
+            Some(t) => format!(
+                ",\"epoch_batch\":{},\"pipeline\":{}",
+                t.epoch_batch, t.pipeline
+            ),
+            None => String::new(),
+        };
         format!(
             concat!(
-                "{{\"schema\":\"secdir-bench-throughput/2\",",
+                "{{\"schema\":\"secdir-bench-throughput/3\",",
                 "\"workload\":\"{workload}\",\"directory\":\"{directory}\",",
                 "\"mode\":\"{mode}\",\"cores\":{cores},\"warmup\":{warmup},",
                 "\"measure\":{measure},\"serial_reps\":{reps},",
                 "\"warmup_timed\":{warmup_timed},",
-                "\"cells\":{cells},\"threads\":{threads},",
+                "\"cells\":{cells},\"threads\":{threads}{tuning},",
                 "\"accesses\":{accesses},\"nanos\":{nanos},",
                 "\"accesses_per_sec\":{aps}}}"
             ),
@@ -161,6 +186,7 @@ impl PerfSample {
             warmup_timed = self.warmup_timed,
             cells = self.cells,
             threads = self.threads,
+            tuning = tuning,
             accesses = self.accesses,
             nanos = self.nanos,
             aps = self.accesses_per_sec(),
@@ -209,6 +235,7 @@ fn measure_serial<F: StreamFactory + ?Sized>(
     PerfSample {
         directory: kind,
         mode: "serial",
+        tuning: None,
         cells: 1,
         threads: 1,
         warmup_timed: false,
@@ -218,25 +245,39 @@ fn measure_serial<F: StreamFactory + ?Sized>(
 }
 
 /// Times the measured phase of one cell under the slice-parallel epoch
-/// engine ([`run_workload_sliced`](crate::run_workload_sliced)) at
-/// `slice_threads` workers. Same windowing discipline as
-/// [`measure_serial`]: warm-up outside the clock, fastest of
-/// `spec.serial_reps` repetitions. Reported as `mode:"serial"` (one
-/// machine, one cell) with `threads` recording the worker count.
+/// engine ([`run_workload_sliced_with`](crate::run_workload_sliced_with))
+/// at `slice_threads` workers with the given tuning. Same windowing
+/// discipline as [`measure_serial`]: warm-up outside the clock, fastest
+/// of `spec.serial_reps` repetitions. Reported as `mode:"sliced"` (one
+/// machine, one cell) with `threads` recording the worker count and the
+/// tuning recorded on the row.
 fn measure_sliced<F: StreamFactory + ?Sized>(
     spec: &PerfSpec,
     kind: DirectoryKind,
     factory: &F,
     slice_threads: usize,
+    options: SlicedOptions,
 ) -> PerfSample {
     let cell = cell_for(spec, kind, spec.seed);
     let mut machine = Machine::new(MachineConfig::skylake_x(cell.cores, cell.kind));
     let mut streams = factory.streams(&cell);
-    run_workload_sliced(&mut machine, &mut streams, cell.warmup, slice_threads);
+    run_workload_sliced_with(
+        &mut machine,
+        &mut streams,
+        cell.warmup,
+        slice_threads,
+        options,
+    );
     let mut best: (u64, u128) = (0, u128::MAX);
     for _ in 0..spec.serial_reps.max(1) {
         let start = Instant::now();
-        let summary = run_workload_sliced(&mut machine, &mut streams, cell.measure, slice_threads);
+        let summary = run_workload_sliced_with(
+            &mut machine,
+            &mut streams,
+            cell.measure,
+            slice_threads,
+            options,
+        );
         let nanos = start.elapsed().as_nanos();
         let accesses: u64 = summary.cores.iter().map(|c| c.accesses).sum();
         if nanos < best.1 {
@@ -246,7 +287,8 @@ fn measure_sliced<F: StreamFactory + ?Sized>(
     let (accesses, nanos) = best;
     PerfSample {
         directory: kind,
-        mode: "serial",
+        mode: "sliced",
+        tuning: Some(options),
         cells: 1,
         threads: slice_threads,
         warmup_timed: false,
@@ -272,6 +314,7 @@ fn measure_sweep<F: StreamFactory + ?Sized>(
     PerfSample {
         directory: kind,
         mode: "sweep",
+        tuning: None,
         cells: cells.len(),
         threads: spec.threads.max(1),
         warmup_timed: true,
@@ -281,15 +324,22 @@ fn measure_sweep<F: StreamFactory + ?Sized>(
 }
 
 /// Runs the full measurement: for each kind in `spec.kinds`, one serial
-/// sample, one epoch-engine sample per [`PerfSpec::slice_threads`] entry,
-/// then one sweep sample, in spec order.
+/// sample, one epoch-engine sample per ([`PerfSpec::slice_threads`],
+/// [`PerfSpec::epoch_batches`]) pair, then one sweep sample, in spec
+/// order.
 pub fn measure<F: StreamFactory + ?Sized>(spec: &PerfSpec, factory: &F) -> Vec<PerfSample> {
-    let per_kind = 2 + spec.slice_threads.len();
+    let per_kind = 2 + spec.slice_threads.len() * spec.epoch_batches.len();
     let mut out = Vec::with_capacity(spec.kinds.len() * per_kind);
     for &kind in &spec.kinds {
         out.push(measure_serial(spec, kind, factory));
         for &st in &spec.slice_threads {
-            out.push(measure_sliced(spec, kind, factory, st));
+            for &batch in &spec.epoch_batches {
+                let options = SlicedOptions {
+                    epoch_batch: batch,
+                    pipeline: spec.pipeline,
+                };
+                out.push(measure_sliced(spec, kind, factory, st, options));
+            }
         }
         out.push(measure_sweep(spec, kind, factory));
     }
@@ -345,6 +395,8 @@ mod tests {
             seed: 7,
             serial_reps: 3,
             slice_threads: vec![2],
+            epoch_batches: vec![64, 256],
+            pipeline: false,
         }
     }
 
@@ -353,6 +405,7 @@ mod tests {
         let s = PerfSample {
             directory: DirectoryKind::Baseline,
             mode: "serial",
+            tuning: None,
             cells: 1,
             threads: 1,
             warmup_timed: false,
@@ -368,22 +421,38 @@ mod tests {
     fn measure_counts_the_right_windows() {
         let spec = tiny_spec();
         let samples = measure(&spec, &factory);
-        let per_kind = 2 + spec.slice_threads.len();
+        let per_kind = 2 + spec.slice_threads.len() * spec.epoch_batches.len();
         assert_eq!(samples.len(), spec.kinds.len() * per_kind);
         for group in samples.chunks(per_kind) {
             let serial = &group[0];
             let swept = &group[per_kind - 1];
             assert_eq!(serial.mode, "serial");
             assert_eq!(serial.threads, 1);
+            assert_eq!(serial.tuning, None);
             assert_eq!(swept.mode, "sweep");
+            assert_eq!(swept.tuning, None);
             assert_eq!(serial.directory, swept.directory);
             // Serial counts only the measured phase, untimed warm-up …
             assert_eq!(serial.accesses, spec.measure * spec.cores as u64);
             assert!(!serial.warmup_timed);
-            // … epoch-engine rows use the same window discipline …
-            for (sliced, &st) in group[1..per_kind - 1].iter().zip(&spec.slice_threads) {
-                assert_eq!(sliced.mode, "serial");
+            // … epoch-engine rows use the same window discipline, one per
+            // (thread count, epoch batch) pair with the tuning recorded …
+            let mut expected = Vec::new();
+            for &st in &spec.slice_threads {
+                for &batch in &spec.epoch_batches {
+                    expected.push((st, batch));
+                }
+            }
+            for (sliced, &(st, batch)) in group[1..per_kind - 1].iter().zip(&expected) {
+                assert_eq!(sliced.mode, "sliced");
                 assert_eq!(sliced.threads, st);
+                assert_eq!(
+                    sliced.tuning,
+                    Some(SlicedOptions {
+                        epoch_batch: batch,
+                        pipeline: false,
+                    })
+                );
                 assert_eq!(sliced.directory, serial.directory);
                 assert_eq!(sliced.accesses, spec.measure * spec.cores as u64);
                 assert!(!sliced.warmup_timed);
@@ -407,6 +476,7 @@ mod tests {
         let s = PerfSample {
             directory: DirectoryKind::SecDir,
             mode: "sweep",
+            tuning: None,
             cells: 2,
             threads: 2,
             warmup_timed: true,
@@ -414,14 +484,37 @@ mod tests {
             nanos: 1_200_000,
         };
         let line = s.to_json_line(&spec);
-        assert!(line.starts_with("{\"schema\":\"secdir-bench-throughput/2\""));
+        assert!(line.starts_with("{\"schema\":\"secdir-bench-throughput/3\""));
         assert!(line.contains("\"directory\":\"secdir\""));
         assert!(line.contains("\"mode\":\"sweep\""));
         assert!(line.contains("\"warmup_timed\":true,\"cells\":2"));
         assert!(line.contains("\"accesses\":4800"));
+        assert!(!line.contains("epoch_batch"), "tuning only on sliced rows");
         assert!(line.ends_with(&format!("\"accesses_per_sec\":{}}}", s.accesses_per_sec())));
         let mut buf = Vec::new();
         write_report(&mut buf, &spec, &[s]).unwrap();
         assert_eq!(String::from_utf8(buf).unwrap().lines().count(), 1);
+    }
+
+    #[test]
+    fn sliced_json_lines_carry_their_tuning() {
+        let spec = tiny_spec();
+        let s = PerfSample {
+            directory: DirectoryKind::SecDir,
+            mode: "sliced",
+            tuning: Some(SlicedOptions {
+                epoch_batch: 256,
+                pipeline: true,
+            }),
+            cells: 1,
+            threads: 4,
+            warmup_timed: false,
+            accesses: 4_800,
+            nanos: 1_200_000,
+        };
+        let line = s.to_json_line(&spec);
+        assert!(line.starts_with("{\"schema\":\"secdir-bench-throughput/3\""));
+        assert!(line.contains("\"mode\":\"sliced\""));
+        assert!(line.contains("\"threads\":4,\"epoch_batch\":256,\"pipeline\":true,"));
     }
 }

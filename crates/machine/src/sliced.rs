@@ -27,11 +27,34 @@
 //!    its inbox in the canonical `(ready-time, core-id)` order — the same
 //!    key the serial engine's `BinaryHeap` scheduler uses — performing the
 //!    directory transaction and recording the response.
-//! 5. **Merge** (main): responses are applied to the whole, reassembled
-//!    machine in the same global canonical order, reusing the serial
-//!    path's `apply_miss_response`/`apply_upgrade_response`, so
+//! 5. **Merge** (main): responses are applied in the same global canonical
+//!    order through the shared response-application path
+//!    (`apply_miss_response_in`/`apply_upgrade_response_in`), so
 //!    invalidation fan-out, owner downgrades, fills and victim evictions
-//!    are processed by exactly one thread against a coherent machine.
+//!    are processed by exactly one thread against a coherent whole.
+//!
+//! # Ownership transfer
+//!
+//! The machine's per-core caches, per-core stats and directory slices are
+//! checked out of the [`Machine`] **once per run**
+//! ([`Machine::take_parts`]) into run-local cells. Between barriers the
+//! cells shuttle between the main thread and per-worker hand-off slots as
+//! header-sized `Vec` moves — a handful of uncontended mutex operations
+//! per *epoch*, not per transaction, and no per-epoch machine surgery.
+//! The merge runs against the cells directly through the
+//! `CoherentParts` view; the machine is reassembled only at
+//! fault-injection/oracle epochs (where those hooks need to walk a whole
+//! coherent machine) and at run end.
+//!
+//! # The epoch barrier
+//!
+//! Synchronization uses a sense-reversing barrier (`EpochBarrier`): one
+//! atomic add per arrival, a bounded spin on the generation word, then a
+//! `thread::yield_now` tier, then `thread::park`. On a machine with spare
+//! cores an epoch crossing stays in user space entirely; oversubscribed
+//! hosts skip the spin and yield straight away. This replaces the four
+//! kernel-mediated `std::sync::Barrier` waits per epoch that dominated the
+//! first version's per-epoch cost.
 //!
 //! # Determinism
 //!
@@ -41,6 +64,20 @@
 //! workers, so stats, latencies and final cache/directory state are
 //! **bit-identical for every `slice_threads` value** — 1, 2, 4 and 8
 //! produce the same run (`tests/determinism.rs`, `tests/golden_stats.rs`).
+//!
+//! [`SlicedOptions::pipeline`] overlaps the *next* epoch's top-up (main
+//! thread: streams and core buffers) with the *current* epoch's slice
+//! phase (workers: directory slices) — two disjoint sets of state, so the
+//! overlap cannot reorder anything. The only observable coupling is the
+//! access cap: top-up normally runs after the merge has retired the
+//! epoch's pending transactions, so the pipelined cap check counts each
+//! in-flight pending explicitly (`accesses + pending + buffered < cap`),
+//! which is exactly the post-merge arithmetic. Pipelined runs are
+//! therefore bit-identical to unpipelined runs (tested). The more
+//! aggressive overlap of phase A with the merge was rejected: the merge's
+//! write set (invalidation fan-out and eviction side effects into
+//! arbitrary cores' caches) is not computable before the merge runs, so
+//! phase A of the next epoch could race it — see DESIGN.md §10.
 //!
 //! # Relation to the serial engine
 //!
@@ -61,15 +98,19 @@
 //! # Failure handling
 //!
 //! Worker and main-phase panics (e.g. the `check`-feature oracle firing
-//! under fault injection) are caught, every barrier is still honored so no
-//! thread deadlocks, the machine is reassembled, and the first panic is
-//! re-raised on the calling thread once all workers have parked.
+//! under fault injection) are caught **once per worker loop**, not per
+//! phase: a panicking worker records the failure and falls into a drain
+//! loop that keeps honoring every barrier, so no thread deadlocks. The
+//! machine gets its parts back, and the first panic is re-raised on the
+//! calling thread once all workers have parked.
 
 use std::any::Any;
 use std::collections::VecDeque;
+use std::hint;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Barrier, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread::Thread;
 
 use secdir_coherence::{AccessKind, DirResponse, Moesi};
 use secdir_mem::{CoreId, LineAddr, SliceId};
@@ -77,20 +118,126 @@ use secdir_mem::{CoreId, LineAddr, SliceId};
 use crate::caches::PrivateCaches;
 use crate::config::Latencies;
 use crate::engine::{Access, AccessStream, CoreRun, RunSummary};
-use crate::machine::{Machine, SliceImpl};
+use crate::machine::{
+    apply_miss_response_in, apply_upgrade_response_in, CoherentParts, Machine, SliceImpl,
+};
 use crate::stats::CoreStats;
 
-/// References buffered per core per epoch. Large enough to amortize the
-/// four barrier crossings over many locally-retired hits, small enough
-/// that cross-core effects stay within a few hundred cycles of their
-/// serial delivery point.
+/// Default for [`SlicedOptions::epoch_batch`]. Large enough to amortize
+/// the four barrier crossings over many locally-retired hits, small
+/// enough that cross-core effects stay within a few hundred cycles of
+/// their serial delivery point.
 const EPOCH_BATCH: usize = 64;
+
+/// Tuning knobs for the slice-parallel engine
+/// ([`run_workload_sliced_with`]). Every setting is a pure throughput
+/// knob: for a fixed `epoch_batch`, results are bit-identical across
+/// every `slice_threads` value and both `pipeline` settings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlicedOptions {
+    /// References buffered per core per epoch. Affects the epoch schedule
+    /// (and can therefore affect when cross-core effects land) but never
+    /// determinism; the default is [`EPOCH_BATCH`] = 64, the value the
+    /// sliced golden snapshots pin.
+    pub epoch_batch: usize,
+    /// Software pipelining: overlap the next epoch's stream top-up with
+    /// the current epoch's slice phase. Bit-identical to the unpipelined
+    /// schedule (see the module docs for the argument); ignored on the
+    /// inline single-threaded path, where there is nothing to overlap.
+    pub pipeline: bool,
+}
+
+impl Default for SlicedOptions {
+    fn default() -> Self {
+        SlicedOptions {
+            epoch_batch: EPOCH_BATCH,
+            pipeline: false,
+        }
+    }
+}
 
 /// Locks a mutex, shrugging off poisoning: a worker that panicked has
 /// already recorded its failure, and the epoch loop unwinds through the
 /// same data to reassemble the machine before re-raising it.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A sense-reversing epoch barrier: `fetch_add` on arrival, release by
+/// bumping the generation word, bounded spin → yield → park while
+/// waiting. All of `std`, no per-crossing kernel round-trip on the happy
+/// path, and safe against lost wake-ups: a parked waiter always rechecks
+/// the generation, and a stale park token at most costs one extra loop.
+struct EpochBarrier {
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    participants: usize,
+    /// Spin iterations before yielding; zero on oversubscribed hosts
+    /// where spinning would steal the timeslice the other side needs.
+    spin_limit: u32,
+    /// Participant thread handles for `unpark`, registered once before a
+    /// thread's first wait.
+    threads: Vec<OnceLock<Thread>>,
+}
+
+/// Yield-tier length between spinning and parking.
+const YIELD_LIMIT: u32 = 16;
+
+impl EpochBarrier {
+    fn new(participants: usize) -> Self {
+        let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+        let spin_limit = if cpus > participants { 4096 } else { 0 };
+        EpochBarrier {
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            participants,
+            spin_limit,
+            threads: (0..participants).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// Registers the calling thread as participant `id`. Must run on that
+    /// thread before its first [`EpochBarrier::wait`]; the release path
+    /// only unparks registered threads, and a thread that has arrived has
+    /// necessarily registered.
+    fn register(&self, id: usize) {
+        let _ = self.threads[id].set(std::thread::current());
+    }
+
+    fn wait(&self, id: usize) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.participants {
+            // Last arriver: reset the count *before* publishing the new
+            // generation, so next-epoch arrivals (which happen-after the
+            // generation load below) see a clean counter.
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+            for (i, slot) in self.threads.iter().enumerate() {
+                if i != id {
+                    if let Some(t) = slot.get() {
+                        t.unpark();
+                    }
+                }
+            }
+        } else {
+            let mut tries = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                if tries < self.spin_limit {
+                    hint::spin_loop();
+                } else if tries < self.spin_limit + YIELD_LIMIT {
+                    std::thread::yield_now();
+                } else {
+                    // A wake-up between the generation check and this
+                    // park leaves a token that makes park return
+                    // immediately; the loop then rechecks the generation,
+                    // so a stale token cannot strand us.
+                    std::thread::park();
+                }
+                tries = tries.saturating_add(1);
+            }
+        }
+    }
 }
 
 /// A core's directory transaction parked at the epoch barrier.
@@ -109,10 +256,9 @@ struct PendingTxn {
     slice: SliceId,
 }
 
-/// Per-core worker cell: the core's shard of the machine plus its engine
-/// bookkeeping. The `Option`s hold the machine's parts only while an epoch
-/// is in flight (gut → phases → reassemble).
-#[derive(Default)]
+/// Per-core cell: the core's checked-out shard of the machine plus its
+/// engine bookkeeping. The `Option`s are `Some` for the whole run except
+/// while a fault/oracle hook epoch has the parts back in the machine.
 struct CoreCell {
     caches: Option<PrivateCaches>,
     stats: Option<CoreStats>,
@@ -138,29 +284,144 @@ struct InboxEntry {
     kind: AccessKind,
 }
 
-/// Per-slice worker cell: the directory slice shard plus its epoch
+/// Per-slice cell: the checked-out directory slice plus its epoch
 /// mailboxes.
-#[derive(Default)]
 struct SliceCell {
     slice: Option<SliceImpl>,
     inbox: Vec<InboxEntry>,
     outbox: Vec<(usize, DirResponse)>,
 }
 
+/// Scratch vectors that carry parts between the cells and the machine on
+/// fault/oracle hook epochs. Capacity is allocated once; the vectors
+/// round-trip through [`Machine::restore_parts`]/[`Machine::take_parts`]
+/// without reallocating.
+struct Shuttle {
+    caches: Vec<PrivateCaches>,
+    stats: Vec<CoreStats>,
+    slices: Vec<SliceImpl>,
+}
+
+/// All run-local state: the checked-out cells plus every buffer the epoch
+/// loop reuses. Allocated once at run start; the steady-state epoch loop
+/// performs no heap allocation (`tests/alloc_free.rs`).
+struct RunState {
+    cells: Vec<CoreCell>,
+    scells: Vec<SliceCell>,
+    responses: Vec<Option<DirResponse>>,
+    /// Merge-order scratch, reused every epoch.
+    order: Vec<(u64, usize)>,
+    shuttle: Shuttle,
+}
+
+/// Checks the machine's parts out into a fresh [`RunState`]; the single
+/// allocation site of the engine.
+fn new_run_state(machine: &mut Machine, epoch_batch: usize) -> RunState {
+    let n = machine.num_cores();
+    let (caches, stats, slices) = machine.take_parts();
+    let cells: Vec<CoreCell> = caches
+        .into_iter()
+        .zip(stats)
+        .map(|(caches, stats)| CoreCell {
+            caches: Some(caches),
+            stats: Some(stats),
+            buffer: VecDeque::with_capacity(epoch_batch),
+            exhausted: false,
+            ready: 0,
+            instructions: 0,
+            accesses: 0,
+            finished: None,
+            pending: None,
+        })
+        .collect();
+    let scells: Vec<SliceCell> = slices
+        .into_iter()
+        .map(|slice| SliceCell {
+            slice: Some(slice),
+            inbox: Vec::with_capacity(n),
+            outbox: Vec::with_capacity(n),
+        })
+        .collect();
+    RunState {
+        cells,
+        scells,
+        responses: (0..n).map(|_| None).collect(),
+        order: Vec::with_capacity(n),
+        shuttle: Shuttle {
+            caches: Vec::with_capacity(n),
+            stats: Vec::with_capacity(n),
+            slices: Vec::with_capacity(n),
+        },
+    }
+}
+
+/// Per-worker hand-off slot. Cells move in and out as whole `Vec`s
+/// (header-sized moves); a worker holds the lock for its entire phase, so
+/// the mutexes see a handful of uncontended operations per epoch.
+struct Slot {
+    cores: Mutex<Vec<CoreCell>>,
+    slices: Mutex<Vec<SliceCell>>,
+}
+
+/// Builds the per-worker slots and the contiguous-chunk partition sizes
+/// (worker `w` owns cores and slices `[Σsizes[..w], Σsizes[..=w])`).
+/// Results do not depend on the partition, so any balanced split works.
+fn new_slots(n: usize, workers: usize) -> (Vec<Slot>, Vec<usize>) {
+    let base = n / workers;
+    let extra = n % workers;
+    let sizes: Vec<usize> = (0..workers)
+        .map(|w| base + usize::from(w < extra))
+        .collect();
+    let slots: Vec<Slot> = sizes
+        .iter()
+        .map(|&k| Slot {
+            cores: Mutex::new(Vec::with_capacity(k)),
+            slices: Mutex::new(Vec::with_capacity(k)),
+        })
+        .collect();
+    (slots, sizes)
+}
+
+/// Moves the home cells into the worker slots, chunk by chunk.
+fn hand_out<T>(
+    home: &mut Vec<T>,
+    slots: &[Slot],
+    sizes: &[usize],
+    get: impl Fn(&Slot) -> &Mutex<Vec<T>>,
+) {
+    for (slot, &k) in slots.iter().zip(sizes) {
+        lock(get(slot)).extend(home.drain(..k));
+    }
+}
+
+/// Moves every worker's cells back into the home vector, in worker (=
+/// core/slice) order.
+fn take_back<T>(home: &mut Vec<T>, slots: &[Slot], get: impl Fn(&Slot) -> &Mutex<Vec<T>>) {
+    for slot in slots {
+        home.append(&mut lock(get(slot)));
+    }
+}
+
 /// Pulls each unfinished core's stream into its buffer, never exceeding
 /// the per-core access cap in total pulls — exactly the serial engine's
-/// consumption, so streams can be shared warm-up → measure across engines.
-fn top_up(cells: &[Mutex<CoreCell>], streams: &mut [Box<dyn AccessStream + '_>], cap: u64) {
-    for (i, slot) in cells.iter().enumerate() {
-        let mut cell = lock(slot);
-        debug_assert!(
-            cell.pending.is_none(),
-            "top-up with an unmerged transaction"
-        );
+/// consumption, so streams can be shared warm-up → measure across
+/// engines. An unmerged pending transaction counts toward the cap (the
+/// merge will retire it), which makes the check correct both after the
+/// merge (pending is `None`) and, under pipelining, before it.
+fn top_up(
+    cells: &mut [CoreCell],
+    streams: &mut [Box<dyn AccessStream + '_>],
+    cap: u64,
+    batch: usize,
+) {
+    for (i, cell) in cells.iter_mut().enumerate() {
         if cell.finished.is_some() || cell.exhausted {
             continue;
         }
-        while cell.buffer.len() < EPOCH_BATCH && cell.accesses + (cell.buffer.len() as u64) < cap {
+        let in_flight = u64::from(cell.pending.is_some());
+        while cell.buffer.len() < batch
+            && cell.accesses + in_flight + (cell.buffer.len() as u64) < cap
+        {
             match streams[i].next_access() {
                 Some(acc) => cell.buffer.push_back(acc),
                 None => {
@@ -169,42 +430,6 @@ fn top_up(cells: &[Mutex<CoreCell>], streams: &mut [Box<dyn AccessStream + '_>],
                 }
             }
         }
-    }
-}
-
-/// Moves the machine's per-core and per-slice parts into the worker cells
-/// for the parallel phases. Header-sized moves only.
-fn gut(machine: &mut Machine, cells: &[Mutex<CoreCell>], scells: &[Mutex<SliceCell>]) {
-    for (i, caches) in machine.cores.drain(..).enumerate() {
-        lock(&cells[i]).caches = Some(caches);
-    }
-    for (i, stats) in machine.stats.cores.drain(..).enumerate() {
-        lock(&cells[i]).stats = Some(stats);
-    }
-    for (s, slice) in machine.slices.drain(..).enumerate() {
-        lock(&scells[s]).slice = Some(slice);
-    }
-}
-
-/// Moves the parts back so the merge (and the oracle, and fault injection)
-/// sees one whole coherent machine.
-fn reassemble(machine: &mut Machine, cells: &[Mutex<CoreCell>], scells: &[Mutex<SliceCell>]) {
-    for slot in cells {
-        let mut cell = lock(slot);
-        machine.cores.push(match cell.caches.take() {
-            Some(c) => c,
-            None => unreachable!("core cell drained twice"),
-        });
-        machine.stats.cores.push(match cell.stats.take() {
-            Some(s) => s,
-            None => unreachable!("core cell drained twice"),
-        });
-    }
-    for slot in scells {
-        machine.slices.push(match lock(slot).slice.take() {
-            Some(s) => s,
-            None => unreachable!("slice cell drained twice"),
-        });
     }
 }
 
@@ -222,11 +447,11 @@ fn run_core_epoch(cell: &mut CoreCell, lat: Latencies, cap: u64) {
     );
     let caches = match cell.caches.as_mut() {
         Some(c) => c,
-        None => unreachable!("core cell drained twice"),
+        None => unreachable!("core part checked out"),
     };
     let stats = match cell.stats.as_mut() {
         Some(s) => s,
-        None => unreachable!("core cell drained twice"),
+        None => unreachable!("core part checked out"),
     };
     loop {
         if cell.accesses >= cap {
@@ -322,16 +547,15 @@ fn run_core_epoch(cell: &mut CoreCell, lat: Latencies, cap: u64) {
 }
 
 /// Routes every pending transaction to its home slice's inbox. Runs on
-/// the main thread between the phases; only `slice_of` (the hash, not the
-/// gutted parts) is consulted.
-fn route(machine: &Machine, cells: &[Mutex<CoreCell>], scells: &[Mutex<SliceCell>]) {
-    for (i, slot) in cells.iter().enumerate() {
-        let mut cell = lock(slot);
+/// the main thread while both cell kinds are home; only `slice_of` (the
+/// hash, never the checked-out parts) is consulted on the machine.
+fn route(machine: &Machine, cells: &mut [CoreCell], scells: &mut [SliceCell]) {
+    for (i, cell) in cells.iter_mut().enumerate() {
         let ready = cell.ready;
         if let Some(txn) = cell.pending.as_mut() {
             let slice = machine.slice_of(txn.access.line);
             txn.slice = slice;
-            lock(&scells[slice.0]).inbox.push(InboxEntry {
+            scells[slice.0].inbox.push(InboxEntry {
                 ready,
                 core: i,
                 line: txn.access.line,
@@ -348,7 +572,7 @@ fn drain_slice(scell: &mut SliceCell) {
     scell.inbox.sort_unstable_by_key(|e| (e.ready, e.core));
     let slice = match scell.slice.as_mut() {
         Some(s) => s,
-        None => unreachable!("slice cell drained twice"),
+        None => unreachable!("slice part checked out"),
     };
     for e in scell.inbox.drain(..) {
         let resp = slice.as_dir().request(e.line, CoreId(e.core), e.kind);
@@ -358,9 +582,9 @@ fn drain_slice(scell: &mut SliceCell) {
 
 /// Gathers phase B's responses into a per-core table (each core parked at
 /// most one transaction, so slots never collide).
-fn collect_responses(scells: &[Mutex<SliceCell>], responses: &mut [Option<DirResponse>]) {
-    for slot in scells {
-        for (core, resp) in lock(slot).outbox.drain(..) {
+fn collect_responses(scells: &mut [SliceCell], responses: &mut [Option<DirResponse>]) {
+    for scell in scells.iter_mut() {
+        for (core, resp) in scell.outbox.drain(..) {
             debug_assert!(
                 responses[core].is_none(),
                 "two responses for one core in an epoch"
@@ -370,21 +594,109 @@ fn collect_responses(scells: &[Mutex<SliceCell>], responses: &mut [Option<DirRes
     }
 }
 
-/// The merge step: applies every parked transaction's response to the
-/// whole machine in global `(ready, core)` order — the same order each
-/// slice used in phase B, so the directory's assumptions (who holds what)
-/// hold again when the response lands. Also advances the epoch-granular
-/// fault-injection and invariant-oracle hooks.
-fn merge(
+/// The run-local cells viewed as `CoherentParts`, so the merge can run
+/// the same generic response-application code as the serial engine
+/// without reassembling the machine.
+struct PartView<'a> {
+    cells: &'a mut [CoreCell],
+    scells: &'a mut [SliceCell],
+}
+
+impl CoherentParts for PartView<'_> {
+    fn caches(&mut self, core: usize) -> &mut PrivateCaches {
+        match self.cells[core].caches.as_mut() {
+            Some(c) => c,
+            None => unreachable!("core part checked out"),
+        }
+    }
+
+    fn core_stats(&mut self, core: usize) -> &mut CoreStats {
+        match self.cells[core].stats.as_mut() {
+            Some(s) => s,
+            None => unreachable!("core part checked out"),
+        }
+    }
+
+    fn slice(&mut self, slice: usize) -> &mut SliceImpl {
+        match self.scells[slice].slice.as_mut() {
+            Some(s) => s,
+            None => unreachable!("slice part checked out"),
+        }
+    }
+}
+
+/// Moves every checked-out part back into the machine (hook epochs and
+/// run end). The shuttle vectors are handed to the machine whole and come
+/// back through [`take_parts_from_machine`] with their capacity intact.
+fn give_parts_to_machine(
     machine: &mut Machine,
-    cells: &[Mutex<CoreCell>],
-    responses: &mut [Option<DirResponse>],
-    total_retired: &mut u64,
+    cells: &mut [CoreCell],
+    scells: &mut [SliceCell],
+    shuttle: &mut Shuttle,
 ) {
-    let mut order: Vec<(u64, usize)> = Vec::new();
+    for cell in cells.iter_mut() {
+        shuttle.caches.push(match cell.caches.take() {
+            Some(c) => c,
+            None => unreachable!("core part drained twice"),
+        });
+        shuttle.stats.push(match cell.stats.take() {
+            Some(s) => s,
+            None => unreachable!("core part drained twice"),
+        });
+    }
+    for scell in scells.iter_mut() {
+        shuttle.slices.push(match scell.slice.take() {
+            Some(s) => s,
+            None => unreachable!("slice part drained twice"),
+        });
+    }
+    machine.restore_parts(
+        std::mem::take(&mut shuttle.caches),
+        std::mem::take(&mut shuttle.stats),
+        std::mem::take(&mut shuttle.slices),
+    );
+}
+
+/// Checks the parts back out of the machine into the cells (end of a hook
+/// epoch).
+fn take_parts_from_machine(
+    machine: &mut Machine,
+    cells: &mut [CoreCell],
+    scells: &mut [SliceCell],
+    shuttle: &mut Shuttle,
+) {
+    let (caches, stats, slices) = machine.take_parts();
+    shuttle.caches = caches;
+    shuttle.stats = stats;
+    shuttle.slices = slices;
+    for (cell, caches) in cells.iter_mut().zip(shuttle.caches.drain(..)) {
+        cell.caches = Some(caches);
+    }
+    for (cell, stats) in cells.iter_mut().zip(shuttle.stats.drain(..)) {
+        cell.stats = Some(stats);
+    }
+    for (scell, slice) in scells.iter_mut().zip(shuttle.slices.drain(..)) {
+        scell.slice = Some(slice);
+    }
+}
+
+/// The merge step: applies every parked transaction's response in global
+/// `(ready, core)` order — the same order each slice used in phase B, so
+/// the directory's assumptions (who holds what) hold again when the
+/// response lands. `hooks` selects the slow path that reassembles the
+/// machine around the fault-injection and invariant-oracle hooks, which
+/// need to walk a whole coherent machine.
+fn merge(machine: &mut Machine, state: &mut RunState, total_retired: &mut u64, hooks: bool) {
+    let RunState {
+        cells,
+        scells,
+        responses,
+        order,
+        shuttle,
+    } = state;
+    order.clear();
     let mut retired_now = 0u64;
-    for (i, slot) in cells.iter().enumerate() {
-        let cell = lock(slot);
+    for (i, cell) in cells.iter().enumerate() {
         retired_now += cell.accesses;
         if cell.pending.is_some() {
             retired_now += 1;
@@ -394,10 +706,99 @@ fn merge(
     order.sort_unstable();
     let epoch_retired = retired_now - *total_retired;
     *total_retired = retired_now;
+    if hooks {
+        merge_hooked(
+            machine,
+            cells,
+            scells,
+            responses,
+            order,
+            shuttle,
+            epoch_retired,
+        );
+    } else {
+        merge_fast(machine, cells, scells, responses, order);
+    }
+}
+
+/// Applies one core's parked transaction and advances its clock. Shared
+/// by both merge paths; `latency` is the full directory round-trip cost.
+fn retire_txn(cell: &mut CoreCell, txn: &PendingTxn, latency: u64) {
+    cell.instructions += u64::from(txn.access.gap) + 1;
+    cell.accesses += 1;
+    cell.ready += u64::from(txn.access.gap) + latency;
+}
+
+/// The steady-state merge: runs the shared response-application code
+/// directly against the cells through [`PartView`]. No part moves, no
+/// locks, no allocation.
+fn merge_fast(
+    machine: &mut Machine,
+    cells: &mut [CoreCell],
+    scells: &mut [SliceCell],
+    responses: &mut [Option<DirResponse>],
+    order: &[(u64, usize)],
+) {
+    let mut ctx = machine.apply_ctx();
+    for &(_, i) in order {
+        let txn = match cells[i].pending.take() {
+            Some(t) => t,
+            None => unreachable!("merge order lists a core without a transaction"),
+        };
+        let resp = match responses[i].take() {
+            Some(r) => r,
+            None => unreachable!("pending transaction without a directory response"),
+        };
+        let core = CoreId(i);
+        let latency = {
+            let mut view = PartView {
+                cells: &mut *cells,
+                scells: &mut *scells,
+            };
+            if txn.upgrade {
+                txn.base
+                    + apply_upgrade_response_in(
+                        &mut ctx,
+                        &mut view,
+                        core,
+                        txn.access.line,
+                        txn.slice,
+                        &resp,
+                    )
+            } else {
+                apply_miss_response_in(
+                    &mut ctx,
+                    &mut view,
+                    core,
+                    txn.access.line,
+                    txn.kind,
+                    txn.slice,
+                    &resp,
+                )
+                .latency
+            }
+        };
+        retire_txn(&mut cells[i], &txn, latency);
+    }
+}
+
+/// The hook-epoch merge: reassembles the machine so the epoch-granular
+/// fault-injection and `check`-feature oracle hooks see one coherent
+/// whole, applies the responses through the machine's own methods (the
+/// same generic code the fast path runs), and checks the parts back out.
+fn merge_hooked(
+    machine: &mut Machine,
+    cells: &mut [CoreCell],
+    scells: &mut [SliceCell],
+    responses: &mut [Option<DirResponse>],
+    order: &[(u64, usize)],
+    shuttle: &mut Shuttle,
+    epoch_retired: u64,
+) {
+    give_parts_to_machine(machine, cells, scells, shuttle);
     machine.fault_epoch(epoch_retired);
-    for (_, i) in order {
-        let mut cell = lock(&cells[i]);
-        let txn = match cell.pending.take() {
+    for &(_, i) in order {
+        let txn = match cells[i].pending.take() {
             Some(t) => t,
             None => unreachable!("merge order lists a core without a transaction"),
         };
@@ -413,28 +814,24 @@ fn merge(
                 .apply_miss_response(core, txn.access.line, txn.kind, txn.slice, &resp)
                 .latency
         };
-        cell.instructions += u64::from(txn.access.gap) + 1;
-        cell.accesses += 1;
-        cell.ready += u64::from(txn.access.gap) + latency;
+        retire_txn(&mut cells[i], &txn, latency);
     }
     #[cfg(feature = "check")]
     machine.oracle_epoch(epoch_retired);
+    take_parts_from_machine(machine, cells, scells, shuttle);
 }
 
-fn all_finished(cells: &[Mutex<CoreCell>]) -> bool {
-    cells.iter().all(|slot| lock(slot).finished.is_some())
+fn all_finished(cells: &[CoreCell]) -> bool {
+    cells.iter().all(|cell| cell.finished.is_some())
 }
 
-fn summary(cells: &[Mutex<CoreCell>]) -> RunSummary {
+fn summary(cells: &[CoreCell]) -> RunSummary {
     let cores: Vec<CoreRun> = cells
         .iter()
-        .map(|slot| {
-            let cell = lock(slot);
-            CoreRun {
-                instructions: cell.instructions,
-                accesses: cell.accesses,
-                finish_time: cell.finished.unwrap_or(cell.ready),
-            }
+        .map(|cell| CoreRun {
+            instructions: cell.instructions,
+            accesses: cell.accesses,
+            finish_time: cell.finished.unwrap_or(cell.ready),
         })
         .collect();
     let cycles = cores.iter().map(|c| c.finish_time).max().unwrap_or(0);
@@ -450,130 +847,169 @@ fn record_failure(failure: &Mutex<Option<Box<dyn Any + Send>>>, p: Box<dyn Any +
     }
 }
 
-/// The epoch loop without threads: same steps, same order, no barriers.
-/// Structurally identical to one worker draining every partition, which is
-/// why `slice_threads = 1` is bit-identical to every other thread count.
+/// The epoch loop without threads: same steps, same order, no barriers,
+/// no hand-off slots, and a single `catch_unwind` for the whole run.
+/// Structurally identical to one worker draining every partition, which
+/// is why `slice_threads = 1` is bit-identical to every other thread
+/// count.
 fn run_inline(
     machine: &mut Machine,
     streams: &mut [Box<dyn AccessStream + '_>],
     cap: u64,
-    cells: &[Mutex<CoreCell>],
-    scells: &[Mutex<SliceCell>],
-    responses: &mut [Option<DirResponse>],
+    state: &mut RunState,
+    opts: SlicedOptions,
     lat: Latencies,
+    hooks: bool,
 ) -> Option<Box<dyn Any + Send>> {
     let mut total_retired = 0u64;
+    catch_unwind(AssertUnwindSafe(|| loop {
+        top_up(&mut state.cells, streams, cap, opts.epoch_batch);
+        if all_finished(&state.cells) {
+            return;
+        }
+        for cell in state.cells.iter_mut() {
+            run_core_epoch(cell, lat, cap);
+        }
+        route(machine, &mut state.cells, &mut state.scells);
+        for scell in state.scells.iter_mut() {
+            drain_slice(scell);
+        }
+        collect_responses(&mut state.scells, &mut state.responses);
+        merge(machine, state, &mut total_retired, hooks);
+    }))
+    .err()
+}
+
+/// One worker's epoch loop: phase A over its core chunk, phase B over its
+/// slice chunk, four barrier crossings per epoch. Returns when the main
+/// thread raises `done` at an epoch-start crossing.
+fn worker_loop(
+    slot: &Slot,
+    barrier: &EpochBarrier,
+    w: usize,
+    done: &AtomicBool,
+    lat: Latencies,
+    cap: u64,
+) {
     loop {
-        if let Err(p) = catch_unwind(AssertUnwindSafe(|| top_up(cells, streams, cap))) {
-            return Some(p);
+        barrier.wait(w); // (1) epoch start
+        if done.load(Ordering::Acquire) {
+            return;
         }
-        if all_finished(cells) {
-            return None;
-        }
-        gut(machine, cells, scells);
-        let phases = catch_unwind(AssertUnwindSafe(|| {
-            for slot in cells {
-                run_core_epoch(&mut lock(slot), lat, cap);
+        {
+            let mut cells = lock(&slot.cores);
+            for cell in cells.iter_mut() {
+                run_core_epoch(cell, lat, cap);
             }
-            route(machine, cells, scells);
-            for slot in scells {
-                drain_slice(&mut lock(slot));
+        }
+        barrier.wait(w); // (2) phase A done
+        barrier.wait(w); // (3) routing done
+        {
+            let mut scells = lock(&slot.slices);
+            for scell in scells.iter_mut() {
+                drain_slice(scell);
             }
-        }));
-        reassemble(machine, cells, scells);
-        if let Err(p) = phases {
-            return Some(p);
         }
-        collect_responses(scells, responses);
-        if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
-            merge(machine, cells, responses, &mut total_retired);
-        })) {
-            return Some(p);
-        }
+        barrier.wait(w); // (4) phase B done
     }
 }
 
-/// The epoch loop with `workers` persistent scoped threads. Workers own
-/// the cores and slices of their index partition (`i % workers`); the
-/// main thread runs top-up, routing, and the merge between barriers.
-/// Every phase body is wrapped in `catch_unwind` and every barrier is
-/// always reached, so a panic anywhere drains the protocol instead of
-/// deadlocking it.
+/// The epoch loop with `workers` persistent scoped threads. Worker `w`
+/// owns a contiguous chunk of cores and slices, handed to it through its
+/// slot; the main thread runs top-up, routing, and the merge between
+/// barrier crossings. A panic anywhere is caught once, recorded, and the
+/// panicking worker falls into a drain loop that keeps every barrier
+/// honored until the main thread announces shutdown — so the protocol
+/// drains instead of deadlocking.
 #[allow(clippy::too_many_arguments)]
 fn run_threaded(
     machine: &mut Machine,
     streams: &mut [Box<dyn AccessStream + '_>],
     cap: u64,
     workers: usize,
-    cells: &[Mutex<CoreCell>],
-    scells: &[Mutex<SliceCell>],
-    responses: &mut [Option<DirResponse>],
+    state: &mut RunState,
+    opts: SlicedOptions,
     lat: Latencies,
+    hooks: bool,
 ) -> Option<Box<dyn Any + Send>> {
-    let n = cells.len();
-    let barrier = Barrier::new(workers + 1);
+    let n = state.cells.len();
+    let (slots, sizes) = new_slots(n, workers);
+    let barrier = EpochBarrier::new(workers + 1);
     let done = AtomicBool::new(false);
     let failure: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
     let mut total_retired = 0u64;
     std::thread::scope(|scope| {
-        for w in 0..workers {
+        for (w, slot) in slots.iter().enumerate() {
             let barrier = &barrier;
             let done = &done;
             let failure = &failure;
-            scope.spawn(move || loop {
-                barrier.wait(); // (1) epoch start
-                if done.load(Ordering::Acquire) {
-                    break;
-                }
-                let phase_a = catch_unwind(AssertUnwindSafe(|| {
-                    for i in (w..n).step_by(workers) {
-                        run_core_epoch(&mut lock(&cells[i]), lat, cap);
-                    }
-                }));
-                if let Err(p) = phase_a {
+            scope.spawn(move || {
+                barrier.register(w);
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
+                    worker_loop(slot, barrier, w, done, lat, cap);
+                })) {
                     record_failure(failure, p);
-                }
-                barrier.wait(); // (2) phase A done
-                barrier.wait(); // (3) routing done
-                let phase_b = catch_unwind(AssertUnwindSafe(|| {
-                    for s in (w..n).step_by(workers) {
-                        drain_slice(&mut lock(&scells[s]));
+                    loop {
+                        barrier.wait(w);
+                        if done.load(Ordering::Acquire) {
+                            break;
+                        }
                     }
-                }));
-                if let Err(p) = phase_b {
-                    record_failure(failure, p);
                 }
-                barrier.wait(); // (4) phase B done
             });
         }
+        let main_id = workers;
+        barrier.register(main_id);
+        // Under pipelining the next epoch's top-up already ran during this
+        // epoch's phase B; `topped_up` skips the loop-top one.
+        let mut topped_up = false;
         loop {
             if lock(&failure).is_some() {
                 done.store(true, Ordering::Release);
-                barrier.wait(); // release workers at (1); they see `done`
+                barrier.wait(main_id); // release workers at (1); they see `done`
                 break;
             }
-            if let Err(p) = catch_unwind(AssertUnwindSafe(|| top_up(cells, streams, cap))) {
-                record_failure(&failure, p);
-                continue; // exits through the failure branch above
+            if !topped_up {
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
+                    top_up(&mut state.cells, streams, cap, opts.epoch_batch);
+                })) {
+                    record_failure(&failure, p);
+                    continue; // exits through the failure branch above
+                }
             }
-            if all_finished(cells) {
+            topped_up = false;
+            if all_finished(&state.cells) {
                 done.store(true, Ordering::Release);
-                barrier.wait();
+                barrier.wait(main_id);
                 break;
             }
-            gut(machine, cells, scells);
-            barrier.wait(); // (1)
-            barrier.wait(); // (2) — workers ran phase A in between
-            route(machine, cells, scells);
-            barrier.wait(); // (3)
-            barrier.wait(); // (4) — workers ran phase B in between
-            reassemble(machine, cells, scells);
+            hand_out(&mut state.cells, &slots, &sizes, |s| &s.cores);
+            barrier.wait(main_id); // (1)
+            barrier.wait(main_id); // (2) — workers ran phase A in between
+            take_back(&mut state.cells, &slots, |s| &s.cores);
+            route(machine, &mut state.cells, &mut state.scells);
+            hand_out(&mut state.scells, &slots, &sizes, |s| &s.slices);
+            barrier.wait(main_id); // (3)
+            if opts.pipeline {
+                // Overlap the next epoch's top-up with phase B: the
+                // workers only touch slice cells between (3) and (4),
+                // while top-up touches streams and core cells — disjoint
+                // state, so this is pure overlap (see the module docs).
+                match catch_unwind(AssertUnwindSafe(|| {
+                    top_up(&mut state.cells, streams, cap, opts.epoch_batch);
+                })) {
+                    Ok(()) => topped_up = true,
+                    Err(p) => record_failure(&failure, p), // still reach (4)
+                }
+            }
+            barrier.wait(main_id); // (4) — workers ran phase B in between
+            take_back(&mut state.scells, &slots, |s| &s.slices);
             if lock(&failure).is_some() {
                 continue; // skip merging half-built state; exit at loop top
             }
-            collect_responses(scells, responses);
+            collect_responses(&mut state.scells, &mut state.responses);
             if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
-                merge(machine, cells, responses, &mut total_retired);
+                merge(machine, state, &mut total_retired, hooks);
             })) {
                 record_failure(&failure, p);
             }
@@ -583,9 +1019,25 @@ fn run_threaded(
     first
 }
 
+/// Returns the machine's parts at run end. If a hook-epoch panic left
+/// them already restored (the hooks run with a reassembled machine), the
+/// machine is whole and there is nothing to do.
+fn restore_at_end(machine: &mut Machine, state: &mut RunState) {
+    if !machine.cores.is_empty() {
+        return;
+    }
+    give_parts_to_machine(
+        machine,
+        &mut state.cells,
+        &mut state.scells,
+        &mut state.shuttle,
+    );
+}
+
 /// Runs one stream per core under the slice-parallel epoch engine with
-/// `slice_threads` workers, until every stream is exhausted or a core has
-/// issued `max_accesses_per_core` references during this call.
+/// `slice_threads` workers and default [`SlicedOptions`], until every
+/// stream is exhausted or a core has issued `max_accesses_per_core`
+/// references during this call.
 ///
 /// Results are **bit-identical for every `slice_threads` value** — see
 /// the module docs for why — so the thread count is purely a throughput
@@ -609,17 +1061,38 @@ pub fn run_workload_sliced(
     max_accesses_per_core: u64,
     slice_threads: usize,
 ) -> RunSummary {
+    run_workload_sliced_with(
+        machine,
+        streams,
+        max_accesses_per_core,
+        slice_threads,
+        SlicedOptions::default(),
+    )
+}
+
+/// [`run_workload_sliced`] with explicit tuning [`SlicedOptions`].
+///
+/// # Panics
+///
+/// Additionally panics if `options.epoch_batch` is zero.
+pub fn run_workload_sliced_with(
+    machine: &mut Machine,
+    streams: &mut [Box<dyn AccessStream + '_>],
+    max_accesses_per_core: u64,
+    slice_threads: usize,
+    options: SlicedOptions,
+) -> RunSummary {
     assert!(slice_threads >= 1, "slice_threads must be at least 1");
+    assert!(options.epoch_batch >= 1, "epoch_batch must be at least 1");
     assert_eq!(
         streams.len(),
         machine.num_cores(),
         "one stream per core required"
     );
     let n = machine.num_cores();
-    let cells: Vec<Mutex<CoreCell>> = (0..n).map(|_| Mutex::new(CoreCell::default())).collect();
-    let scells: Vec<Mutex<SliceCell>> = (0..n).map(|_| Mutex::new(SliceCell::default())).collect();
-    let mut responses: Vec<Option<DirResponse>> = (0..n).map(|_| None).collect();
     let lat = machine.config().latencies;
+    let hooks = machine.fault.is_some() || cfg!(feature = "check");
+    let mut state = new_run_state(machine, options.epoch_batch);
 
     machine.lenient = true;
     let failure = if slice_threads == 1 {
@@ -627,28 +1100,29 @@ pub fn run_workload_sliced(
             machine,
             streams,
             max_accesses_per_core,
-            &cells,
-            &scells,
-            &mut responses,
+            &mut state,
+            options,
             lat,
+            hooks,
         )
     } else {
         run_threaded(
             machine,
             streams,
             max_accesses_per_core,
-            slice_threads.min(n),
-            &cells,
-            &scells,
-            &mut responses,
+            slice_threads.min(n).max(1),
+            &mut state,
+            options,
             lat,
+            hooks,
         )
     };
     machine.lenient = false;
+    restore_at_end(machine, &mut state);
     if let Some(p) = failure {
         resume_unwind(p);
     }
-    summary(&cells)
+    summary(&state.cells)
 }
 
 #[cfg(test)]
@@ -701,6 +1175,35 @@ mod tests {
         }
     }
 
+    /// The tuning knobs must not change a single counter: every
+    /// `epoch_batch` in the perf sweep set and both `pipeline` settings
+    /// reproduce the default run bit for bit, at 1 and 4 threads.
+    #[test]
+    fn options_are_bit_identical_to_the_default_run() {
+        let run = |threads: usize, options: SlicedOptions| {
+            let mut m = Machine::new(MachineConfig::small(4, DirectoryKind::SecDir));
+            let sum =
+                run_workload_sliced_with(&mut m, &mut streams(4, 2500), u64::MAX, threads, options);
+            (sum, m.stats().clone())
+        };
+        let reference = run(1, SlicedOptions::default());
+        for batch in [32, 64, 128, 256, 512] {
+            for pipeline in [false, true] {
+                for threads in [1, 4] {
+                    let options = SlicedOptions {
+                        epoch_batch: batch,
+                        pipeline,
+                    };
+                    assert_eq!(
+                        run(threads, options),
+                        reference,
+                        "batch {batch}, pipeline {pipeline}, {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn machine_is_coherent_after_a_sliced_run() {
         for kind in [
@@ -745,6 +1248,27 @@ mod tests {
         );
     }
 
+    /// Pipelined top-up consumes streams exactly like the unpipelined
+    /// schedule across a warm-up/measure split — the cap check with an
+    /// in-flight pending is the subtle part of the overlap.
+    #[test]
+    fn pipelined_warmup_then_measure_consumes_streams_identically() {
+        let options = SlicedOptions {
+            pipeline: true,
+            ..SlicedOptions::default()
+        };
+        let mut plain = Machine::new(MachineConfig::small(4, DirectoryKind::SecDir));
+        let mut s = streams(4, 5000);
+        let w0 = run_workload_sliced(&mut plain, &mut s, 1000, 2);
+        let m0 = run_workload_sliced(&mut plain, &mut s, 2000, 2);
+        let mut piped = Machine::new(MachineConfig::small(4, DirectoryKind::SecDir));
+        let mut p = streams(4, 5000);
+        let w1 = run_workload_sliced_with(&mut piped, &mut p, 1000, 2, options);
+        let m1 = run_workload_sliced_with(&mut piped, &mut p, 2000, 2, options);
+        assert_eq!((w0, m0), (w1, m1));
+        assert_eq!(plain.stats(), piped.stats());
+    }
+
     #[test]
     fn zero_cap_finishes_immediately() {
         let mut m = Machine::new(MachineConfig::small(2, DirectoryKind::Baseline));
@@ -775,9 +1299,22 @@ mod tests {
         run_workload_sliced(&mut m, &mut streams(2, 10), 10, 0);
     }
 
+    #[test]
+    #[should_panic(expected = "epoch_batch must be at least 1")]
+    fn zero_epoch_batch_is_rejected() {
+        let mut m = Machine::new(MachineConfig::small(2, DirectoryKind::Baseline));
+        let options = SlicedOptions {
+            epoch_batch: 0,
+            pipeline: false,
+        };
+        run_workload_sliced_with(&mut m, &mut streams(2, 10), 10, 2, options);
+    }
+
     /// A panicking stream must unwind cleanly out of the threaded engine —
     /// no deadlocked barrier, no poisoned worker left behind. (The test
-    /// completing at all is the deadlock check.)
+    /// completing at all is the deadlock check.) Runs both with and
+    /// without pipelining: the pipelined top-up panics between barrier
+    /// crossings (3) and (4), the unpipelined one outside the epoch.
     #[test]
     fn stream_panic_unwinds_without_deadlock() {
         struct Bomb(u32);
@@ -788,11 +1325,20 @@ mod tests {
                 Some(Access::read(LineAddr::new(u64::from(self.0))))
             }
         }
-        let mut m = Machine::new(MachineConfig::small(2, DirectoryKind::SecDir));
-        let mut s: Vec<Box<dyn AccessStream>> = vec![Box::new(Bomb(0)), stream(1, 500, 64)];
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            run_workload_sliced(&mut m, &mut s, u64::MAX, 2)
-        }));
-        assert!(result.is_err(), "the bomb must propagate");
+        for pipeline in [false, true] {
+            let options = SlicedOptions {
+                pipeline,
+                ..SlicedOptions::default()
+            };
+            let mut m = Machine::new(MachineConfig::small(2, DirectoryKind::SecDir));
+            let mut s: Vec<Box<dyn AccessStream>> = vec![Box::new(Bomb(0)), stream(1, 500, 64)];
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                run_workload_sliced_with(&mut m, &mut s, u64::MAX, 2, options)
+            }));
+            assert!(
+                result.is_err(),
+                "the bomb must propagate (pipeline {pipeline})"
+            );
+        }
     }
 }

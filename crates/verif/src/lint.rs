@@ -76,6 +76,7 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/vd_only.rs",
     "crates/machine/src/machine.rs",
     "crates/machine/src/caches.rs",
+    "crates/machine/src/sliced.rs",
     "crates/mem/src/inline_vec.rs",
 ];
 

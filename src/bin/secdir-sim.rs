@@ -12,7 +12,8 @@
 //!                    [--threads N] [--out FILE] [--resume FILE]
 //!                    [--fail-fast] [--budget N]
 //! secdir-sim perf    [--quick] [--directories LIST] [--workload NAME]
-//!                    [--threads N] [--slice-threads LIST] [--out FILE]
+//!                    [--threads N] [--slice-threads LIST]
+//!                    [--epoch-batch LIST] [--pipeline] [--out FILE]
 //! secdir-sim inject  [--directories LIST] [--faults LIST] [--trigger N]
 //!                    [--out FILE]
 //! secdir-sim verif   [--kinds LIST] [--cores N] [--lines N] [--l2 N]
@@ -710,6 +711,7 @@ const PERF_USAGE: &str = "\
 usage: secdir-sim perf [--quick] [--directories LIST] [--workload NAME]
                        [--cores N] [--warmup N] [--measure N] [--reps N]
                        [--cells N] [--threads N] [--slice-threads LIST]
+                       [--epoch-batch LIST] [--pipeline]
                        [--seed N] [--out FILE]
   --quick          CI-sized smoke run (~10x fewer references)
   --directories    comma list of kinds (default: all seven)
@@ -724,18 +726,29 @@ usage: secdir-sim perf [--quick] [--directories LIST] [--workload NAME]
                    (default 8)
   --threads        sweep-phase worker threads, >= 1 (default: all CPUs)
   --slice-threads  comma list of sliced-engine worker-thread counts, each
-                   >= 1 (default 2,4,8; quick: 4); one mode:\"serial\"
-                   sample with threads > 1 per entry
+                   >= 1 (default 1,2,4,8; quick: 4); one mode:\"sliced\"
+                   sample per (thread count, epoch batch) pair
+  --epoch-batch    comma list of sliced-engine epoch batch sizes, each
+                   >= 1 (default 64); tuning only — results are
+                   bit-identical for every value
+  --pipeline       overlap the next epoch's top-up with the current
+                   epoch's slice phase in the sliced samples (tuning
+                   only, bit-identical either way)
   --seed           base workload seed (default 0x5eed as 24301)
   --out            JSONL output file (default BENCH_throughput.json)
 Measures engine throughput (accesses/sec) per directory kind — serial,
 slice-parallel, and sweep-parallel — and writes one JSON object per
-sample (schema secdir-bench-throughput/2); errors if any sample measures
+sample (schema secdir-bench-throughput/3); errors if any sample measures
 zero accesses/sec.";
 
 fn cmd_perf(args: &[String]) -> Result<(), String> {
     let quick = args.iter().any(|a| a == "--quick");
-    let rest: Vec<String> = args.iter().filter(|a| *a != "--quick").cloned().collect();
+    let pipeline = args.iter().any(|a| a == "--pipeline");
+    let rest: Vec<String> = args
+        .iter()
+        .filter(|a| *a != "--quick" && *a != "--pipeline")
+        .cloned()
+        .collect();
     let Some(flags) = parse_flags(
         &rest,
         &[
@@ -748,6 +761,7 @@ fn cmd_perf(args: &[String]) -> Result<(), String> {
             "cells",
             "threads",
             "slice-threads",
+            "epoch-batch",
             "seed",
             "out",
         ],
@@ -800,6 +814,23 @@ fn cmd_perf(args: &[String]) -> Result<(), String> {
         }
         spec.slice_threads = counts;
     }
+    if let Some(list) = flags.get("epoch-batch") {
+        let batches = split_list(list)
+            .iter()
+            .map(|s| {
+                s.parse()
+                    .map_err(|_| format!("invalid value in --epoch-batch: `{s}`"))
+            })
+            .collect::<Result<Vec<usize>, _>>()?;
+        if batches.is_empty() {
+            return Err("--epoch-batch needs at least one batch size".into());
+        }
+        if batches.contains(&0) {
+            return Err("--epoch-batch entries must be at least 1, got 0".into());
+        }
+        spec.epoch_batches = batches;
+    }
+    spec.pipeline = pipeline;
     spec.seed = get_parsed(&flags, "seed", spec.seed)?;
     let out_path = flags
         .get("out")

@@ -13,7 +13,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use secdir_machine::{DirectoryKind, Machine, MachineConfig};
+use secdir_machine::{
+    run_workload_sliced_with, Access, AccessStream, DirectoryKind, Machine, MachineConfig,
+    SlicedOptions,
+};
 use secdir_mem::{CoreId, LineAddr, SplitMix64};
 
 struct CountingAlloc;
@@ -51,6 +54,38 @@ fn step(machine: &mut Machine, rng: &mut SplitMix64) {
     machine.access(core, line, write);
 }
 
+/// Pre-generated per-core streams (4 cores, `len` references each), built
+/// entirely *outside* the measured window so stream pulls cannot allocate.
+fn sliced_streams(len: usize) -> Vec<Box<dyn AccessStream>> {
+    (0..4usize)
+        .map(|i| {
+            let mut rng = SplitMix64::new(0xa110_c8ed ^ ((i as u64) << 16));
+            let accs: Vec<Access> = (0..len)
+                .map(|_| Access {
+                    line: LineAddr::new(rng.next_below(1024)),
+                    write: rng.chance(0.3),
+                    gap: rng.next_below(8) as u32,
+                })
+                .collect();
+            Box::new(accs.into_iter()) as Box<dyn AccessStream>
+        })
+        .collect()
+}
+
+/// Total allocations for one whole sliced run of `cap` accesses per core.
+fn sliced_run_allocations(
+    kind: DirectoryKind,
+    cap: u64,
+    threads: usize,
+    options: SlicedOptions,
+) -> u64 {
+    let mut machine = Machine::new(MachineConfig::small(4, kind));
+    let mut streams = sliced_streams(20_000);
+    let before = allocations();
+    run_workload_sliced_with(&mut machine, &mut streams, cap, threads, options);
+    allocations() - before
+}
+
 #[test]
 fn steady_state_accesses_do_not_allocate() {
     // One test function (not one per kind): the counter is process-global
@@ -71,6 +106,43 @@ fn steady_state_accesses_do_not_allocate() {
             0,
             "{}: {delta} heap allocations in 10k steady-state accesses",
             kind.name()
+        );
+    }
+
+    // The sliced engine: a run allocates once at start (run state, worker
+    // slots, threads) and once at end (the summary) — never per epoch. A
+    // 2k-cap run and a 6k-cap run on identical fresh machines differ by
+    // hundreds of epochs, so equal allocation totals prove the
+    // steady-state epoch loop is allocation-free. Skipped under the
+    // `check` feature, where every epoch deliberately reassembles the
+    // machine around the invariant oracle.
+    if cfg!(feature = "check") {
+        eprintln!("skipping sliced alloc check: oracle hook epochs are not alloc-free");
+        return;
+    }
+    for kind in DirectoryKind::ALL {
+        let short = sliced_run_allocations(kind, 2_000, 1, SlicedOptions::default());
+        let long = sliced_run_allocations(kind, 6_000, 1, SlicedOptions::default());
+        assert_eq!(
+            short,
+            long,
+            "{}: inline sliced epochs allocate ({short} vs {long} for 3x the epochs)",
+            kind.name()
+        );
+    }
+    // Threaded and pipelined variants: worker spawns and hand-off slots
+    // are per-run setup; the barrier and the slot shuttling must stay
+    // alloc-free per epoch.
+    for pipeline in [false, true] {
+        let options = SlicedOptions {
+            pipeline,
+            ..SlicedOptions::default()
+        };
+        let short = sliced_run_allocations(DirectoryKind::SecDir, 2_000, 2, options);
+        let long = sliced_run_allocations(DirectoryKind::SecDir, 6_000, 2, options);
+        assert_eq!(
+            short, long,
+            "threaded sliced epochs allocate (pipeline {pipeline}: {short} vs {long})"
         );
     }
 }

@@ -8,8 +8,8 @@
 use secdir_machine::resume::plan_resume;
 use secdir_machine::sweep::{run_cell, run_matrix, sweep, CellSpec, SweepMatrix, SweepOptions};
 use secdir_machine::{
-    run_workload, run_workload_sliced, run_workload_with, DirectoryKind, Machine, MachineConfig,
-    MachineStats, RunSummary, Scheduler,
+    run_workload, run_workload_sliced, run_workload_sliced_with, run_workload_with, DirectoryKind,
+    Machine, MachineConfig, MachineStats, RunSummary, Scheduler, SlicedOptions,
 };
 use secdir_workloads::registry;
 
@@ -151,6 +151,85 @@ fn sliced_single_core_run_equals_the_serial_engine() {
         for threads in [1, 4] {
             let sliced = run_cell_sliced(&cell, threads);
             assert_eq!(serial, sliced, "{} at {threads} threads", kind.name());
+        }
+    }
+}
+
+/// Like [`run_cell_sliced`] but with explicit engine tuning options.
+fn run_cell_sliced_with(
+    cell: &CellSpec,
+    slice_threads: usize,
+    options: SlicedOptions,
+) -> (RunSummary, RunSummary, MachineStats) {
+    let mut machine = Machine::new(MachineConfig::skylake_x(cell.cores, cell.kind));
+    let mut streams = registry::factory(cell);
+    let warm = run_workload_sliced_with(
+        &mut machine,
+        &mut streams,
+        cell.warmup,
+        slice_threads,
+        options,
+    );
+    let measured = run_workload_sliced_with(
+        &mut machine,
+        &mut streams,
+        cell.measure,
+        slice_threads,
+        options,
+    );
+    (warm, measured, machine.stats().clone())
+}
+
+/// The tuning knobs are *pure throughput knobs*: every `--epoch-batch`
+/// value in the perf sweep set and `--pipeline` on/off reproduce the
+/// default configuration bit for bit at 1/2/4/8 threads. The full
+/// batch × pipeline × threads matrix runs on one kind; every directory
+/// kind is then checked on a reduced matrix (the kinds differ only in the
+/// directory transactions, which the full matrix already stresses).
+#[test]
+fn sliced_options_are_bit_identical_to_the_default_configuration() {
+    let cell = CellSpec {
+        workload: "mix4".into(),
+        kind: DirectoryKind::SecDir,
+        seed: 0x5eed,
+        cores: 4,
+        warmup: 2_000,
+        measure: 6_000,
+    };
+    let reference = run_cell_sliced(&cell, 1);
+    for batch in [32, 64, 128, 256, 512] {
+        for pipeline in [false, true] {
+            for threads in [1, 2, 4, 8] {
+                let options = SlicedOptions {
+                    epoch_batch: batch,
+                    pipeline,
+                };
+                let other = run_cell_sliced_with(&cell, threads, options);
+                assert_eq!(
+                    reference, other,
+                    "batch {batch}, pipeline {pipeline}, {threads} threads"
+                );
+            }
+        }
+    }
+    for kind in DirectoryKind::ALL {
+        let cell = CellSpec {
+            kind,
+            ..cell.clone()
+        };
+        let reference = run_cell_sliced(&cell, 1);
+        for (batch, pipeline, threads) in [(32, false, 2), (128, true, 4), (512, true, 8)] {
+            let options = SlicedOptions {
+                epoch_batch: batch,
+                pipeline,
+            };
+            let other = run_cell_sliced_with(&cell, threads, options);
+            assert_eq!(
+                reference,
+                other,
+                "{}: batch {batch}, pipeline {pipeline}, {threads} threads",
+                kind.name()
+            );
         }
     }
 }

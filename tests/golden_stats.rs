@@ -19,7 +19,8 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use secdir_machine::{
-    run_workload_sliced, Access, AccessStream, DirectoryKind, Machine, MachineConfig, MachineStats,
+    run_workload_sliced_with, Access, AccessStream, DirectoryKind, Machine, MachineConfig,
+    MachineStats, SlicedOptions,
 };
 use secdir_mem::{CoreId, LineAddr, SplitMix64};
 
@@ -122,7 +123,7 @@ fn to_json(stats: &MachineStats) -> String {
 /// counters folded in (the serial snapshots leave `stats.directory`
 /// zeroed; the sliced ones pin it too, so a slice-thread refactor that
 /// perturbs any directory counter shows up as a snapshot diff).
-fn run_sliced(kind: DirectoryKind, slice_threads: usize) -> MachineStats {
+fn run_sliced(kind: DirectoryKind, slice_threads: usize, options: SlicedOptions) -> MachineStats {
     let mut machine = Machine::new(MachineConfig::small(CORES, kind));
     let mut streams: Vec<Box<dyn AccessStream>> = (0..CORES)
         .map(|core| {
@@ -140,11 +141,12 @@ fn run_sliced(kind: DirectoryKind, slice_threads: usize) -> MachineStats {
             Box::new(accesses.into_iter()) as Box<dyn AccessStream>
         })
         .collect();
-    run_workload_sliced(
+    run_workload_sliced_with(
         &mut machine,
         &mut streams,
         (ACCESSES / CORES) as u64,
         slice_threads,
+        options,
     );
     machine.verify().unwrap();
     let mut stats = machine.stats().clone();
@@ -195,19 +197,33 @@ fn every_directory_kind_matches_its_snapshot() {
 
 /// The sliced engine pinned by snapshot: the fixed streamed workload runs
 /// at 1 and 4 slice threads, both must serialize to the committed
-/// `sliced-<kind>.json` byte for byte. One test covers both the engine's
-/// counter stability *and* its cross-thread-count bit-identity.
+/// `sliced-<kind>.json` byte for byte, and a tuned run (non-default
+/// epoch batch, pipelining on) must reproduce the *same* snapshot — the
+/// tuning knobs are throughput-only. One test covers the engine's counter
+/// stability, its cross-thread-count bit-identity, and its
+/// options-invariance.
 #[test]
 fn every_directory_kind_matches_its_sliced_snapshot() {
     let update = std::env::var_os("UPDATE_GOLDEN").is_some();
     let mut failures = Vec::new();
     for &kind in &DirectoryKind::ALL {
-        let actual = to_json(&run_sliced(kind, 1));
-        let at4 = to_json(&run_sliced(kind, 4));
+        let actual = to_json(&run_sliced(kind, 1, SlicedOptions::default()));
+        let at4 = to_json(&run_sliced(kind, 4, SlicedOptions::default()));
         assert_eq!(
             actual,
             at4,
             "{}: sliced stats differ between 1 and 4 threads",
+            kind.name()
+        );
+        let tuned = SlicedOptions {
+            epoch_batch: 256,
+            pipeline: true,
+        };
+        let tuned_run = to_json(&run_sliced(kind, 2, tuned));
+        assert_eq!(
+            actual,
+            tuned_run,
+            "{}: sliced stats differ under epoch_batch=256 + pipelining",
             kind.name()
         );
         let path = sliced_snapshot_path(kind);
