@@ -156,6 +156,12 @@ impl Default for SlicedOptions {
     }
 }
 
+// The code between these region markers runs either on the main thread
+// between barrier crossings or inside the barrier itself — outside every
+// catch_unwind net. A panic here strands the other side of the barrier
+// (see the `barrier-panic` lint rule in secdir-verif).
+// lint: begin-region(barrier-worker)
+
 /// Locks a mutex, shrugging off poisoning: a worker that panicked has
 /// already recorded its failure, and the epoch loop unwinds through the
 /// same data to reassemble the machine before re-raising it.
@@ -201,7 +207,12 @@ impl EpochBarrier {
     /// only unparks registered threads, and a thread that has arrived has
     /// necessarily registered.
     fn register(&self, id: usize) {
-        let _ = self.threads[id].set(std::thread::current());
+        // Ids are enumerate() indices plus `workers` for the main thread,
+        // always < participants; `.get` keeps this total all the same — a
+        // panic during registration would strand the already-spinning side.
+        if let Some(slot) = self.threads.get(id) {
+            let _ = slot.set(std::thread::current());
+        }
     }
 
     fn wait(&self, id: usize) {
@@ -210,6 +221,7 @@ impl EpochBarrier {
             // Last arriver: reset the count *before* publishing the new
             // generation, so next-epoch arrivals (which happen-after the
             // generation load below) see a clean counter.
+            // lint: allow(atomic-ordering): the Release store of `generation` below publishes this reset; every waiter Acquire-loads `generation` before its next-epoch `fetch_add`, so the reset happens-before all later arrivals
             self.arrived.store(0, Ordering::Relaxed);
             self.generation
                 .store(gen.wrapping_add(1), Ordering::Release);
@@ -239,6 +251,8 @@ impl EpochBarrier {
         }
     }
 }
+
+// lint: end-region(barrier-worker)
 
 /// A core's directory transaction parked at the epoch barrier.
 struct PendingTxn {
@@ -382,6 +396,7 @@ fn new_slots(n: usize, workers: usize) -> (Vec<Slot>, Vec<usize>) {
     (slots, sizes)
 }
 
+// lint: region(barrier-worker)
 /// Moves the home cells into the worker slots, chunk by chunk.
 fn hand_out<T>(
     home: &mut Vec<T>,
@@ -394,6 +409,7 @@ fn hand_out<T>(
     }
 }
 
+// lint: region(barrier-worker)
 /// Moves every worker's cells back into the home vector, in worker (=
 /// core/slice) order.
 fn take_back<T>(home: &mut Vec<T>, slots: &[Slot], get: impl Fn(&Slot) -> &Mutex<Vec<T>>) {
@@ -546,6 +562,7 @@ fn run_core_epoch(cell: &mut CoreCell, lat: Latencies, cap: u64) {
     }
 }
 
+// lint: region(barrier-worker)
 /// Routes every pending transaction to its home slice's inbox. Runs on
 /// the main thread while both cell kinds are home; only `slice_of` (the
 /// hash, never the checked-out parts) is consulted on the machine.
@@ -555,6 +572,7 @@ fn route(machine: &Machine, cells: &mut [CoreCell], scells: &mut [SliceCell]) {
         if let Some(txn) = cell.pending.as_mut() {
             let slice = machine.slice_of(txn.access.line);
             txn.slice = slice;
+            // lint: allow(barrier-panic): Machine::slice_of maps every line to a SliceId below the slice count, and scells holds one cell per slice by construction
             scells[slice.0].inbox.push(InboxEntry {
                 ready,
                 core: i,
@@ -580,15 +598,18 @@ fn drain_slice(scell: &mut SliceCell) {
     }
 }
 
+// lint: region(barrier-worker)
 /// Gathers phase B's responses into a per-core table (each core parked at
 /// most one transaction, so slots never collide).
 fn collect_responses(scells: &mut [SliceCell], responses: &mut [Option<DirResponse>]) {
     for scell in scells.iter_mut() {
         for (core, resp) in scell.outbox.drain(..) {
+            // lint: allow(barrier-panic): debug-only guard for a structural invariant — each core parks at most one transaction per epoch, so the slot is always empty; kept deliberately because a violation means the response table is already corrupt and a loud debug failure beats silent corruption
             debug_assert!(
                 responses[core].is_none(),
                 "two responses for one core in an epoch"
             );
+            // lint: allow(barrier-panic): `core` is an enumerate() index from route(), always < the core count that sized `responses`
             responses[core] = Some(resp);
         }
     }
@@ -821,6 +842,7 @@ fn merge_hooked(
     take_parts_from_machine(machine, cells, scells, shuttle);
 }
 
+// lint: region(barrier-worker)
 fn all_finished(cells: &[CoreCell]) -> bool {
     cells.iter().all(|cell| cell.finished.is_some())
 }
@@ -838,6 +860,7 @@ fn summary(cells: &[CoreCell]) -> RunSummary {
     RunSummary { cores, cycles }
 }
 
+// lint: region(barrier-worker)
 /// Records the first failure; later ones (usually cascades of the first)
 /// are dropped.
 fn record_failure(failure: &Mutex<Option<Box<dyn Any + Send>>>, p: Box<dyn Any + Send>) {
@@ -880,9 +903,13 @@ fn run_inline(
     .err()
 }
 
+// lint: region(barrier-worker)
 /// One worker's epoch loop: phase A over its core chunk, phase B over its
 /// slice chunk, four barrier crossings per epoch. Returns when the main
-/// thread raises `done` at an epoch-start crossing.
+/// thread raises `done` at an epoch-start crossing. Panics inside the
+/// loop are caught by the spawning closure's `catch_unwind`, but keeping
+/// the loop itself panic-free (the region rule) means the drain protocol
+/// is a second line of defense, not the first.
 fn worker_loop(
     slot: &Slot,
     barrier: &EpochBarrier,
@@ -920,7 +947,11 @@ fn worker_loop(
 /// barrier crossings. A panic anywhere is caught once, recorded, and the
 /// panicking worker falls into a drain loop that keeps every barrier
 /// honored until the main thread announces shutdown — so the protocol
-/// drains instead of deadlocking.
+/// drains instead of deadlocking. Main-thread work that may panic (stream
+/// top-up, the merge) runs under its own `catch_unwind`; everything else
+/// between barrier crossings must be panic-free, which the region
+/// annotation makes the lint gate enforce.
+// lint: region(barrier-worker)
 #[allow(clippy::too_many_arguments)]
 fn run_threaded(
     machine: &mut Machine,

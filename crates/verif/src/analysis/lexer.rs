@@ -1,0 +1,509 @@
+//! A lossless, panic-free Rust token-stream lexer.
+//!
+//! The lexer turns source text into a flat token sequence that the scope
+//! builder and the rules consume. It is deliberately *not* a parser: it
+//! resolves exactly the lexical ambiguities a line-stripping scanner gets
+//! wrong — strings vs code, raw strings (`r#"…"#`) vs raw identifiers
+//! (`r#match`), char literals (`'a'`, `'\u{1F600}'`) vs lifetimes
+//! (`'static`), nested block comments, doc vs plain comments — and leaves
+//! grammar to the consumers.
+//!
+//! Two contracts, both property-tested (`tests/analysis_lexer.rs`):
+//!
+//! * **Total**: `lex` never panics, for any input, valid Rust or not.
+//!   Unterminated literals and comments become a token that runs to end
+//!   of input; unrecognized bytes become one-character [`TokenKind::Other`]
+//!   tokens.
+//! * **Lossless**: token spans are strictly increasing, non-overlapping,
+//!   and the gaps between them contain only whitespace — concatenating
+//!   gaps and token texts reproduces the input byte-for-byte.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `r#match`).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// Numeric literal (`0`, `1_000u64`, `0x7f`, `1.5e-3`).
+    Number,
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`, including unterminated ones (which run to end of input).
+    Str,
+    /// Char or byte literal: `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// Plain line comment (`//…`), excluding doc comments.
+    LineComment,
+    /// Plain block comment (`/*…*/`), nesting-aware, excluding doc forms.
+    BlockComment,
+    /// Doc comment of any form: `///`, `//!`, `/**…*/`, `/*!…*/`.
+    DocComment,
+    /// A single punctuation character (`.`, `:`, `{`, `#`, …).
+    Punct,
+    /// Any byte the lexer does not recognize, one per token.
+    Other,
+}
+
+/// One token: kind plus its byte span and 1-based source position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub lo: usize,
+    /// Byte offset one past the last byte.
+    pub hi: usize,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text, sliced from the source it was lexed from.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        src.get(self.lo..self.hi).unwrap_or("")
+    }
+}
+
+/// Lexes `src` into tokens. Total and lossless — see the module docs.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_whitespace() {
+                self.bump();
+                continue;
+            }
+            let (line, col, lo) = (self.line, self.col, self.pos);
+            let kind = self.next_kind(b);
+            debug_assert!(self.pos > lo, "lexer must always make progress");
+            self.out.push(Token {
+                kind,
+                lo,
+                hi: self.pos,
+                line,
+                col,
+            });
+        }
+        self.out
+    }
+
+    /// Consumes one token starting at the current position (first byte
+    /// `b`, known not to be whitespace) and returns its kind.
+    fn next_kind(&mut self, b: u8) -> TokenKind {
+        match b {
+            b'/' => match self.peek(1) {
+                Some(b'/') => self.line_comment(),
+                Some(b'*') => self.block_comment(),
+                _ => self.punct(),
+            },
+            b'"' => self.string(0),
+            b'\'' => self.char_or_lifetime(),
+            b'r' | b'b' => self.ident_or_prefixed_literal(),
+            _ if is_ident_start(b) => self.ident(),
+            _ if b.is_ascii_digit() => self.number(),
+            _ if b.is_ascii_punctuation() => self.punct(),
+            _ if b < 0x80 => self.other(),
+            _ => self.utf8_char_token(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining line/col.
+    fn bump(&mut self) {
+        if self.bytes.get(self.pos) == Some(&b'\n') {
+            self.line = self.line.saturating_add(1);
+            self.col = 1;
+        } else {
+            self.col = self.col.saturating_add(1);
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn punct(&mut self) -> TokenKind {
+        self.bump();
+        TokenKind::Punct
+    }
+
+    fn other(&mut self) -> TokenKind {
+        self.bump();
+        TokenKind::Other
+    }
+
+    /// One non-ASCII `char` becomes one `Other` token (keeps spans on
+    /// UTF-8 boundaries).
+    fn utf8_char_token(&mut self) -> TokenKind {
+        self.bump_full_char();
+        TokenKind::Other
+    }
+
+    /// Consumes one full UTF-8 character (or one byte, if the position is
+    /// not a character boundary), so token ends stay on boundaries.
+    fn bump_full_char(&mut self) {
+        let n = self
+            .src
+            .get(self.pos..)
+            .and_then(|s| s.chars().next())
+            .map_or(1, char::len_utf8);
+        self.bump_n(n);
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        // `///` (but not `////…`) and `//!` are doc comments.
+        let doc = match (self.peek(2), self.peek(3)) {
+            (Some(b'!'), _) => true,
+            (Some(b'/'), Some(b'/')) => false,
+            (Some(b'/'), _) => true,
+            _ => false,
+        };
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.bump();
+        }
+        if doc {
+            TokenKind::DocComment
+        } else {
+            TokenKind::LineComment
+        }
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        // `/**` (but not `/***` or the empty `/**/`) and `/*!` are doc.
+        let doc = match (self.peek(2), self.peek(3)) {
+            (Some(b'!'), _) => true,
+            (Some(b'*'), Some(b'*')) => false,
+            (Some(b'*'), Some(b'/')) => false,
+            (Some(b'*'), _) => true,
+            _ => false,
+        };
+        self.bump_n(2);
+        let mut depth = 1u32;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump_n(2);
+            } else if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth = depth.saturating_add(1);
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+        // An unterminated comment runs to end of input — still a token.
+        if doc {
+            TokenKind::DocComment
+        } else {
+            TokenKind::BlockComment
+        }
+    }
+
+    /// A `"…"` string with `\` escapes; `hashes` > 0 means raw mode
+    /// (no escapes, closed by `"` followed by that many `#`). The opening
+    /// quote is at the current position.
+    fn string(&mut self, hashes: usize) -> TokenKind {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' if hashes == 0 => {
+                    self.bump();
+                    if self.pos < self.bytes.len() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    if (1..=hashes).all(|k| self.peek(k) == Some(b'#')) {
+                        self.bump_n(1 + hashes);
+                        return TokenKind::Str;
+                    }
+                    self.bump();
+                }
+                _ => self.bump(),
+            }
+        }
+        TokenKind::Str // unterminated: runs to end of input
+    }
+
+    /// `'` starts either a lifetime or a char literal:
+    /// `'a` followed by a non-`'` is a lifetime; `'a'`, `'\n'`, `'\u{…}'`
+    /// are char literals.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.bump(); // the quote
+        match self.bytes.get(self.pos).copied() {
+            Some(b'\\') => {
+                // Escaped char literal: consume to the closing quote.
+                self.bump();
+                while self.pos < self.bytes.len() {
+                    let c = self.bytes[self.pos];
+                    self.bump();
+                    if c == b'\'' {
+                        break;
+                    }
+                }
+                TokenKind::Char
+            }
+            Some(c) if is_ident_start(c) => {
+                // `'a'` is a char; `'ab`, `'a)` etc. are lifetimes.
+                let mut n = 1;
+                while self.peek(n).is_some_and(is_ident_continue) {
+                    n += 1;
+                }
+                if self.peek(n) == Some(b'\'') && n == 1 {
+                    self.bump_n(2);
+                    TokenKind::Char
+                } else {
+                    self.bump_n(n);
+                    TokenKind::Lifetime
+                }
+            }
+            Some(b'\'') => {
+                // `''` — empty char literal (invalid Rust, but total).
+                self.bump();
+                TokenKind::Char
+            }
+            Some(_) => {
+                // `'+'`-style: single char then closing quote, if present.
+                self.bump_full_char();
+                if self.bytes.get(self.pos) == Some(&b'\'') {
+                    self.bump();
+                }
+                TokenKind::Char
+            }
+            None => TokenKind::Char, // lone trailing quote
+        }
+    }
+
+    /// `r`/`b` may open a raw string (`r"`, `r#"`), a byte string (`b"`,
+    /// `br#"`), a byte char (`b'x'`), a raw identifier (`r#match`), or be
+    /// a plain identifier (`result`).
+    fn ident_or_prefixed_literal(&mut self) -> TokenKind {
+        let b0 = self.bytes[self.pos];
+        // Longest literal prefix: r, b, br, rb (rb is invalid Rust; treat
+        // as ident).
+        let after = if b0 == b'b' && self.peek(1) == Some(b'r') {
+            2
+        } else {
+            1
+        };
+        // Count hashes after the prefix.
+        let mut hashes = 0;
+        while self.peek(after + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        match self.peek(after + hashes) {
+            Some(b'"') => {
+                self.bump_n(after + hashes);
+                return self.string(hashes);
+            }
+            Some(b'\'') if b0 == b'b' && after == 1 && hashes == 0 => {
+                self.bump();
+                return self.char_or_lifetime();
+            }
+            _ => {}
+        }
+        if b0 == b'r' && self.peek(1) == Some(b'#') && self.peek(2).is_some_and(is_ident_start) {
+            // Raw identifier `r#match`: consume prefix, lex as ident.
+            self.bump_n(2);
+            return self.ident();
+        }
+        self.ident()
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.bump();
+        }
+        TokenKind::Ident
+    }
+
+    /// Numbers, permissively: digits, `_`, alphanumeric suffixes and hex
+    /// digits, one `.` when followed by a digit (so `0..10` stays two
+    /// tokens and a range), and a signed exponent (`1e-3`).
+    fn number(&mut self) -> TokenKind {
+        self.bump();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(&c) if c.is_ascii_alphanumeric() || c == b'_' => {
+                    let exp = (c == b'e' || c == b'E')
+                        && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                        && self.peek(2).is_some_and(|d| d.is_ascii_digit());
+                    self.bump();
+                    if exp {
+                        self.bump(); // the sign
+                    }
+                }
+                Some(b'.') if self.peek(1).is_some_and(|d| d.is_ascii_digit()) => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        TokenKind::Number
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// True for comment kinds (doc or plain).
+pub fn is_comment(kind: TokenKind) -> bool {
+    matches!(
+        kind,
+        TokenKind::LineComment | TokenKind::BlockComment | TokenKind::DocComment
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn raw_string_is_one_token_and_raw_ident_is_not() {
+        let src = r##"let s = r#"x.unwrap()"#; let r#match = 1;"##;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#match"));
+        // Nothing inside the raw string surfaced as an identifier.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_are_distinguished() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'b' }";
+        let toks = kinds(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t == "'b'"));
+    }
+
+    #[test]
+    fn escaped_char_literals_do_not_swallow_code() {
+        let src = r"let c = '\n'; x.unwrap();";
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t == r"'\n'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* outer /* inner */ still comment */ code";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "code".to_string()));
+    }
+
+    #[test]
+    fn doc_comments_are_not_plain_comments() {
+        let toks = kinds("/// doc\n//! inner\n// plain\n//// four\n/** block */\n/*! bang */");
+        let doc = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::DocComment)
+            .count();
+        let plain = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::LineComment)
+            .count();
+        assert_eq!(doc, 4);
+        assert_eq!(plain, 2);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r#"let a = b"bytes"; let c = b'x';"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t == "b\"bytes\""));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t == "b'x'"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_operators() {
+        let toks = kinds("for i in 0..10 {}");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "10"]);
+    }
+
+    #[test]
+    fn unterminated_literals_are_total() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "b'", "1.5e-"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src:?} lexed to nothing");
+            assert_eq!(toks.last().map(|t| t.hi), Some(src.len()));
+        }
+    }
+
+    #[test]
+    fn spans_tile_the_input() {
+        let src = "fn f() { let s = \"x\"; /* c */ 'a' }";
+        let toks = lex(src);
+        let mut pos = 0;
+        for t in &toks {
+            assert!(t.lo >= pos);
+            assert!(src[pos..t.lo].chars().all(char::is_whitespace));
+            pos = t.hi;
+        }
+        assert!(src[pos..].chars().all(char::is_whitespace));
+    }
+}

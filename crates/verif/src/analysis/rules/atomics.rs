@@ -1,0 +1,152 @@
+//! `atomic-ordering`: every `Ordering::Relaxed` must match a
+//! whitelisted pattern or carry a waiver naming the happens-before
+//! argument.
+//!
+//! `Relaxed` is correct exactly when no other memory location's
+//! visibility depends on the operation. Two shapes qualify without
+//! further argument and are whitelisted:
+//!
+//! * **monotonic counter**: `x.fetch_add(1, Ordering::Relaxed)` — a
+//!   work-stealing ticket or statistics counter whose value is consumed
+//!   only after a join/stronger synchronization;
+//! * **advisory flag**: `flag.load(Ordering::Relaxed)` /
+//!   `flag.store(true|false, Ordering::Relaxed)` where `flag` is a
+//!   binding declared `AtomicBool` — a best-effort cancellation hint
+//!   whose reader tolerates staleness.
+//!
+//! Everything else — `Relaxed` on data the other side dereferences,
+//! counters read before a join, non-bool payloads — is flagged and must
+//! either be strengthened (`Acquire`/`Release`/`AcqRel`) or waived with
+//! the happens-before edge spelled out, e.g.
+//! `lint: allow(atomic-ordering): reset is ordered by the Release store
+//! of generation + the waiters' Acquire load`.
+//!
+//! Non-`Relaxed` orderings are never flagged: over-synchronizing is a
+//! performance bug, not a correctness bug, and belongs to review.
+
+use super::super::Severity;
+use super::{binding_before, Ctx, Emitter};
+use std::collections::BTreeSet;
+
+/// Runs the `atomic-ordering` rule.
+pub fn atomic_ordering(ctx: &Ctx<'_>, em: &mut Emitter) {
+    // Bindings declared as AtomicBool (advisory-flag whitelist).
+    let mut bool_flags: BTreeSet<String> = BTreeSet::new();
+    for i in 0..ctx.code.len() {
+        if ctx.text(i) == "AtomicBool" {
+            if let Some(name) = binding_before(ctx, i) {
+                bool_flags.insert(name);
+            }
+        }
+    }
+    for i in 0..ctx.code.len() {
+        let t = ctx.code[i];
+        if ctx.text(i) != "Relaxed"
+            || !ctx.match_seq(i.saturating_sub(3), &["Ordering", ":", ":", "Relaxed"])
+            || i < 3
+            || ctx.in_test(t.line)
+        {
+            continue;
+        }
+        if is_whitelisted(ctx, i, &bool_flags) {
+            continue;
+        }
+        em.emit(
+            "atomic-ordering",
+            Severity::Error,
+            t,
+            "`Ordering::Relaxed` outside the whitelisted monotonic-counter / AtomicBool-flag \
+             patterns; strengthen the ordering or waive with the happens-before argument"
+                .to_string(),
+        );
+    }
+}
+
+/// Decides whether the `Ordering::Relaxed` ending at code index `i`
+/// (the `Relaxed` token) sits in a whitelisted call shape.
+fn is_whitelisted(ctx: &Ctx<'_>, i: usize, bool_flags: &BTreeSet<String>) -> bool {
+    // `.fetch_add(1, Ordering::Relaxed)` — monotonic counter.
+    if i >= 8 && ctx.match_seq(i - 8, &[".", "fetch_add", "(", "1", ","]) && ctx.text(i + 1) == ")"
+    {
+        return true;
+    }
+    // `flag.load(Ordering::Relaxed)` on a tracked AtomicBool.
+    if i >= 7
+        && ctx.match_seq(i - 6, &[".", "load", "("])
+        && ctx.text(i + 1) == ")"
+        && bool_flags.contains(ctx.text(i - 7))
+    {
+        return true;
+    }
+    // `flag.store(true|false, Ordering::Relaxed)` on a tracked AtomicBool.
+    if i >= 9
+        && ctx.match_seq(i - 8, &[".", "store", "("])
+        && matches!(ctx.text(i - 5), "true" | "false")
+        && ctx.text(i - 4) == ","
+        && ctx.text(i + 1) == ")"
+        && bool_flags.contains(ctx.text(i - 9))
+    {
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{test_findings, FileClass};
+
+    const PROD: FileClass = FileClass {
+        hot: false,
+        perf: false,
+        crate_root: false,
+    };
+
+    #[test]
+    fn whitelisted_counter_and_flag_patterns_do_not_fire() {
+        let src = "fn f() {\n    let next = AtomicUsize::new(0);\n    let stop = AtomicBool::new(false);\n    let i = next.fetch_add(1, Ordering::Relaxed);\n    if stop.load(Ordering::Relaxed) {\n        return;\n    }\n    stop.store(true, Ordering::Relaxed);\n}\n";
+        assert!(test_findings(src, PROD).is_empty());
+    }
+
+    #[test]
+    fn non_whitelisted_relaxed_fires() {
+        // store of a non-bool payload
+        let store = "fn f(x: &AtomicU32) {\n    x.store(0, Ordering::Relaxed);\n}\n";
+        let f = test_findings(store, PROD);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].rule, f[0].line), ("atomic-ordering", 2));
+
+        // load of a non-AtomicBool binding
+        let load = "fn f(gen: &AtomicU64) {\n    let g = gen.load(Ordering::Relaxed);\n}\n";
+        assert_eq!(test_findings(load, PROD).len(), 1);
+
+        // fetch_add by a non-1 stride
+        let stride = "fn f(n: &AtomicUsize) {\n    n.fetch_add(4, Ordering::Relaxed);\n}\n";
+        assert_eq!(test_findings(stride, PROD).len(), 1);
+    }
+
+    #[test]
+    fn stronger_orderings_and_test_scope_are_exempt() {
+        let strong = "fn f(d: &AtomicBool) {\n    d.store(true, Ordering::Release);\n    d.load(Ordering::Acquire);\n}\n";
+        assert!(test_findings(strong, PROD).is_empty());
+        let test_scope = "#[cfg(test)]\nmod tests {\n    fn f(x: &AtomicU32) {\n        x.store(0, Ordering::Relaxed);\n    }\n}\n";
+        assert!(test_findings(test_scope, PROD).is_empty());
+    }
+
+    #[test]
+    fn justified_waiver_clears_the_finding() {
+        use crate::analysis::{analyze_source, FileClass as C};
+        let src = "fn f(x: &AtomicU32) {\n    // lint: allow(atomic-ordering): reset ordered by the Release store of generation\n    x.store(0, Ordering::Relaxed);\n}\n";
+        let d = analyze_source(std::path::Path::new("t.rs"), src, C::default());
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unjustified_waiver_is_rejected_and_does_not_suppress() {
+        use crate::analysis::{analyze_source, FileClass as C};
+        let src = "fn f(x: &AtomicU32) {\n    // lint: allow(atomic-ordering)\n    x.store(0, Ordering::Relaxed);\n}\n";
+        let d = analyze_source(std::path::Path::new("t.rs"), src, C::default());
+        let rules: Vec<&str> = d.iter().map(|x| x.rule).collect();
+        assert!(rules.contains(&"waiver-justification"), "{d:?}");
+        assert!(rules.contains(&"atomic-ordering"), "{d:?}");
+    }
+}

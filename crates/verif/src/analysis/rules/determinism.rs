@@ -1,0 +1,154 @@
+//! `hash-iter`: iteration over hash-ordered collections is
+//! nondeterministic and must not reach production output or ordering
+//! decisions.
+//!
+//! `HashMap`/`HashSet` iteration order varies per process (and per
+//! `RandomState`); any result that folds over it — JSONL rows, frontier
+//! scheduling, counterexample traces — silently loses the repo's
+//! bit-identical-output guarantee. The rule tracks bindings whose
+//! declared type names `HashMap` or `HashSet` (via
+//! [`super::binding_before`]: `let` initializers, `name: Type`
+//! annotations on fields and parameters) and flags any iteration over
+//! them in non-test code:
+//!
+//! * an iterating method call: `.iter()`, `.iter_mut()`, `.keys()`,
+//!   `.values()`, `.values_mut()`, `.drain()`, `.into_iter()`,
+//!   `.retain(…)`, `.into_keys()`, `.into_values()`;
+//! * a `for … in` loop over the binding (through `&`/`&mut`).
+//!
+//! Membership operations (`get`, `contains`, `insert`, `len`, …) are
+//! fine — hash collections are still the right tool for O(1) dedup.
+//! Fix by switching to `BTreeMap`/`BTreeSet`, collecting + sorting
+//! before iterating, or waiving with the argument for why the order
+//! cannot reach output.
+//!
+//! Known heuristic limits (deliberate): bindings are tracked file-wide
+//! by name, and nested positions (`Vec<HashSet<_>>`, `&[HashSet<_>]`)
+//! are not tracked.
+
+use super::super::Severity;
+use super::{binding_before, Ctx, Emitter};
+use std::collections::BTreeSet;
+
+/// Method names whose call on a hash collection observes its order.
+const ITER_METHODS: &[&str] = &[
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "iter",
+    "iter_mut",
+    "keys",
+    "retain",
+    "values",
+    "values_mut",
+];
+
+/// Runs the `hash-iter` rule.
+pub fn hash_iter(ctx: &Ctx<'_>, em: &mut Emitter) {
+    let mut tracked: BTreeSet<String> = BTreeSet::new();
+    for i in 0..ctx.code.len() {
+        let t = ctx.text(i);
+        if t == "HashMap" || t == "HashSet" {
+            if let Some(name) = binding_before(ctx, i) {
+                tracked.insert(name);
+            }
+        }
+    }
+    if tracked.is_empty() {
+        return;
+    }
+    for i in 0..ctx.code.len() {
+        let t = ctx.code[i];
+        if ctx.in_test(t.line) || !tracked.contains(ctx.text(i)) {
+            continue;
+        }
+        let name = ctx.text(i);
+        // `name.iter()`-style observing call.
+        if ctx.text(i + 1) == "."
+            && ITER_METHODS.contains(&ctx.text(i + 2))
+            && ctx.text(i + 3) == "("
+        {
+            let method = ctx.text(i + 2);
+            em.emit(
+                "hash-iter",
+                Severity::Error,
+                t,
+                format!(
+                    "`.{method}()` on hash-ordered `{name}` in production code; iteration \
+                     order is nondeterministic — use BTreeMap/BTreeSet, sort first, or \
+                     waive with the ordering argument"
+                ),
+            );
+            continue;
+        }
+        // `for … in [&[mut]] name`.
+        let mut j = i;
+        while j > 0 && matches!(ctx.text(j - 1), "&" | "mut") {
+            j -= 1;
+        }
+        if j > 0 && ctx.text(j - 1) == "in" {
+            em.emit(
+                "hash-iter",
+                Severity::Error,
+                t,
+                format!(
+                    "`for … in` over hash-ordered `{name}` in production code; iteration \
+                     order is nondeterministic — use BTreeMap/BTreeSet, sort first, or \
+                     waive with the ordering argument"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{test_findings, FileClass};
+
+    const PROD: FileClass = FileClass {
+        hot: false,
+        perf: false,
+        crate_root: false,
+    };
+
+    #[test]
+    fn iterating_method_on_hash_collection_fires() {
+        let src = "fn f() {\n    let mut seen = std::collections::HashSet::new();\n    seen.insert(1);\n    for x in seen.iter() {\n        use_it(x);\n    }\n}\n";
+        let f = test_findings(src, PROD);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].rule, f[0].line), ("hash-iter", 4));
+    }
+
+    #[test]
+    fn for_loop_over_hash_binding_fires() {
+        let src = "fn f(map: &HashMap<u32, u32>) {\n    for (k, v) in map {\n        emit(k, v);\n    }\n}\n";
+        let f = test_findings(src, PROD);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].rule, f[0].line), ("hash-iter", 2));
+        let by_ref = "fn f(map: &HashMap<u32, u32>) {\n    for (k, v) in &map {\n        emit(k, v);\n    }\n}\n";
+        assert_eq!(test_findings(by_ref, PROD).len(), 1);
+    }
+
+    #[test]
+    fn membership_ops_and_btree_iteration_do_not_fire() {
+        let src = "fn f(map: &HashMap<u32, u32>, tree: &BTreeMap<u32, u32>) {\n    map.get(&1);\n    map.contains_key(&2);\n    for (k, v) in tree {\n        emit(k, v);\n    }\n}\n";
+        assert!(test_findings(src, PROD).is_empty());
+    }
+
+    #[test]
+    fn test_scope_and_untracked_nested_types_do_not_fire() {
+        let test_scope = "#[cfg(test)]\nmod tests {\n    fn f() {\n        let s: HashSet<u8> = HashSet::new();\n        for x in &s {\n            check(x);\n        }\n    }\n}\n";
+        assert!(test_findings(test_scope, PROD).is_empty());
+        let nested = "fn f(shards: &[HashSet<u128>]) {\n    shards.iter().map(|s| s.len()).sum::<usize>()\n}\n";
+        assert!(test_findings(nested, PROD).is_empty());
+    }
+
+    #[test]
+    fn waivers_are_resolved_by_the_driver() {
+        use super::super::super::{analyze_source, FileClass as C};
+        let src = "fn f(map: &HashMap<u32, u32>) {\n    // lint: allow(hash-iter): order folded through a commutative sum\n    for (_, v) in map {\n        total += v;\n    }\n}\n";
+        let d = analyze_source(std::path::Path::new("t.rs"), src, C::default());
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Waiver parsing: `lint: allow(rule)` comments.
+//!
+//! Waivers are parsed from *plain* comments only — never from doc
+//! comments, so documentation (including this module's) can show waiver
+//! syntax without silencing anything. Two placements:
+//!
+//! * trailing on a line of code — covers that line;
+//! * on a comment-only line — covers the next line.
+//!
+//! Syntax: `lint: allow(RULE)` or `lint: allow(RULE): JUSTIFICATION`.
+//! Rules in [`super::rules::JUSTIFIED_RULES`] reject the bare form: the
+//! justification must name the invariant (the happens-before argument
+//! for `atomic-ordering`, the bound for `barrier-panic`, the ordering
+//! argument for `hash-iter`).
+//!
+//! Every waiver is checked by the driver: an unknown rule name is an
+//! `unknown-waiver` error, and a waiver whose covered line has no
+//! finding of that rule is a `stale-waiver` error. Waivers cannot rot
+//! silently.
+
+use super::lexer::{is_comment, Token, TokenKind};
+
+/// One parsed `lint: allow(...)` occurrence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Waiver {
+    /// 1-based line of the comment itself.
+    pub comment_line: u32,
+    /// 1-based line the waiver applies to.
+    pub covered_line: u32,
+    /// Column of the comment token (for diagnostics).
+    pub col: u32,
+    /// The rule name inside the parentheses, verbatim.
+    pub rule: String,
+    /// Text after `): `, if any.
+    pub justification: Option<String>,
+}
+
+/// Extracts all waivers from the token stream.
+pub fn parse_waivers(src: &str, tokens: &[Token]) -> Vec<Waiver> {
+    // Lines that contain at least one code (non-comment) token: a waiver
+    // comment on such a line covers the line itself, otherwise the next.
+    let mut code_lines: Vec<u32> = tokens
+        .iter()
+        .filter(|t| !is_comment(t.kind))
+        .map(|t| t.line)
+        .collect();
+    code_lines.dedup();
+
+    let mut out = Vec::new();
+    for t in tokens {
+        if !is_comment(t.kind) || t.kind == TokenKind::DocComment {
+            continue;
+        }
+        let text = t.text(src);
+        let mut rest = text;
+        while let Some(at) = rest.find("lint: allow(") {
+            rest = &rest[at + "lint: allow(".len()..];
+            let close = rest.find(')');
+            let rule = match close {
+                Some(c) => rest[..c].trim().to_string(),
+                None => rest.trim().trim_end_matches("*/").trim().to_string(),
+            };
+            let mut justification = None;
+            if let Some(c) = close {
+                rest = &rest[c + 1..];
+                if let Some(j) = rest.strip_prefix(':') {
+                    // Justification runs to the end of the comment (or the
+                    // next waiver marker, though one per comment is the norm).
+                    let j = j.split("lint: allow(").next().unwrap_or(j);
+                    let j = j.trim().trim_end_matches("*/").trim();
+                    if !j.is_empty() {
+                        justification = Some(j.to_string());
+                    }
+                }
+            } else {
+                rest = "";
+            }
+            let covered_line = if code_lines.binary_search(&t.line).is_ok() {
+                t.line
+            } else {
+                t.line + 1
+            };
+            out.push(Waiver {
+                comment_line: t.line,
+                covered_line,
+                col: t.col,
+                rule,
+                justification,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::lexer::lex;
+
+    fn waivers(src: &str) -> Vec<Waiver> {
+        parse_waivers(src, &lex(src))
+    }
+
+    #[test]
+    fn trailing_waiver_covers_its_own_line() {
+        let w = waivers("let x = m.get(k); // lint: allow(no-unwrap)\n");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].covered_line, 1);
+        assert_eq!(w[0].rule, "no-unwrap");
+        assert!(w[0].justification.is_none());
+    }
+
+    #[test]
+    fn standalone_waiver_covers_the_next_line() {
+        let w = waivers("// lint: allow(hot-alloc): cold path\nlet v = Vec::new();\n");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].comment_line, 1);
+        assert_eq!(w[0].covered_line, 2);
+        assert_eq!(w[0].justification.as_deref(), Some("cold path"));
+    }
+
+    #[test]
+    fn block_comment_waiver_strips_the_terminator() {
+        let w = waivers("/* lint: allow(atomic-ordering): counter only */\nx.fetch_add(2, Ordering::Relaxed);\n");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].justification.as_deref(), Some("counter only"));
+    }
+
+    #[test]
+    fn doc_comments_never_carry_waivers() {
+        let w = waivers("/// Write `lint: allow(no-unwrap)` to waive.\nfn f() {}\n");
+        assert!(w.is_empty());
+        let w = waivers("//! `lint: allow(no-unwrap)` syntax docs.\n");
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn unterminated_rule_name_is_still_surfaced() {
+        let w = waivers("// lint: allow(no-unwrap\nfoo();\n");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].rule, "no-unwrap");
+    }
+}

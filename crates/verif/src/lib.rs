@@ -13,9 +13,13 @@
 //! 2. A **runtime invariant oracle** (in `secdir-machine` behind the
 //!    `check` feature): the same invariants walked over the concrete
 //!    simulator state every `ORACLE_INTERVAL` accesses.
-//! 3. A **workspace lint pass** ([`lint`]): std-only source scanning that
-//!    gates panics, hot-path allocation, wall-clock reads, and crate
-//!    hygiene attributes in CI.
+//! 3. A **token-level static-analysis engine** ([`analysis`], DESIGN.md
+//!    §11): a lossless Rust lexer, structural scope/region tracking, and
+//!    a pluggable rule registry gating panics, hot-path allocation,
+//!    wall-clock reads, JSONL flush discipline, crate hygiene, hash-iter
+//!    determinism, barrier panic-safety, and atomic orderings in CI.
+//!    The old line-stripping scanner ([`lint`]) is retained frozen as
+//!    the differential-test baseline for the ported rules.
 //!
 //! The `secdir-sim verif` and `secdir-sim lint` subcommands front-end the
 //! first and third; the second is armed by building with
@@ -24,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod canon;
 pub mod checker;
 pub mod lint;
@@ -31,8 +36,8 @@ pub mod model;
 pub mod pack;
 pub mod perf;
 
+pub use analysis::{lint_workspace, render_json, Diagnostic, LintReport, Severity};
 pub use canon::{CanonTable, PermPair};
 pub use checker::{check, check_all_quick, check_opt, CheckOptions, CheckReport, Counterexample};
-pub use lint::{lint_workspace, Diagnostic};
 pub use model::{DirKind, Fault, Model, ModelConfig, ModelState};
 pub use perf::{run_checker_bench, CheckerBenchRecord};

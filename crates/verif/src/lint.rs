@@ -1,4 +1,8 @@
-//! A std-only source lint pass over the workspace.
+//! The original line-stripping lint scanner, retained **frozen** as the
+//! reference baseline for the token engine's differential test
+//! (`tests/analysis_differential.rs`). New rules and fixes go into
+//! [`crate::analysis`]; this module should only change if a genuine bug
+//! makes the differential corpus unrepresentable.
 //!
 //! Five rules, each tuned to an invariant this codebase already promises:
 //!

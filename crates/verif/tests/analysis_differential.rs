@@ -1,0 +1,152 @@
+//! Differential test: the token-level analysis engine agrees with the
+//! frozen line-stripping scanner on a checked-in corpus.
+//!
+//! Agreement is at the `(line, rule)` level, deduplicated — the one
+//! intended divergence in shape is crate-hygiene, where the old scanner
+//! emits one diagnostic per missing attribute and the token engine one
+//! combined finding, both anchored at line 1. The corpus uses only
+//! constructs both scanners resolve identically (single-line rule
+//! matches, real waivers, no `*` wildcards); everywhere else the token
+//! engine is deliberately more precise and is covered by its own unit
+//! and property tests instead.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+use secdir_verif::analysis::{analyze_source, FileClass};
+use secdir_verif::lint::{lint_crate_root, lint_source, FileRules};
+
+/// The rule families both scanners implement.
+const PORTED: &[&str] = &[
+    "no-unwrap",
+    "hot-alloc",
+    "wall-clock",
+    "jsonl-flush",
+    "crate-hygiene",
+];
+
+fn corpus(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Old-scanner findings as a deduplicated `(line, rule)` set.
+fn old_set(src: &str, rules: FileRules, crate_root: bool) -> BTreeSet<(u32, String)> {
+    let path = Path::new("corpus.rs");
+    let mut diags = lint_source(path, src, rules);
+    if crate_root {
+        diags.extend(lint_crate_root(path, src));
+    }
+    diags
+        .into_iter()
+        .map(|d| (d.line as u32, d.rule.to_string()))
+        .collect()
+}
+
+/// Token-engine findings restricted to the ported rules, as the same set.
+fn new_set(src: &str, class: FileClass) -> BTreeSet<(u32, String)> {
+    analyze_source(Path::new("corpus.rs"), src, class)
+        .into_iter()
+        .filter(|d| PORTED.contains(&d.rule))
+        .map(|d| (d.line, d.rule.to_string()))
+        .collect()
+}
+
+fn assert_agree(name: &str, old: &BTreeSet<(u32, String)>, new: &BTreeSet<(u32, String)>) {
+    assert_eq!(
+        old,
+        new,
+        "{name}: scanners disagree\n  old-only: {:?}\n  new-only: {:?}",
+        old.difference(new).collect::<Vec<_>>(),
+        new.difference(old).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn hot_path_corpus_agrees() {
+    let src = corpus("hot_path.rs");
+    let old = old_set(&src, FileRules::hot(), false);
+    let new = new_set(
+        &src,
+        FileClass {
+            hot: true,
+            perf: false,
+            crate_root: false,
+        },
+    );
+    assert_agree("hot_path.rs", &old, &new);
+    // The corpus must actually exercise the hot-path families.
+    for rule in ["no-unwrap", "hot-alloc", "wall-clock", "jsonl-flush"] {
+        assert!(
+            new.iter().any(|(_, r)| r == rule),
+            "hot_path.rs corpus no longer triggers {rule}: {new:?}"
+        );
+    }
+}
+
+#[test]
+fn production_corpus_agrees() {
+    let src = corpus("production.rs");
+    let old = old_set(&src, FileRules::production(), false);
+    let new = new_set(&src, FileClass::default());
+    assert_agree("production.rs", &old, &new);
+    assert!(
+        new.iter().any(|(_, r)| r == "no-unwrap"),
+        "production.rs corpus must trigger no-unwrap: {new:?}"
+    );
+    assert!(
+        new.iter().filter(|(_, r)| r == "wall-clock").count() >= 3,
+        "wall-clock fires on each clock read, tests included: {new:?}"
+    );
+    assert!(
+        !new.iter().any(|(_, r)| r == "hot-alloc"),
+        "hot-alloc must not apply off the hot path: {new:?}"
+    );
+}
+
+#[test]
+fn crate_root_corpus_agrees() {
+    let src = corpus("crate_root.rs");
+    let old = old_set(&src, FileRules::production(), true);
+    let new = new_set(
+        &src,
+        FileClass {
+            hot: false,
+            perf: false,
+            crate_root: true,
+        },
+    );
+    assert_agree("crate_root.rs", &old, &new);
+    assert_eq!(
+        new.iter().collect::<Vec<_>>(),
+        [&(1, "crate-hygiene".to_string())],
+        "a deficient root is exactly one deduplicated (line, rule) entry"
+    );
+}
+
+/// The workspace's real sources are themselves a differential corpus for
+/// the ported families: on every production file the old scanner scans,
+/// the token engine (restricted to those rules) finds the same nothing.
+#[test]
+fn live_workspace_sources_agree() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_default();
+    let old = secdir_verif::lint::lint_workspace(&root).expect("old scan");
+    let report = secdir_verif::lint_workspace(&root).expect("new scan");
+    let new_ported: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|d| PORTED.contains(&d.rule))
+        .collect();
+    assert!(
+        old.is_empty() && new_ported.is_empty(),
+        "scanners disagree on the live tree\n  old: {old:?}\n  new: {new_ported:?}"
+    );
+}

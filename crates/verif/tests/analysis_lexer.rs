@@ -1,0 +1,212 @@
+//! Property tests for the analysis lexer's two contracts (totality and
+//! losslessness) plus targeted round-trips for the lexical forms a
+//! line-stripping scanner gets wrong: raw strings, char literals vs
+//! lifetimes, and nested block comments.
+
+use proptest::prelude::*;
+
+use secdir_verif::analysis::lexer::{lex, Token, TokenKind};
+
+/// Rust-ish source fragments, including every tricky lexical form. The
+/// generator concatenates random selections of these (separated by
+/// whitespace), so the lexer sees realistic token boundaries rather than
+/// only byte noise.
+const FRAGMENTS: &[&str] = &[
+    "fn main() {",
+    "}",
+    "let x = a.unwrap();",
+    "r#\"raw \\ no-escape \"quote\" inside\"#",
+    "r##\"even \"# deeper\"##",
+    "r\"plain raw\"",
+    "br#\"raw bytes\"#",
+    "b\"bytes\\n\"",
+    "\"a string with // no comment and 'c'\"",
+    "\"escaped \\\" quote\"",
+    "'a'",
+    "'\\n'",
+    "'\\u{1F600}'",
+    "b'x'",
+    "'static",
+    "'a",
+    "&'a str",
+    "r#match",
+    "/* outer /* nested */ still comment */",
+    "/** doc block */",
+    "/*! inner doc */",
+    "// line comment with \"string\" and 'q'",
+    "/// doc line",
+    "//! inner doc line",
+    "0x7f_u64",
+    "1.5e-3",
+    "1_000",
+    "#[cfg(test)]",
+    "Ordering::Relaxed",
+    "vec![0; 8]",
+    "out.flush()?;",
+    "/* unterminated",
+    "\"unterminated",
+    "r#\"unterminated raw",
+    "'",
+];
+
+/// Whitespace separators to splice between fragments.
+const SEPS: &[&str] = &[" ", "\n", "\t", "\n\n", "  ", "\r\n"];
+
+fn assemble(picks: &[(u8, u8)]) -> String {
+    let mut src = String::new();
+    for &(frag, sep) in picks {
+        src.push_str(FRAGMENTS[frag as usize % FRAGMENTS.len()]);
+        src.push_str(SEPS[sep as usize % SEPS.len()]);
+    }
+    src
+}
+
+/// Asserts the lossless contract: spans are ordered, non-overlapping,
+/// within bounds, on char boundaries, and the gaps are whitespace-only —
+/// so gaps + token texts reconstruct the input byte-for-byte.
+fn assert_tiles(src: &str, tokens: &[Token]) {
+    let mut rebuilt = String::new();
+    let mut pos = 0usize;
+    for t in tokens {
+        assert!(t.lo <= t.hi, "inverted span {}..{}", t.lo, t.hi);
+        assert!(t.lo >= pos, "overlapping span at {}", t.lo);
+        assert!(t.hi <= src.len(), "span past end: {}..{}", t.lo, t.hi);
+        let gap = src
+            .get(pos..t.lo)
+            .unwrap_or_else(|| panic!("gap {}..{} not on char boundaries", pos, t.lo));
+        assert!(
+            gap.chars().all(char::is_whitespace),
+            "non-whitespace gap {gap:?} before token at {}",
+            t.lo
+        );
+        let text = t.text(src);
+        assert!(
+            t.lo == t.hi || !text.is_empty(),
+            "span {}..{} not on char boundaries",
+            t.lo,
+            t.hi
+        );
+        rebuilt.push_str(gap);
+        rebuilt.push_str(text);
+        pos = t.hi;
+    }
+    let tail = src.get(pos..).unwrap_or("");
+    assert!(
+        tail.chars().all(char::is_whitespace),
+        "non-whitespace tail {tail:?}"
+    );
+    rebuilt.push_str(tail);
+    assert_eq!(rebuilt, src, "gaps + tokens must reproduce the input");
+}
+
+proptest! {
+    /// Totality on noise: the lexer never panics on arbitrary bytes
+    /// (lossy-decoded), and its spans still tile the input.
+    #[test]
+    fn lex_is_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let tokens = lex(&src);
+        assert_tiles(&src, &tokens);
+    }
+
+    /// Losslessness on Rust-shaped input: sources assembled from tricky
+    /// fragments (raw strings, char literals, nested comments,
+    /// unterminated forms) tile exactly, and line/col positions are
+    /// consistent with the spans.
+    #[test]
+    fn lex_tiles_fragment_sources(picks in prop::collection::vec((any::<u8>(), any::<u8>()), 0..24)) {
+        let src = assemble(&picks);
+        let tokens = lex(&src);
+        assert_tiles(&src, &tokens);
+        for t in &tokens {
+            let upto = &src[..t.lo];
+            let line = 1 + upto.bytes().filter(|&b| b == b'\n').count() as u32;
+            let col = 1 + upto.rfind('\n').map_or(t.lo, |n| t.lo - n - 1) as u32;
+            prop_assert_eq!((t.line, t.col), (line, col), "position of {:?}", t);
+        }
+    }
+
+    /// Bytes inside string/char/comment tokens never leak as code: every
+    /// non-comment, non-literal token's text is free of quote characters.
+    #[test]
+    fn code_tokens_carry_no_literal_delimiters(picks in prop::collection::vec((any::<u8>(), any::<u8>()), 0..24)) {
+        let src = assemble(&picks);
+        for t in lex(&src) {
+            if matches!(t.kind, TokenKind::Ident | TokenKind::Number | TokenKind::Punct) {
+                let text = t.text(&src);
+                prop_assert!(
+                    !text.contains('"') && !text.contains("/*") && !text.contains("//"),
+                    "literal delimiter leaked into {:?} {:?}",
+                    t.kind,
+                    text
+                );
+            }
+        }
+    }
+}
+
+/// Lexes `src` and asserts it is a single non-whitespace token of `kind`
+/// spanning exactly `src`.
+fn single(src: &str, kind: TokenKind) {
+    let tokens = lex(src);
+    assert_eq!(tokens.len(), 1, "{src:?} -> {tokens:?}");
+    assert_eq!(tokens[0].kind, kind, "{src:?}");
+    assert_eq!((tokens[0].lo, tokens[0].hi), (0, src.len()), "{src:?}");
+}
+
+#[test]
+fn raw_strings_round_trip_as_single_tokens() {
+    single("r\"plain\"", TokenKind::Str);
+    single("r#\"has \" inside\"#", TokenKind::Str);
+    single("r##\"has \"# inside\"##", TokenKind::Str);
+    single("br#\"raw bytes\"#", TokenKind::Str);
+    single("\"escaped \\\" quote\"", TokenKind::Str);
+}
+
+#[test]
+fn char_literals_and_lifetimes_are_distinguished() {
+    single("'a'", TokenKind::Char);
+    single("'\\n'", TokenKind::Char);
+    single("'\\u{1F600}'", TokenKind::Char);
+    single("b'x'", TokenKind::Char);
+    single("'static", TokenKind::Lifetime);
+    single("'a", TokenKind::Lifetime);
+}
+
+#[test]
+fn nested_block_comments_round_trip() {
+    single(
+        "/* a /* nested /* deep */ */ still */",
+        TokenKind::BlockComment,
+    );
+    single("/** doc /* nested */ more */", TokenKind::DocComment);
+    single("/*! inner doc */", TokenKind::DocComment);
+    // Unterminated: runs to end of input rather than panicking.
+    single("/* open /* forever", TokenKind::BlockComment);
+}
+
+#[test]
+fn raw_identifiers_are_idents_not_strings() {
+    single("r#match", TokenKind::Ident);
+    let tokens = lex("r#match.unwrap()");
+    assert_eq!(tokens[0].kind, TokenKind::Ident);
+    assert_eq!(tokens[0].text("r#match.unwrap()"), "r#match");
+}
+
+#[test]
+fn strings_hide_code_from_the_rules() {
+    let src = "let s = \".unwrap() /* not a comment */\"; // trailing 'note'\n";
+    let kinds: Vec<TokenKind> = lex(src).iter().map(|t| t.kind).collect();
+    // One Str, one LineComment; the string's contents produce no
+    // Ident/Punct tokens of their own.
+    assert_eq!(kinds.iter().filter(|k| **k == TokenKind::Str).count(), 1);
+    assert_eq!(
+        kinds
+            .iter()
+            .filter(|k| **k == TokenKind::LineComment)
+            .count(),
+        1
+    );
+    let unwraps = lex(src).iter().filter(|t| t.text(src) == "unwrap").count();
+    assert_eq!(unwraps, 0, "`unwrap` inside a string must not be a token");
+}

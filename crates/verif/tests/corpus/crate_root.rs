@@ -1,0 +1,7 @@
+//! Differential corpus: a crate root missing both hygiene attributes.
+//! The old scanner emits one diagnostic per missing attribute and the
+//! token engine one combined finding, so the comparison happens on the
+//! deduplicated `(line, rule)` level, where both agree the root is
+//! deficient at line 1. This file is test data — it is never compiled.
+
+pub fn visible() {}

@@ -1,10 +1,13 @@
-//! The lint gate, end to end: the workspace itself must scan clean, and an
-//! introduced violation must surface as a `file:line` diagnostic.
+//! The lint gate, end to end: the workspace itself must scan clean under
+//! the token-level analysis engine (including its three new rule
+//! families), an introduced violation must surface as a
+//! `file:line:col` diagnostic, the engine must lint its own sources, and
+//! the JSON report must be byte-deterministic.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use secdir_verif::lint::lint_workspace;
+use secdir_verif::{lint_workspace, render_json};
 
 fn workspace_root() -> PathBuf {
     // crates/verif -> crates -> workspace root.
@@ -17,16 +20,58 @@ fn workspace_root() -> PathBuf {
 
 #[test]
 fn the_workspace_lints_clean() {
-    let diags = lint_workspace(&workspace_root()).expect("scan succeeds");
+    let report = lint_workspace(&workspace_root()).expect("scan succeeds");
     assert!(
-        diags.is_empty(),
+        report.findings.is_empty(),
         "lint findings on the tree:\n{}",
-        diags
+        report
+            .findings
             .iter()
             .map(|d| d.to_string())
             .collect::<Vec<_>>()
             .join("\n")
     );
+}
+
+#[test]
+fn the_engine_lints_its_own_sources() {
+    // Self-lint: the analysis engine's modules are ordinary workspace
+    // files and must appear in the scanned-file list (the CI artifact
+    // asserts the same from the JSON `files` array).
+    let report = lint_workspace(&workspace_root()).expect("scan succeeds");
+    for module in [
+        "crates/verif/src/analysis/mod.rs",
+        "crates/verif/src/analysis/lexer.rs",
+        "crates/verif/src/analysis/scope.rs",
+        "crates/verif/src/analysis/waiver.rs",
+        "crates/verif/src/analysis/rules/mod.rs",
+        "crates/verif/src/analysis/rules/ported.rs",
+        "crates/verif/src/analysis/rules/determinism.rs",
+        "crates/verif/src/analysis/rules/panic_safety.rs",
+        "crates/verif/src/analysis/rules/atomics.rs",
+    ] {
+        assert!(
+            report.files.iter().any(|f| f == module),
+            "engine source {module} missing from the scan: {:?}",
+            report.files
+        );
+    }
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|d| !d.file.starts_with("crates/verif/src/analysis")),
+        "the engine must pass its own rules"
+    );
+}
+
+#[test]
+fn json_report_is_byte_deterministic() {
+    let root = workspace_root();
+    let one = render_json(&lint_workspace(&root).expect("first scan"));
+    let two = render_json(&lint_workspace(&root).expect("second scan"));
+    assert_eq!(one, two, "two scans must render byte-identical JSON");
+    assert!(one.contains("\"schema\": \"secdir-lint/1\""));
 }
 
 #[test]
@@ -49,9 +94,14 @@ fn an_introduced_violation_fails_with_file_and_line() {
                }\n";
     fs::write(src.join("lib.rs"), bad).expect("write bad source");
 
-    let diags = lint_workspace(&scratch).expect("scan succeeds");
-    assert_eq!(diags.len(), 1, "exactly the seeded violation: {diags:?}");
-    let d = &diags[0];
+    let report = lint_workspace(&scratch).expect("scan succeeds");
+    assert_eq!(
+        report.findings.len(),
+        1,
+        "exactly the seeded violation: {:?}",
+        report.findings
+    );
+    let d = &report.findings[0];
     assert_eq!(d.rule, "no-unwrap");
     assert_eq!(d.line, 6, "diagnostic must carry the offending line");
     assert!(
@@ -59,9 +109,11 @@ fn an_introduced_violation_fails_with_file_and_line() {
         "diagnostic must carry the file: {}",
         d.file.display()
     );
-    // The rendered form is the `file:line: [rule] message` CI contract.
+    // The rendered form is the `file:line:col: severity[rule] message`
+    // CI contract.
     let rendered = d.to_string();
-    assert!(rendered.contains("lib.rs:6: [no-unwrap]"), "{rendered}");
+    assert!(rendered.contains("lib.rs:6:"), "{rendered}");
+    assert!(rendered.contains("error[no-unwrap]"), "{rendered}");
 
     fs::remove_dir_all(&scratch).ok();
 }

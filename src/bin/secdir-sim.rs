@@ -1035,30 +1035,48 @@ fn cmd_verif(args: &[String]) -> Result<(), String> {
 }
 
 const LINT_USAGE: &str = "\
-usage: secdir-sim lint [--root PATH]
-  --root   workspace root to scan (default: current directory)
-Scans every production source file (crates/*/src, compat/*/src, src/) for
-panicking calls (.unwrap()/.expect()), allocating tokens on the hot-path
-files, wall-clock reads outside perf.rs, and missing crate-hygiene
-attributes; prints file:line diagnostics and exits nonzero on any finding.
-One-off waivers: a `lint: allow(<rule>)` comment on (or just above) the
-offending line.";
+usage: secdir-sim lint [--root PATH] [--format text|json]
+  --root     workspace root to scan (default: current directory)
+  --format   output format: `text` (default) prints file:line:col
+             diagnostics, `json` emits the deterministic secdir-lint/1
+             report (findings + scanned-file list) on stdout
+Runs the token-level static-analysis engine (DESIGN.md §11) over every
+production source file (crates/*/src, compat/*/src, src/): panicking
+calls, hot-path allocation, wall-clock reads, JSONL flush discipline,
+crate hygiene, hash-iteration determinism, barrier panic-safety, and
+atomic-ordering audits. Exits nonzero on any finding. One-off waivers:
+a `lint: allow(<rule>)` comment on (or just above) the offending line;
+hash-iter / barrier-panic / atomic-ordering waivers must carry a
+`: <justification>` clause. Unknown-rule and stale waivers are
+themselves hard errors.";
 
 fn cmd_lint(args: &[String]) -> Result<(), String> {
-    let Some(flags) = parse_flags(args, &["root"], LINT_USAGE)? else {
+    let Some(flags) = parse_flags(args, &["root", "format"], LINT_USAGE)? else {
         return Ok(());
     };
     let root = flags.get("root").map_or(".", String::as_str);
-    let diags = secdir_verif::lint_workspace(std::path::Path::new(root))
-        .map_err(|e| format!("lint scan of `{root}`: {e}"))?;
-    for d in &diags {
-        println!("{d}");
+    let format = flags.get("format").map_or("text", String::as_str);
+    if !matches!(format, "text" | "json") {
+        return Err(format!(
+            "unknown --format `{format}` (expected text or json)"
+        ));
     }
-    if diags.is_empty() {
-        println!("lint: clean");
+    let report = secdir_verif::lint_workspace(std::path::Path::new(root))
+        .map_err(|e| format!("lint scan of `{root}`: {e}"))?;
+    if format == "json" {
+        print!("{}", secdir_verif::render_json(&report));
+    } else {
+        for d in &report.findings {
+            println!("{d}");
+        }
+        if report.findings.is_empty() {
+            println!("lint: clean ({} files)", report.files.len());
+        }
+    }
+    if report.findings.is_empty() {
         Ok(())
     } else {
-        Err(format!("{} lint finding(s)", diags.len()))
+        Err(format!("{} lint finding(s)", report.findings.len()))
     }
 }
 
